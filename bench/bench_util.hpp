@@ -1,0 +1,55 @@
+// Shared pretty-printing helpers for the experiment benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+inline void header(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& claim) {
+    std::printf("==================================================================\n");
+    std::printf("%s  —  %s\n", experiment.c_str(), paper_ref.c_str());
+    std::printf("paper claim: %s\n", claim.c_str());
+    std::printf("==================================================================\n");
+}
+
+inline void section(const std::string& title) {
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Renders a row-major scalar field as a small ASCII heat map (digits 0-9).
+inline void heatmap(const std::vector<double>& values, int cols, int rows) {
+    double lo = values[0];
+    double hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    for (int y = 0; y < rows; ++y) {
+        std::printf("  ");
+        for (int x = 0; x < cols; ++x) {
+            const double v = values[static_cast<std::size_t>(y * cols + x)];
+            const int bucket = static_cast<int>((v - lo) / span * 9.0001);
+            std::printf("%d", bucket);
+        }
+        std::printf("\n");
+    }
+    std::printf("  (0 = %.3f, 9 = %.3f)\n", lo, hi);
+}
+
+/// Renders per-RO integer labels (e.g. group ids) as a grid, Fig. 6a style.
+inline void label_grid(const std::vector<int>& labels, int cols, int rows) {
+    for (int y = 0; y < rows; ++y) {
+        std::printf("  ");
+        for (int x = 0; x < cols; ++x) {
+            std::printf("%3d", labels[static_cast<std::size_t>(y * cols + x)]);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace benchutil

@@ -1,0 +1,80 @@
+// E8 — paper Fig. 6a / Section VI-C: full key recovery against the
+// group-based RO PUF on the paper's 4x10 array, rendering the injected
+// pattern and the attacker's repartition exactly in the figure's style.
+#include "bench_util.hpp"
+
+#include "ropuf/attack/group_attack.hpp"
+
+int main() {
+    using namespace ropuf;
+    benchutil::header("E8: group-based RO PUF attack", "Fig. 6a + Section VI-C",
+                      "steep distiller injection + repartition => full key recovery");
+
+    // The paper's example geometry: an array of 4 x 10 ROs.
+    const sim::ArrayGeometry g{10, 4};
+    sim::ProcessParams params{};
+    params.sigma_noise_mhz = 0.02;
+    const sim::RoArray chip(g, params, 2013);
+    group::GroupPufConfig cfg;
+    cfg.delta_f_th = 0.15;
+    const group::GroupBasedPuf puf(chip, cfg);
+    rng::Xoshiro256pp rng(30);
+    const auto enrollment = puf.enroll(rng);
+
+    benchutil::section("victim enrollment");
+    std::printf("  groups: %d, kendall bits: %zu, packed key bits: %zu\n",
+                enrollment.grouping.num_groups, enrollment.kendall_ref.size(),
+                enrollment.key.size());
+    std::printf("  enrolled group map:\n");
+    benchutil::label_grid(enrollment.helper.group_of, g.cols, g.rows);
+
+    // One comparator instance, Fig. 6a style: targets in the same column.
+    benchutil::section("one comparator instance (the Fig. 6a picture)");
+    int target_a = g.index(0, 1);
+    int target_b = g.index(0, 2);
+    // Prefer two targets from a real enrolled group.
+    for (const auto& grp : enrollment.grouping.members) {
+        if (grp.size() >= 2) {
+            target_a = std::min(grp[0], grp[1]);
+            target_b = std::max(grp[0], grp[1]);
+            break;
+        }
+    }
+    const auto instance = attack::GroupBasedAttack::build_comparison(
+        enrollment.helper, g, puf.code(), target_a, target_b, 1000.0);
+    std::printf("  injected surface S (gradient perpendicular to the target pair):\n");
+    benchutil::heatmap(instance.surface, g.cols, g.rows);
+    std::printf("  attacker repartition (G1 = the two targets, RO %d and %d):\n", target_a,
+                target_b);
+    benchutil::label_grid(instance.group_of, g.cols, g.rows);
+
+    benchutil::section("full key recovery");
+    attack::GroupBasedAttack::Victim victim(puf, 31);
+    const auto result =
+        attack::GroupBasedAttack::run(victim, enrollment.helper, g, puf.code());
+    std::printf("  comparator runs : %d\n", result.comparisons);
+    std::printf("  oracle queries  : %lld\n", static_cast<long long>(result.queries));
+    std::printf("  true key        : %s\n", bits::to_string(enrollment.key).c_str());
+    std::printf("  recovered key   : %s\n", bits::to_string(result.recovered_key).c_str());
+    const bool ok = result.complete && result.recovered_key == enrollment.key;
+    std::printf("  => %s\n", ok ? "FULL KEY RECOVERED" : "attack failed");
+
+    benchutil::section("scaling to the DAC'13 evaluation array (16x32)");
+    {
+        const sim::ArrayGeometry big{16, 32};
+        const sim::RoArray chip2(big, params, 2014);
+        const group::GroupBasedPuf puf2(chip2, cfg);
+        rng::Xoshiro256pp rng2(32);
+        const auto enr2 = puf2.enroll(rng2);
+        attack::GroupBasedAttack::Victim victim2(puf2, 33);
+        const auto res2 =
+            attack::GroupBasedAttack::run(victim2, enr2.helper, big, puf2.code());
+        std::printf("  key bits %zu, comparisons %d, queries %lld => %s\n", enr2.key.size(),
+                    res2.comparisons, static_cast<long long>(res2.queries),
+                    res2.complete && res2.recovered_key == enr2.key ? "FULL KEY RECOVERED"
+                                                                    : "attack failed");
+    }
+    std::printf("\n[shape check] recovery is complete on both arrays; queries grow\n");
+    std::printf("              ~ sum_j |Gj| log |Gj| with the array size.\n");
+    return ok ? 0 : 1;
+}

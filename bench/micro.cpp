@@ -1,0 +1,124 @@
+// E14 — microbenchmarks (google-benchmark): throughput of every substrate.
+#include <benchmark/benchmark.h>
+
+#include "ropuf/attack/seqpair_attack.hpp"
+#include "ropuf/distiller/regression.hpp"
+#include "ropuf/fuzzy/fuzzy_extractor.hpp"
+#include "ropuf/group/group_puf.hpp"
+#include "ropuf/hash/sha256.hpp"
+
+namespace {
+
+using namespace ropuf;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+    std::vector<std::uint8_t> data(1024, 0xa5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hash::Sha256::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_BchEncode(benchmark::State& state) {
+    const ecc::BchCode code(static_cast<int>(state.range(0)), 3);
+    rng::Xoshiro256pp rng(1);
+    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.encode(msg));
+    }
+}
+BENCHMARK(BM_BchEncode)->Arg(5)->Arg(6)->Arg(8);
+
+void BM_BchDecodeTErrors(benchmark::State& state) {
+    const ecc::BchCode code(static_cast<int>(state.range(0)), 3);
+    rng::Xoshiro256pp rng(2);
+    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    auto received = code.encode(msg);
+    bits::flip_random(received, code.t(), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.decode(received));
+    }
+}
+BENCHMARK(BM_BchDecodeTErrors)->Arg(5)->Arg(6)->Arg(8);
+
+void BM_DistillerFit(benchmark::State& state) {
+    const sim::ArrayGeometry g{16, 32};
+    const sim::RoArray chip(g, sim::ProcessParams{}, 3);
+    rng::Xoshiro256pp rng(4);
+    const auto freqs = chip.enroll_frequencies(sim::Condition{}, 4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(distiller::fit(g, freqs, static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_DistillerFit)->Arg(2)->Arg(3);
+
+void BM_Grouping(benchmark::State& state) {
+    rng::Xoshiro256pp rng(5);
+    std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+    for (auto& v : values) v = rng.gaussian(0.0, 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(group::grouping(values, 0.15));
+    }
+}
+BENCHMARK(BM_Grouping)->Arg(128)->Arg(512);
+
+void BM_KendallEncode(benchmark::State& state) {
+    const int g = static_cast<int>(state.range(0));
+    group::Order order(static_cast<std::size_t>(g));
+    for (int i = 0; i < g; ++i) order[static_cast<std::size_t>(i)] = g - 1 - i;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(group::kendall_encode(order));
+    }
+}
+BENCHMARK(BM_KendallEncode)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_GroupPufEnroll(benchmark::State& state) {
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 6);
+    const group::GroupBasedPuf puf(chip, group::GroupPufConfig{});
+    rng::Xoshiro256pp rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(puf.enroll(rng));
+    }
+}
+BENCHMARK(BM_GroupPufEnroll);
+
+void BM_GroupPufReconstruct(benchmark::State& state) {
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 8);
+    const group::GroupBasedPuf puf(chip, group::GroupPufConfig{});
+    rng::Xoshiro256pp rng(9);
+    const auto enrollment = puf.enroll(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(puf.reconstruct(enrollment.helper, rng));
+    }
+}
+BENCHMARK(BM_GroupPufReconstruct);
+
+void BM_FuzzyReconstruct(benchmark::State& state) {
+    const ecc::BchCode code(6, 5);
+    const fuzzy::FuzzyExtractor fe(code);
+    rng::Xoshiro256pp rng(10);
+    const auto response = bits::random_bits(127, rng);
+    const auto enrollment = fe.enroll(response, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fe.reconstruct(response, enrollment.helper));
+    }
+}
+BENCHMARK(BM_FuzzyReconstruct);
+
+void BM_SeqPairAttackFullKey(benchmark::State& state) {
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 11);
+    const pairing::SeqPairingPuf puf(chip, pairing::SeqPairingConfig{});
+    rng::Xoshiro256pp rng(12);
+    const auto enrollment = puf.enroll(rng);
+    for (auto _ : state) {
+        attack::SeqPairingAttack::Victim victim(puf, enrollment.key, 13);
+        benchmark::DoNotOptimize(
+            attack::SeqPairingAttack::run(victim, enrollment.helper, puf.code()));
+    }
+}
+BENCHMARK(BM_SeqPairAttackFullKey)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

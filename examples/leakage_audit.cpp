@@ -1,0 +1,60 @@
+// leakage_audit: the zero-query leaks of paper Section VII-C / IV-D.
+//
+//  1. Sequential pairing with sorted pair storage: the key is readable
+//     directly from NVM ("there is no recommendation to store a pair's
+//     indices in an either randomized or sorted order. Otherwise there is
+//     direct leakage of the full key").
+//  2. Temperature-aware enrollment with a deterministic helper scan: skipped
+//     candidates reveal bit relations without a single device query.
+#include <cstdio>
+
+#include "ropuf/attack/tempaware_attack.hpp"
+#include "ropuf/pairing/puf_pipeline.hpp"
+
+int main() {
+    using namespace ropuf;
+
+    std::puts("=== Audit 1: pair storage order (Section VII-C) ===");
+    for (const auto policy : {helperdata::PairOrderPolicy::SortedByFrequency,
+                              helperdata::PairOrderPolicy::Randomized}) {
+        const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 501);
+        pairing::SeqPairingConfig cfg;
+        cfg.policy = policy;
+        const pairing::SeqPairingPuf puf(chip, cfg);
+        rng::Xoshiro256pp rng(502);
+        const auto enrollment = puf.enroll(rng);
+        // The "attack": guess every bit as 1 (faster RO stored first).
+        int correct = 0;
+        for (auto b : enrollment.key) correct += b == 1;
+        std::printf("  policy=%s : guessing all-ones matches %d/%zu key bits\n",
+                    policy == helperdata::PairOrderPolicy::SortedByFrequency ? "sorted    "
+                                                                             : "randomized",
+                    correct, enrollment.key.size());
+    }
+
+    std::puts("\n=== Audit 2: deterministic helper-selection scan (Section IV-D) ===");
+    for (const auto policy : {tempaware::HelperSelectionPolicy::DeterministicScan,
+                              tempaware::HelperSelectionPolicy::Random}) {
+        const sim::RoArray chip({16, 16}, sim::ProcessParams{}, 503);
+        tempaware::TempAwareConfig cfg;
+        cfg.classification = {-20.0, 85.0, 0.2};
+        cfg.enroll_samples = 64;
+        cfg.policy = policy;
+        const tempaware::TempAwarePuf puf(chip, cfg);
+        rng::Xoshiro256pp rng(504);
+        const auto enrollment = puf.enroll(rng);
+        const auto leaked = attack::TempAwareAttack::analyze_deterministic_scan(enrollment.helper);
+        int sound = 0;
+        for (const auto& [j, h] : leaked) {
+            sound += enrollment.reference_bits[static_cast<std::size_t>(j)] !=
+                     enrollment.reference_bits[static_cast<std::size_t>(h)];
+        }
+        std::printf("  policy=%s : %zu inferred relations, %d actually true\n",
+                    policy == tempaware::HelperSelectionPolicy::DeterministicScan
+                        ? "deterministic"
+                        : "random       ",
+                    leaked.size(), sound);
+    }
+    std::puts("\n(sorted storage / deterministic scans leak; randomized variants do not)");
+    return 0;
+}

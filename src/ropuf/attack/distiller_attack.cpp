@@ -1,0 +1,256 @@
+#include "ropuf/attack/distiller_attack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "ropuf/attack/calibration.hpp"
+#include "ropuf/attack/distinguisher.hpp"
+#include "ropuf/pairing/masking.hpp"
+
+namespace ropuf::attack {
+
+namespace {
+
+/// beta' = beta_enrolled - S, expressed at the pristine coefficient count.
+/// Throws std::invalid_argument when S has terms the pristine degree cannot
+/// carry (never happens for the degree<=2 surfaces used here with a degree>=2
+/// distiller).
+std::vector<double> subtract_surface(const std::vector<double>& beta,
+                                     const distiller::PolySurface& s) {
+    std::vector<double> out = beta;
+    const auto& sb = s.beta();
+    if (sb.size() > out.size()) {
+        for (std::size_t i = out.size(); i < sb.size(); ++i) {
+            if (sb[i] != 0.0) {
+                throw std::invalid_argument("attack surface degree exceeds distiller degree");
+            }
+        }
+    }
+    for (std::size_t i = 0; i < std::min(out.size(), sb.size()); ++i) out[i] -= sb[i];
+    return out;
+}
+
+/// ΔS over a pair, oriented (first, second): S(first) - S(second).
+double pair_delta(const std::vector<double>& surface, const helperdata::IndexPair& pair) {
+    return surface[static_cast<std::size_t>(pair.first)] -
+           surface[static_cast<std::size_t>(pair.second)];
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// MaskedChainAttack
+// ---------------------------------------------------------------------------
+
+distiller::PolySurface MaskedChainAttack::isolation_surface(const sim::ArrayGeometry& geometry,
+                                                            int u, int w, double steep_amp) {
+    const int xu = geometry.x_of(u);
+    const int xw = geometry.x_of(w);
+    const int yu = geometry.y_of(u);
+    const int yw = geometry.y_of(w);
+    assert(yu == yw && std::abs(xu - xw) == 1 &&
+           "masked-chain targets are horizontal neighbor pairs");
+    (void)yw; // referenced only by the assertion
+    const double x0 = 0.5 * (xu + xw);
+    const double ytar = yu;
+    // S = A (x - x0)^2 + C x (y - ytar): the quadratic vanishes between the
+    // target columns; the cross term re-forces that column boundary on every
+    // other row. |C| is kept below the quadratic's inter-column step.
+    const double c_amp = steep_amp / (geometry.rows + 1);
+    auto s = distiller::PolySurface::quadratic_x(steep_amp, x0);
+    // Add C*x*y - C*ytar*x.
+    s.beta()[static_cast<std::size_t>(distiller::coefficient_index(2, 1))] += c_amp;
+    s.beta()[static_cast<std::size_t>(distiller::coefficient_index(1, 0))] += -c_amp * ytar;
+    return s;
+}
+
+MaskedChainAttack::Result MaskedChainAttack::run(Victim& victim,
+                                                 const pairing::MaskedChainHelper& pristine,
+                                                 const pairing::MaskedChainPuf& puf,
+                                                 const Config& config) {
+    Result out;
+    const std::int64_t base_queries = victim.queries();
+    const auto& base_pairs = puf.base_pairs();
+    const auto selected = pairing::select_pairs(base_pairs, pristine.masking);
+    const int m = static_cast<int>(selected.size());
+    const ecc::BlockEcc block_ecc(puf.code());
+    const int t = puf.code().t();
+
+    bits::BitVec key(static_cast<std::size_t>(m), 0);
+    bool complete = true;
+
+    for (int g = 0; g < m; ++g) {
+        const auto target = selected[static_cast<std::size_t>(g)];
+        const auto surface =
+            isolation_surface(puf.array().geometry(), target.first, target.second,
+                              config.steep_amp);
+        const auto grid = surface.evaluate_grid(puf.array().geometry());
+        const auto beta_attack = subtract_surface(pristine.beta, surface);
+
+        // Expected bits: every other selected pair is forced by the surface.
+        bits::BitVec expected(static_cast<std::size_t>(m), 0);
+        for (int g2 = 0; g2 < m; ++g2) {
+            if (g2 == g) continue;
+            const double d = pair_delta(grid, selected[static_cast<std::size_t>(g2)]);
+            assert(std::abs(d) > config.steep_amp * 0.05 && "non-target pair must be forced");
+            expected[static_cast<std::size_t>(g2)] = d > 0 ? 1 : 0;
+        }
+
+        const int block = block_of_position(block_ecc, g);
+        bool decided = false;
+        for (int attempt = 0; attempt < config.max_retries && !decided; ++attempt) {
+            for (int h = 0; h < 2 && !decided; ++h) {
+                expected[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(h);
+                // The inverted string is the ECC reference: a correct
+                // hypothesis decodes to it (t corrections), an incorrect one
+                // overflows — so the oracle compares against the inversion.
+                const auto inverted = invert_for_parity(expected, block_ecc, block, t, {g});
+                pairing::MaskedChainHelper helper = pristine;
+                helper.beta = beta_attack;
+                helper.ecc = block_ecc.enroll(inverted);
+                const auto probe = any_pass_probe(
+                    [&] { return victim.regen_fails(helper, inverted); },
+                    config.majority_wins);
+                if (!probe.failed) {
+                    key[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(h);
+                    decided = true;
+                }
+            }
+        }
+        complete = complete && decided;
+        ++out.targets;
+    }
+    out.recovered_key = key;
+    out.complete = complete;
+    out.queries = victim.queries() - base_queries;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// OverlapChainAttack
+// ---------------------------------------------------------------------------
+
+std::vector<distiller::PolySurface> OverlapChainAttack::probe_surfaces(
+    const sim::ArrayGeometry& geometry, double steep_amp) {
+    std::vector<distiller::PolySurface> probes;
+    // Cross-row plane first: S = A (x + (cols-1) y) vanishes across every
+    // row-wrap pair (cols-1, y) -> (0, y+1) and forces all horizontal pairs.
+    probes.push_back(
+        distiller::PolySurface::plane(0.0, steep_amp, steep_amp * (geometry.cols - 1)));
+    // One vertex quadratic per column boundary (the Fig. 6c pattern).
+    for (int c = 0; c + 1 < geometry.cols; ++c) {
+        probes.push_back(distiller::PolySurface::quadratic_x(steep_amp, c + 0.5));
+    }
+    return probes;
+}
+
+OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
+                                                   const pairing::OverlapChainHelper& pristine,
+                                                   const pairing::OverlapChainPuf& puf,
+                                                   const Config& config) {
+    Result out;
+    const std::int64_t base_queries = victim.queries();
+    const auto& pairs = puf.pairs();
+    const int m = static_cast<int>(pairs.size());
+    const ecc::BlockEcc block_ecc(puf.code());
+    const int t = puf.code().t();
+    const auto& geometry = puf.array().geometry();
+
+    std::vector<std::optional<std::uint8_t>> known(static_cast<std::size_t>(m));
+
+    for (const auto& surface : probe_surfaces(geometry, config.steep_amp)) {
+        const auto grid = surface.evaluate_grid(geometry);
+        const double margin = config.steep_amp * 0.25;
+
+        // Classify every response bit under this surface.
+        std::vector<int> unknown;       // undetermined and not yet recovered
+        std::vector<int> unknown_all;   // undetermined (recovered or not)
+        bits::BitVec expected(static_cast<std::size_t>(m), 0);
+        for (int i = 0; i < m; ++i) {
+            const double d = pair_delta(grid, pairs[static_cast<std::size_t>(i)]);
+            if (std::abs(d) < margin) {
+                unknown_all.push_back(i);
+                if (known[static_cast<std::size_t>(i)]) {
+                    expected[static_cast<std::size_t>(i)] = *known[static_cast<std::size_t>(i)];
+                } else {
+                    unknown.push_back(i);
+                }
+            } else {
+                expected[static_cast<std::size_t>(i)] = d > 0 ? 1 : 0;
+            }
+        }
+        if (unknown.empty()) continue;
+        if (static_cast<int>(unknown.size()) > config.max_unknown) continue;
+        ++out.probes;
+        out.max_set_size = std::max(out.max_set_size, static_cast<int>(unknown.size()));
+
+        const auto beta_attack = subtract_surface(pristine.beta, surface);
+        // Blocks containing any undetermined bit get the t-bit injection.
+        std::set<int> hot_blocks;
+        for (int i : unknown_all) hot_blocks.insert(block_of_position(block_ecc, i));
+        std::vector<int> keep = unknown_all; // protect undetermined positions
+
+        // Score-based assignment search. Unlike the thresholded selections of
+        // the other constructions, an overlapping chain carries *metastable*
+        // bits (pairs with near-zero residual margin) whose measurement flips
+        // between queries: no assignment then passes deterministically. We
+        // therefore count passes per assignment over several rounds and take
+        // the most frequently passing one — which matches the enrollment-time
+        // averaged value of each metastable bit with the highest likelihood.
+        std::vector<int> passes(static_cast<std::size_t>(1) << unknown.size(), 0);
+        bool decided = false;
+        for (int attempt = 0; attempt < config.max_retries && !decided; ++attempt) {
+            for (std::uint64_t assign = 0; assign < (1ULL << unknown.size()) && !decided;
+                 ++assign) {
+                for (std::size_t bit = 0; bit < unknown.size(); ++bit) {
+                    expected[static_cast<std::size_t>(unknown[bit])] =
+                        static_cast<std::uint8_t>((assign >> bit) & 1u);
+                }
+                bits::BitVec inverted = expected;
+                for (int blk : hot_blocks) {
+                    inverted = invert_for_parity(inverted, block_ecc, blk, t, keep);
+                }
+                pairing::OverlapChainHelper helper = pristine;
+                helper.beta = beta_attack;
+                helper.ecc = block_ecc.enroll(inverted);
+                ++out.hypotheses;
+                // The device corrects toward the inverted reference.
+                if (!victim.regen_fails(helper, inverted)) {
+                    if (++passes[assign] >= 2) decided = true; // two passes: committed
+                }
+            }
+        }
+        std::uint64_t best_assign = 0;
+        int best_passes = 0;
+        for (std::uint64_t assign = 0; assign < (1ULL << unknown.size()); ++assign) {
+            if (passes[assign] > best_passes) {
+                best_passes = passes[assign];
+                best_assign = assign;
+            }
+        }
+        if (best_passes > 0) {
+            for (std::size_t bit = 0; bit < unknown.size(); ++bit) {
+                known[static_cast<std::size_t>(unknown[bit])] =
+                    static_cast<std::uint8_t>((best_assign >> bit) & 1u);
+            }
+        }
+    }
+
+    bits::BitVec key(static_cast<std::size_t>(m), 0);
+    bool complete = true;
+    for (int i = 0; i < m; ++i) {
+        if (known[static_cast<std::size_t>(i)]) {
+            key[static_cast<std::size_t>(i)] = *known[static_cast<std::size_t>(i)];
+        } else {
+            complete = false;
+        }
+    }
+    out.recovered_key = key;
+    out.complete = complete;
+    out.queries = victim.queries() - base_queries;
+    return out;
+}
+
+} // namespace ropuf::attack

@@ -1,0 +1,109 @@
+// Key recovery against entropy-distiller constructions with RO pairing
+// (paper Section VI-D, Figs. 6b and 6c).
+//
+// "Entropy distillers can be employed with all RO pairing schemes of section
+// IV. ... The attack methodology is similar as before. [Fig. 6b illustrates]
+// 1-out-of-k masking, using k = 5 ... [Fig. 6c] an overlapping chain of
+// neighbors. It might be very difficult to isolate a single response bit, as
+// illustrated for figure 6c: four response bits are fully determined by
+// random variations. By increasing the number of hypotheses (2^4), one can
+// still perform the attack however."
+//
+// MaskedChainAttack isolates one selected pair at a time with a quadratic
+// surface whose extremum sits between the pair's two columns, sharpened with
+// a small x*y cross term that forces the same column boundary in every other
+// row — so exactly one bit is undetermined and 2 hypotheses suffice per bit.
+//
+// OverlapChainAttack reproduces the paper's multi-bit variant: each probe
+// pattern (a vertex quadratic per column boundary plus one cross-row plane)
+// leaves a small set of response bits undetermined; the attacker enumerates
+// all 2^u assignments of the still-unknown ones, reprogramming the ECC
+// redundancy (with per-block error injection) and the expected key for each.
+#pragma once
+
+#include <optional>
+
+#include "ropuf/attack/oracle.hpp"
+#include "ropuf/distiller/poly_surface.hpp"
+#include "ropuf/pairing/puf_pipeline.hpp"
+
+namespace ropuf::attack {
+
+// ---------------------------------------------------------------------------
+// Fig. 6b: distiller + disjoint chain + 1-out-of-k masking
+// ---------------------------------------------------------------------------
+
+class MaskedChainAttack {
+public:
+    using Victim = ReprogramVictim<pairing::MaskedChainPuf, pairing::MaskedChainHelper>;
+
+    struct Config {
+        double steep_amp = 1000.0;
+        int majority_wins = 2;
+        int max_probe_queries = 25;
+        int max_retries = 4;
+    };
+
+    struct Result {
+        bits::BitVec recovered_key;
+        bool complete = false;
+        std::int64_t queries = 0;
+        int targets = 0; ///< response bits attacked
+    };
+
+    /// Recovers every response bit of the enrolled key. `puf` provides the
+    /// public design view (geometry, base pairs, code); `pristine` the
+    /// enrolled helper data.
+    static Result run(Victim& victim, const pairing::MaskedChainHelper& pristine,
+                      const pairing::MaskedChainPuf& puf, const Config& config);
+    static Result run(Victim& victim, const pairing::MaskedChainHelper& pristine,
+                      const pairing::MaskedChainPuf& puf) {
+        return run(victim, pristine, puf, Config{});
+    }
+
+    /// The injected surface isolating base pair (u, w): equal on the pair,
+    /// forcing everywhere else. Exposed for the Fig. 6b bench.
+    static distiller::PolySurface isolation_surface(const sim::ArrayGeometry& geometry, int u,
+                                                    int w, double steep_amp);
+};
+
+// ---------------------------------------------------------------------------
+// Fig. 6c: distiller + overlapping chain
+// ---------------------------------------------------------------------------
+
+class OverlapChainAttack {
+public:
+    using Victim = ReprogramVictim<pairing::OverlapChainPuf, pairing::OverlapChainHelper>;
+
+    struct Config {
+        double steep_amp = 1000.0;
+        int majority_wins = 2;
+        int max_probe_queries = 25;
+        int max_retries = 3;
+        int max_unknown = 12; ///< refuse probes with more than 2^12 hypotheses
+    };
+
+    struct Result {
+        bits::BitVec recovered_key;
+        bool complete = false;
+        std::int64_t queries = 0;
+        int probes = 0;          ///< surface placements used
+        int hypotheses = 0;      ///< total hypothesis evaluations
+        int max_set_size = 0;    ///< largest simultaneous unknown set (4 in Fig. 6c)
+    };
+
+    static Result run(Victim& victim, const pairing::OverlapChainHelper& pristine,
+                      const pairing::OverlapChainPuf& puf, const Config& config);
+    static Result run(Victim& victim, const pairing::OverlapChainHelper& pristine,
+                      const pairing::OverlapChainPuf& puf) {
+        return run(victim, pristine, puf, Config{});
+    }
+
+    /// The probe surfaces of the attack: one vertex quadratic per column
+    /// boundary (Fig. 6c's pattern) plus one cross-row plane. Exposed for the
+    /// Fig. 6c bench.
+    static std::vector<distiller::PolySurface> probe_surfaces(const sim::ArrayGeometry& geometry,
+                                                              double steep_amp);
+};
+
+} // namespace ropuf::attack

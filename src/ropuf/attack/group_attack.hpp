@@ -1,0 +1,95 @@
+// Full key recovery against group-based RO PUFs (paper Section VI-C, Fig. 6a).
+//
+// "An attacker can retrieve the full key for group-based RO PUFs, due to the
+// ability to directly reprogram the key. By injecting steep polynomials into
+// the entropy distiller, one can completely overshadow random frequency
+// variations. ... Via repartitioning of the groups, one can force bits to be
+// either '1' or '0'. Also the remaining helper bits, which represent the ECC
+// redundancy, are updated accordingly."
+//
+// The attack is organized around a *remote comparator*: one oracle experiment
+// that reveals, for any two ROs a and b, which has the larger distilled
+// residual. The comparator instance:
+//   * injects beta' = beta_enrolled - S with S a steep plane whose gradient
+//     is perpendicular to the segment a->b (so S(a) = S(b) and the target
+//     comparison stays purely physical, while every other repartitioned
+//     2-RO group is forced);
+//   * repartitions: G1 = {a, b}; the remaining ROs are paired along the
+//     gradient (singletons where no partner is available);
+//   * recomputes the ECC redundancy for both hypotheses with t known bits
+//     inverted in the target's block (the paper's injection);
+//   * reprograms the key: the oracle compares against the attacker-expected
+//     packed key of each hypothesis.
+//
+// Because the enrollment *group assignment is public*, the attacker knows
+// exactly which RO pairs carry key material: sorting every enrolled group
+// with the comparator reconstructs all frequency orders, hence the full key.
+// Both a merge-sort driver (~ g log g comparisons per group) and an
+// exhaustive all-pairs driver (the E13 ablation) are provided.
+#pragma once
+
+#include <optional>
+
+#include "ropuf/attack/oracle.hpp"
+#include "ropuf/group/group_puf.hpp"
+
+namespace ropuf::attack {
+
+class GroupBasedAttack {
+public:
+    using Victim = ReprogramVictim<group::GroupBasedPuf, group::GroupPufHelper>;
+
+    enum class Mode {
+        SortMerge,       ///< merge-sort each group: ~g log g comparisons
+        ExhaustivePairs, ///< all g(g-1)/2 pairwise bits (Kendall-direct)
+    };
+
+    struct Config {
+        double steep_amp = 1000.0; ///< plane gradient amplitude (MHz / cell)
+        Mode mode = Mode::SortMerge;
+        int majority_wins = 2;
+        int max_probe_queries = 25;
+        int max_retries = 4; ///< re-runs of an inconclusive comparison
+    };
+
+    struct Result {
+        bits::BitVec recovered_key;
+        bool complete = false;      ///< every comparison resolved
+        std::int64_t queries = 0;
+        int comparisons = 0;        ///< comparator invocations
+    };
+
+    static Result run(Victim& victim, const group::GroupPufHelper& pristine,
+                      const sim::ArrayGeometry& geometry, const ecc::BchCode& code,
+                      const Config& config);
+    static Result run(Victim& victim, const group::GroupPufHelper& pristine,
+                      const sim::ArrayGeometry& geometry, const ecc::BchCode& code) {
+        return run(victim, pristine, geometry, code, Config{});
+    }
+
+    /// One fully-built comparator experiment: helpers and expected keys for
+    /// both hypotheses (h = 1 means "residual of the higher-indexed RO of
+    /// {a, b} exceeds the lower-indexed one"). Exposed for the Fig. 6a bench,
+    /// which renders the injected pattern and repartition map.
+    struct ComparisonInstance {
+        group::GroupPufHelper helper[2];
+        bits::BitVec expected_key[2];
+        std::vector<int> group_of;      ///< the attacker's repartition
+        std::vector<double> surface;    ///< injected S per RO (row-major)
+        int target_a = 0, target_b = 0;
+    };
+    static ComparisonInstance build_comparison(const group::GroupPufHelper& pristine,
+                                               const sim::ArrayGeometry& geometry,
+                                               const ecc::BchCode& code, int a, int b,
+                                               double steep_amp);
+
+    /// Low-level comparator: true iff residual(a) > residual(b); nullopt when
+    /// the oracle stayed inconclusive within the retry budget.
+    static std::optional<bool> compare_residuals(Victim& victim,
+                                                 const group::GroupPufHelper& pristine,
+                                                 const sim::ArrayGeometry& geometry,
+                                                 const ecc::BchCode& code, int a, int b,
+                                                 const Config& config, int* comparisons);
+};
+
+} // namespace ropuf::attack

@@ -1,0 +1,48 @@
+#include "ropuf/attack/masking_attack.hpp"
+
+#include "ropuf/attack/calibration.hpp"
+#include "ropuf/attack/distinguisher.hpp"
+
+namespace ropuf::attack {
+
+pairing::MaskedChainHelper SelectionSubstitutionProbe::make_substitution_helper(
+    const pairing::MaskedChainHelper& pristine, const ecc::BchCode& code, int g, int j,
+    int inject) {
+    pairing::MaskedChainHelper variant = pristine;
+    variant.masking.selected[static_cast<std::size_t>(g)] = j;
+    const ecc::BlockEcc block_ecc(code);
+    flip_parity_bits(variant.ecc, block_ecc, block_of_position(block_ecc, g), inject);
+    return variant;
+}
+
+SelectionSubstitutionProbe::Result SelectionSubstitutionProbe::run(
+    Victim& victim, const pairing::MaskedChainHelper& pristine,
+    const pairing::MaskedChainPuf& puf, const Config& config) {
+    Result out;
+    const std::int64_t base_queries = victim.queries();
+    const int k = pristine.masking.k;
+    const int groups = static_cast<int>(pristine.masking.selected.size());
+    const int inject = puf.code().t();
+
+    for (int g = 0; g < groups; ++g) {
+        GroupRelations rel;
+        rel.group = g;
+        rel.selected = pristine.masking.selected[static_cast<std::size_t>(g)];
+        rel.relation.assign(static_cast<std::size_t>(k), 0);
+        for (int j = 0; j < k; ++j) {
+            if (j == rel.selected) continue;
+            const auto helper = make_substitution_helper(pristine, puf.code(), g, j, inject);
+            const auto probe = any_pass_probe([&] { return victim.regen_fails(helper); },
+                                              2 * config.majority_wins);
+            rel.relation[static_cast<std::size_t>(j)] = probe.failed ? 1 : 0;
+        }
+        out.groups.push_back(std::move(rel));
+    }
+    // Every group still hides one free bit: the probe has not touched the
+    // key's entropy, only the (non-key) sibling-pair structure.
+    out.residual_key_entropy_bits = groups;
+    out.queries = victim.queries() - base_queries;
+    return out;
+}
+
+} // namespace ropuf::attack

@@ -1,0 +1,3 @@
+// oracle.hpp is header-only (class templates); this TU compiles the header
+// standalone to catch missing includes.
+#include "ropuf/attack/oracle.hpp"

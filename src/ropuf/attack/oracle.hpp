@@ -1,0 +1,102 @@
+// Failure oracles — the paper's observable (Section VI).
+//
+// "We make no assumption about the application: an inability to reconstruct
+// the key should affect the observable behavior of any useful application."
+// The oracle reduces that observable to a single bit per key-regeneration
+// attempt:
+//
+//  * KeyedVictim     — constructions (1) and (2): the application holds the
+//    originally enrolled key; a regeneration fails observably when the device
+//    reconstructs anything else (or refuses).
+//  * ReprogramVictim — constructions (3) and (4): the attacker additionally
+//    chooses the key the observable is compared against ("maliciously
+//    reprogrammed keys, assuming their reconstruction failures to be
+//    observable ... consider for instance all applications where some form of
+//    encrypted data is presented to the user").
+//
+// Both wrappers count queries, the attack's primary cost metric.
+#pragma once
+
+#include <cstdint>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace ropuf::attack {
+
+/// Victim wrapper for constructions whose application keeps the enrolled key.
+/// `Puf` must expose `reconstruct(const Helper&, rng) -> {ok, key, ...}`.
+template <typename Puf, typename Helper>
+class KeyedVictim {
+public:
+    KeyedVictim(const Puf& puf, bits::BitVec app_key, std::uint64_t noise_seed)
+        : puf_(&puf), app_key_(std::move(app_key)), rng_(noise_seed) {}
+
+    /// One key regeneration with the supplied helper data; true = observable
+    /// failure (wrong key or refusal). Fresh measurement noise every call.
+    bool regen_fails(const Helper& helper) {
+        ++queries_;
+        const auto rec = puf_->reconstruct(helper, rng_);
+        return !rec.ok || rec.key != app_key_;
+    }
+
+    std::int64_t queries() const { return queries_; }
+    const bits::BitVec& app_key() const { return app_key_; }
+
+private:
+    const Puf* puf_;
+    bits::BitVec app_key_;
+    rng::Xoshiro256pp rng_;
+    std::int64_t queries_ = 0;
+};
+
+/// Victim wrapper for constructions where the attacker reprograms the key:
+/// the observable compares the regenerated key against an attacker-chosen
+/// expectation.
+template <typename Puf, typename Helper>
+class ReprogramVictim {
+public:
+    ReprogramVictim(const Puf& puf, std::uint64_t noise_seed) : puf_(&puf), rng_(noise_seed) {}
+
+    bool regen_fails(const Helper& helper, const bits::BitVec& expected_key) {
+        ++queries_;
+        const auto rec = puf_->reconstruct(helper, rng_);
+        return !rec.ok || rec.key != expected_key;
+    }
+
+    std::int64_t queries() const { return queries_; }
+
+private:
+    const Puf* puf_;
+    rng::Xoshiro256pp rng_;
+    std::int64_t queries_ = 0;
+};
+
+/// Victim for the temperature-aware construction, whose reconstruction takes
+/// the ambient temperature as an extra input.
+template <typename Puf, typename Helper>
+class TemperatureVictim {
+public:
+    TemperatureVictim(const Puf& puf, bits::BitVec app_key, double ambient_c,
+                      std::uint64_t noise_seed)
+        : puf_(&puf), app_key_(std::move(app_key)), ambient_c_(ambient_c), rng_(noise_seed) {}
+
+    bool regen_fails(const Helper& helper) {
+        ++queries_;
+        const auto rec = puf_->reconstruct(helper, ambient_c_, rng_);
+        return !rec.ok || rec.key != app_key_;
+    }
+
+    double ambient_c() const { return ambient_c_; }
+    std::int64_t queries() const { return queries_; }
+    const bits::BitVec& app_key() const { return app_key_; }
+
+private:
+    const Puf* puf_;
+    bits::BitVec app_key_;
+    double ambient_c_;
+    rng::Xoshiro256pp rng_;
+    std::int64_t queries_ = 0;
+};
+
+} // namespace ropuf::attack

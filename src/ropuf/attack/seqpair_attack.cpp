@@ -1,0 +1,100 @@
+#include "ropuf/attack/seqpair_attack.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ropuf/attack/calibration.hpp"
+#include "ropuf/attack/distinguisher.hpp"
+
+namespace ropuf::attack {
+
+pairing::SeqPairingHelper SeqPairingAttack::make_swap_helper(
+    const pairing::SeqPairingHelper& pristine, const ecc::BchCode& code, int i, int j,
+    int inject) {
+    pairing::SeqPairingHelper variant = pristine;
+    std::swap(variant.pairs[static_cast<std::size_t>(i)],
+              variant.pairs[static_cast<std::size_t>(j)]);
+    const ecc::BlockEcc block_ecc(code);
+    const int bi = block_of_position(block_ecc, i);
+    const int bj = block_of_position(block_ecc, j);
+    flip_parity_bits(variant.ecc, block_ecc, bi, inject);
+    if (bj != bi) flip_parity_bits(variant.ecc, block_ecc, bj, inject);
+    return variant;
+}
+
+pairing::SeqPairingHelper SeqPairingAttack::make_candidate_helper(
+    const pairing::SeqPairingHelper& pristine, const ecc::BchCode& code,
+    const bits::BitVec& candidate_key) {
+    pairing::SeqPairingHelper variant = pristine;
+    variant.ecc = ecc::BlockEcc(code).enroll(candidate_key);
+    return variant;
+}
+
+SeqPairingAttack::Result SeqPairingAttack::run(Victim& victim,
+                                               const pairing::SeqPairingHelper& pristine,
+                                               const ecc::BchCode& code, const Config& config) {
+    Result out;
+    const int m = static_cast<int>(pristine.pairs.size());
+    if (m < 2) return out;
+    const std::int64_t base_queries = victim.queries();
+
+    // --- Section VII-C shortcut: a sorted storage format means every stored
+    // pair reads (faster, slower), i.e. the key is all ones. One candidate
+    // test settles it.
+    if (config.try_sorted_leak) {
+        const auto ones = bits::ones(static_cast<std::size_t>(m));
+        const auto helper = make_candidate_helper(pristine, code, ones);
+        const auto probe = any_pass_probe([&] { return victim.regen_fails(helper); },
+                                          2 * config.majority_wins);
+        if (!probe.failed) {
+            out.recovered_key = ones;
+            out.resolved = true;
+            out.used_sorted_leak = true;
+            out.queries = victim.queries() - base_queries;
+            return out;
+        }
+    }
+
+    // --- Phase 1: pairwise relations r_0 XOR r_j via pair swapping.
+    const int inject = code.t();
+    bits::BitVec relation(static_cast<std::size_t>(m), 0); // relation[j] = r_0 ^ r_j
+    for (int j = 1; j < m; ++j) {
+        const auto helper = make_swap_helper(pristine, code, 0, j, inject);
+        // One-sided rule: any pass proves r_0 == r_j (H1 cannot pass).
+        const auto probe = any_pass_probe([&] { return victim.regen_fails(helper); },
+                                          2 * config.majority_wins);
+        relation[static_cast<std::size_t>(j)] = probe.failed ? 1 : 0;
+        ++out.relation_tests;
+    }
+
+    // --- Phase 2: two candidates remain; compare their ECC helper sets.
+    bits::BitVec candidate0(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) {
+        candidate0[static_cast<std::size_t>(j)] = relation[static_cast<std::size_t>(j)];
+    }
+    const bits::BitVec candidate1 = bits::complement(candidate0);
+
+    const auto helper0 = make_candidate_helper(pristine, code, candidate0);
+    const auto helper1 = make_candidate_helper(pristine, code, candidate1);
+    const auto probe0 = any_pass_probe([&] { return victim.regen_fails(helper0); },
+                                       2 * config.majority_wins);
+    if (!probe0.failed) {
+        out.recovered_key = candidate0;
+        out.resolved = true;
+    } else {
+        const auto probe1 = any_pass_probe([&] { return victim.regen_fails(helper1); },
+                                           2 * config.majority_wins);
+        if (!probe1.failed) {
+            out.recovered_key = candidate1;
+            out.resolved = true;
+        } else {
+            // Both candidates rejected: at least one relation test was wrong.
+            out.recovered_key = candidate0;
+            out.resolved = false;
+        }
+    }
+    out.queries = victim.queries() - base_queries;
+    return out;
+}
+
+} // namespace ropuf::attack

@@ -1,0 +1,92 @@
+#include "ropuf/distiller/poly_surface.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ropuf::distiller {
+
+int coefficient_count(int degree) {
+    assert(degree >= 0);
+    return (degree + 1) * (degree + 2) / 2;
+}
+
+int coefficient_index(int i, int j) {
+    assert(i >= 0 && j >= 0 && j <= i);
+    // Terms of total degree < i occupy i(i+1)/2 slots; j indexes within.
+    return i * (i + 1) / 2 + j;
+}
+
+PolySurface::PolySurface(int degree)
+    : degree_(degree), beta_(static_cast<std::size_t>(coefficient_count(degree)), 0.0) {}
+
+PolySurface::PolySurface(int degree, std::vector<double> beta)
+    : degree_(degree), beta_(std::move(beta)) {
+    if (static_cast<int>(beta_.size()) != coefficient_count(degree)) {
+        throw std::invalid_argument("PolySurface: coefficient count does not match degree");
+    }
+}
+
+double PolySurface::operator()(double x, double y) const {
+    double acc = 0.0;
+    for (int i = 0; i <= degree_; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            acc += beta_[static_cast<std::size_t>(coefficient_index(i, j))] *
+                   std::pow(x, i - j) * std::pow(y, j);
+        }
+    }
+    return acc;
+}
+
+std::vector<double> PolySurface::evaluate_grid(const sim::ArrayGeometry& g) const {
+    std::vector<double> out(static_cast<std::size_t>(g.count()));
+    for (int idx = 0; idx < g.count(); ++idx) {
+        out[static_cast<std::size_t>(idx)] = (*this)(g.x_of(idx), g.y_of(idx));
+    }
+    return out;
+}
+
+PolySurface PolySurface::operator+(const PolySurface& other) const {
+    const int deg = std::max(degree_, other.degree_);
+    PolySurface out(deg);
+    for (std::size_t i = 0; i < beta_.size(); ++i) out.beta_[i] += beta_[i];
+    for (std::size_t i = 0; i < other.beta_.size(); ++i) out.beta_[i] += other.beta_[i];
+    return out;
+}
+
+PolySurface PolySurface::operator-(const PolySurface& other) const {
+    return *this + (-other);
+}
+
+PolySurface PolySurface::operator-() const {
+    PolySurface out(degree_);
+    for (std::size_t i = 0; i < beta_.size(); ++i) out.beta_[i] = -beta_[i];
+    return out;
+}
+
+PolySurface PolySurface::plane(double a, double b, double c) {
+    PolySurface s(1);
+    s.beta_[static_cast<std::size_t>(coefficient_index(0, 0))] = a;
+    s.beta_[static_cast<std::size_t>(coefficient_index(1, 0))] = b; // x term
+    s.beta_[static_cast<std::size_t>(coefficient_index(1, 1))] = c; // y term
+    return s;
+}
+
+PolySurface PolySurface::quadratic_x(double amp, double x0) {
+    // amp (x - x0)^2 = amp x^2 - 2 amp x0 x + amp x0^2
+    PolySurface s(2);
+    s.beta_[static_cast<std::size_t>(coefficient_index(0, 0))] = amp * x0 * x0;
+    s.beta_[static_cast<std::size_t>(coefficient_index(1, 0))] = -2.0 * amp * x0;
+    s.beta_[static_cast<std::size_t>(coefficient_index(2, 0))] = amp;
+    return s;
+}
+
+PolySurface PolySurface::quadratic_y(double amp, double y0) {
+    PolySurface s(2);
+    s.beta_[static_cast<std::size_t>(coefficient_index(0, 0))] = amp * y0 * y0;
+    s.beta_[static_cast<std::size_t>(coefficient_index(1, 1))] = -2.0 * amp * y0;
+    s.beta_[static_cast<std::size_t>(coefficient_index(2, 2))] = amp;
+    return s;
+}
+
+} // namespace ropuf::distiller

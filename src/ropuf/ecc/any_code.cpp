@@ -1,0 +1,162 @@
+#include "ropuf/ecc/any_code.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ropuf::ecc {
+
+namespace {
+
+class BchModel final : public AnyCode::Concept {
+public:
+    BchModel(int m, int t) : code_(m, t) {}
+    int n() const override { return code_.n(); }
+    int k() const override { return code_.k(); }
+    int t() const override { return code_.t(); }
+    std::string name() const override {
+        return "BCH(" + std::to_string(code_.n()) + "," + std::to_string(code_.k()) + "," +
+               std::to_string(code_.t()) + ")";
+    }
+    bits::BitVec encode(const bits::BitVec& message) const override {
+        return code_.encode(message);
+    }
+    AnyDecodeResult decode(const bits::BitVec& received) const override {
+        const auto r = code_.decode(received);
+        AnyDecodeResult out;
+        out.ok = r.ok;
+        if (r.ok) {
+            out.codeword = r.codeword;
+            out.message = code_.message_of(r.codeword);
+            out.corrected = r.corrected;
+        }
+        return out;
+    }
+
+private:
+    BchCode code_;
+};
+
+class RmModel final : public AnyCode::Concept {
+public:
+    explicit RmModel(int m) : code_(m) {}
+    int n() const override { return code_.n(); }
+    int k() const override { return code_.k(); }
+    int t() const override { return code_.t(); }
+    std::string name() const override { return "RM(1," + std::to_string(code_.m()) + ")"; }
+    bits::BitVec encode(const bits::BitVec& message) const override {
+        return code_.encode(message);
+    }
+    AnyDecodeResult decode(const bits::BitVec& received) const override {
+        const auto r = code_.decode(received);
+        AnyDecodeResult out;
+        out.ok = r.ok;
+        if (r.ok) {
+            out.message = r.message;
+            out.codeword = r.codeword;
+            out.corrected = r.corrected;
+        }
+        return out;
+    }
+
+private:
+    ReedMullerCode code_;
+};
+
+class RepModel final : public AnyCode::Concept {
+public:
+    explicit RepModel(int n) : code_(n) {}
+    int n() const override { return code_.n(); }
+    int k() const override { return 1; }
+    int t() const override { return code_.t(); }
+    std::string name() const override { return "Rep(" + std::to_string(code_.n()) + ")"; }
+    bits::BitVec encode(const bits::BitVec& message) const override {
+        assert(message.size() == 1);
+        return code_.encode_bit(message[0]);
+    }
+    AnyDecodeResult decode(const bits::BitVec& received) const override {
+        AnyDecodeResult out;
+        out.ok = true;
+        const auto bit = code_.decode_bit(received);
+        out.message = bits::BitVec{bit};
+        out.codeword = code_.encode_bit(bit);
+        out.corrected = bits::hamming(out.codeword, received);
+        return out;
+    }
+
+private:
+    RepetitionCode code_;
+};
+
+class ConcatModel final : public AnyCode::Concept {
+public:
+    ConcatModel(AnyCode outer, AnyCode inner) : outer_(std::move(outer)), inner_(std::move(inner)) {
+        if (outer_.n() % inner_.k() != 0) {
+            throw std::invalid_argument("concatenate: inner k must divide outer n");
+        }
+    }
+    int n() const override { return outer_.n() / inner_.k() * inner_.n(); }
+    int k() const override { return outer_.k(); }
+    int t() const override {
+        // Guaranteed: every error pattern with at most (t_i + 1)(t_o + 1) - 1
+        // errors leaves at most t_o inner blocks mis-decoded.
+        return (inner_.t() + 1) * (outer_.t() + 1) - 1;
+    }
+    std::string name() const override { return outer_.name() + " o " + inner_.name(); }
+
+    bits::BitVec encode(const bits::BitVec& message) const override {
+        const auto outer_cw = outer_.encode(message);
+        bits::BitVec out;
+        out.reserve(static_cast<std::size_t>(n()));
+        for (std::size_t i = 0; i < outer_cw.size(); i += static_cast<std::size_t>(inner_.k())) {
+            const auto chunk = bits::slice(outer_cw, i, static_cast<std::size_t>(inner_.k()));
+            const auto inner_cw = inner_.encode(chunk);
+            out.insert(out.end(), inner_cw.begin(), inner_cw.end());
+        }
+        return out;
+    }
+
+    AnyDecodeResult decode(const bits::BitVec& received) const override {
+        assert(static_cast<int>(received.size()) == n());
+        bits::BitVec outer_rx;
+        outer_rx.reserve(static_cast<std::size_t>(outer_.n()));
+        for (std::size_t i = 0; i < received.size(); i += static_cast<std::size_t>(inner_.n())) {
+            const auto block = bits::slice(received, i, static_cast<std::size_t>(inner_.n()));
+            const auto r = inner_.decode(block);
+            if (r.ok) {
+                outer_rx.insert(outer_rx.end(), r.message.begin(), r.message.end());
+            } else {
+                // Inner failure: pass the raw bits through (hard-decision
+                // erasure-free fallback) and let the outer decoder fight.
+                const auto raw = bits::slice(block, 0, static_cast<std::size_t>(inner_.k()));
+                outer_rx.insert(outer_rx.end(), raw.begin(), raw.end());
+            }
+        }
+        const auto r = outer_.decode(outer_rx);
+        AnyDecodeResult out;
+        out.ok = r.ok;
+        if (r.ok) {
+            out.message = r.message;
+            out.codeword = encode(r.message);
+            out.corrected = bits::hamming(out.codeword, received);
+        }
+        return out;
+    }
+
+private:
+    AnyCode outer_;
+    AnyCode inner_;
+};
+
+} // namespace
+
+AnyCode AnyCode::bch(int m, int t) { return AnyCode(std::make_shared<BchModel>(m, t)); }
+
+AnyCode AnyCode::reed_muller(int m) { return AnyCode(std::make_shared<RmModel>(m)); }
+
+AnyCode AnyCode::repetition(int n) { return AnyCode(std::make_shared<RepModel>(n)); }
+
+AnyCode concatenate(const AnyCode& outer, const AnyCode& inner) {
+    return AnyCode(std::make_shared<ConcatModel>(outer, inner));
+}
+
+} // namespace ropuf::ecc

@@ -1,0 +1,75 @@
+// Type-erased block-code facade.
+//
+// The helper-data constructions only need encode/decode over fixed block
+// shapes; erasing the concrete code lets the fuzzy extractor and the
+// concatenation combinator accept BCH, Reed–Muller, repetition — or any
+// user-supplied code — through one value-semantic handle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/ecc/bch.hpp"
+#include "ropuf/ecc/reed_muller.hpp"
+#include "ropuf/ecc/repetition.hpp"
+
+namespace ropuf::ecc {
+
+/// Uniform decode result for erased codes.
+struct AnyDecodeResult {
+    bool ok = false;
+    bits::BitVec message;  ///< k bits (valid iff ok)
+    bits::BitVec codeword; ///< n bits (valid iff ok)
+    int corrected = 0;
+};
+
+/// A value-semantic handle to any (n, k) block code correcting t errors.
+class AnyCode {
+public:
+    AnyCode() = default;
+
+    /// Adapters for the library's code families.
+    static AnyCode bch(int m, int t);
+    static AnyCode reed_muller(int m);
+    static AnyCode repetition(int n);
+
+    bool valid() const { return impl_ != nullptr; }
+    int n() const { return impl_->n(); }
+    int k() const { return impl_->k(); }
+    int t() const { return impl_->t(); }
+    std::string name() const { return impl_->name(); }
+
+    bits::BitVec encode(const bits::BitVec& message) const { return impl_->encode(message); }
+    AnyDecodeResult decode(const bits::BitVec& received) const { return impl_->decode(received); }
+
+    /// Code rate k/n.
+    double rate() const { return static_cast<double>(k()) / static_cast<double>(n()); }
+
+    struct Concept {
+        virtual ~Concept() = default;
+        virtual int n() const = 0;
+        virtual int k() const = 0;
+        virtual int t() const = 0;
+        virtual std::string name() const = 0;
+        virtual bits::BitVec encode(const bits::BitVec&) const = 0;
+        virtual AnyDecodeResult decode(const bits::BitVec&) const = 0;
+    };
+
+    explicit AnyCode(std::shared_ptr<const Concept> impl) : impl_(std::move(impl)) {}
+
+private:
+    std::shared_ptr<const Concept> impl_;
+};
+
+/// Serial concatenation: the outer code's codeword bits are each protected by
+/// the inner code (classically, repetition inside BCH/RM — the construction
+/// of the early PUF fuzzy-extractor literature). Parameters:
+///   n = inner.n() * outer.n() / inner.k()   (inner.k() must divide evenly;
+///       with a repetition inner code, inner.k() = 1 and n = n_i * n_o)
+///   k = outer.k()
+/// Decoding is hard-decision two-stage: inner blocks first, then the outer
+/// decoder mops up residual inner failures.
+AnyCode concatenate(const AnyCode& outer, const AnyCode& inner);
+
+} // namespace ropuf::ecc

@@ -1,0 +1,198 @@
+#include "ropuf/ecc/bch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace ropuf::ecc {
+
+namespace {
+
+/// Multiplies two GF(2) polynomials (index i = coeff of x^i).
+std::vector<std::uint8_t> gf2_poly_mul(const std::vector<std::uint8_t>& a,
+                                       const std::vector<std::uint8_t>& b) {
+    std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i]) continue;
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            out[i + j] ^= b[j];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+BchCode::BchCode(int m, int t) : field_(m), n_(field_.n()), t_(t) {
+    if (t < 1) throw std::invalid_argument("BchCode requires t >= 1");
+
+    // Generator = LCM of the minimal polynomials of alpha^1 .. alpha^{2t}.
+    // Conjugacy: the minimal polynomial of alpha^i also covers alpha^{2i mod n}.
+    std::set<int> covered;
+    std::vector<std::uint8_t> gen{1};
+    for (int i = 1; i <= 2 * t_; ++i) {
+        if (covered.contains(i % n_)) continue;
+        // Cyclotomic coset of i.
+        std::vector<int> coset;
+        int c = i % n_;
+        do {
+            coset.push_back(c);
+            covered.insert(c);
+            c = (2 * c) % n_;
+        } while (c != i % n_);
+        // Minimal polynomial = prod over the coset of (x + alpha^c), computed
+        // with GF(2^m) coefficients; the result has GF(2) coefficients.
+        std::vector<int> min_poly{1};
+        for (int e : coset) {
+            const int root = field_.alpha_pow(e);
+            std::vector<int> next(min_poly.size() + 1, 0);
+            for (std::size_t d = 0; d < min_poly.size(); ++d) {
+                next[d + 1] ^= min_poly[d];                   // x * term
+                next[d] ^= field_.mul(min_poly[d], root);     // root * term
+            }
+            min_poly = std::move(next);
+        }
+        std::vector<std::uint8_t> min_poly2(min_poly.size());
+        for (std::size_t d = 0; d < min_poly.size(); ++d) {
+            assert(min_poly[d] == 0 || min_poly[d] == 1);
+            min_poly2[d] = static_cast<std::uint8_t>(min_poly[d]);
+        }
+        gen = gf2_poly_mul(gen, min_poly2);
+    }
+    generator_ = std::move(gen);
+    const int deg = static_cast<int>(generator_.size()) - 1;
+    k_ = n_ - deg;
+    if (k_ < 1) {
+        throw std::invalid_argument("BCH(m,t): generator degree leaves no message bits");
+    }
+}
+
+bits::BitVec BchCode::encode(const bits::BitVec& message) const {
+    return bits::concat(message, parity(message));
+}
+
+bits::BitVec BchCode::parity(const bits::BitVec& message) const {
+    assert(static_cast<int>(message.size()) == k_);
+    // Systematic encoding: remainder of m(x) * x^(n-k) divided by g(x).
+    // Work MSB-first: rem holds the running remainder of length n-k.
+    // Premultiplied LFSR division circuit: clocking in the k message bits
+    // leaves rem = m(x) * x^(n-k) mod g(x).
+    const int p = parity_bits();
+    bits::BitVec rem(static_cast<std::size_t>(p), 0);
+    for (int i = 0; i < k_; ++i) {
+        const std::uint8_t in = message[static_cast<std::size_t>(i)];
+        const std::uint8_t feedback = static_cast<std::uint8_t>(rem[0] ^ in);
+        // Shift left by one, feeding back g(x) when the top bit pops out.
+        for (int j = 0; j < p - 1; ++j) {
+            rem[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+                rem[static_cast<std::size_t>(j + 1)] ^
+                (feedback & generator_[static_cast<std::size_t>(p - 1 - j)]));
+        }
+        rem[static_cast<std::size_t>(p - 1)] =
+            static_cast<std::uint8_t>(feedback & generator_[0]);
+    }
+    return rem;
+}
+
+std::optional<std::vector<int>> BchCode::syndromes(const bits::BitVec& received) const {
+    assert(static_cast<int>(received.size()) == n_);
+    std::vector<int> s(static_cast<std::size_t>(2 * t_), 0);
+    bool any = false;
+    for (int j = 1; j <= 2 * t_; ++j) {
+        int acc = 0;
+        for (int i = 0; i < n_; ++i) {
+            if (!received[static_cast<std::size_t>(i)]) continue;
+            // Bit i is the coefficient of x^(n-1-i); S_j = r(alpha^j).
+            acc ^= field_.alpha_pow(j * (n_ - 1 - i));
+        }
+        s[static_cast<std::size_t>(j - 1)] = acc;
+        any |= (acc != 0);
+    }
+    if (!any) return std::nullopt;
+    return s;
+}
+
+BchCode::DecodeResult BchCode::decode(const bits::BitVec& received) const {
+    assert(static_cast<int>(received.size()) == n_);
+    const auto synd = syndromes(received);
+    if (!synd) return {true, received, 0};
+    const std::vector<int>& s = *synd;
+
+    // Berlekamp–Massey: find the error-locator polynomial sigma(x) with
+    // sigma(0) = 1 whose feedback taps annihilate the syndrome sequence.
+    std::vector<int> sigma{1};     // current locator
+    std::vector<int> prev{1};     // locator before the last length change
+    int l = 0;                     // current LFSR length
+    int shift = 1;                 // steps since the last length change
+    int prev_discrepancy = 1;      // discrepancy at the last length change
+    for (int r = 0; r < 2 * t_; ++r) {
+        // Discrepancy d = S_r + sum_i sigma_i * S_{r-i}.
+        int d = s[static_cast<std::size_t>(r)];
+        for (int i = 1; i <= l && i <= r; ++i) {
+            if (static_cast<std::size_t>(i) < sigma.size()) {
+                d ^= field_.mul(sigma[static_cast<std::size_t>(i)],
+                                s[static_cast<std::size_t>(r - i)]);
+            }
+        }
+        if (d == 0) {
+            ++shift;
+            continue;
+        }
+        // sigma' = sigma - (d/prev_d) * x^shift * prev
+        std::vector<int> next = sigma;
+        const int scale = field_.div(d, prev_discrepancy);
+        if (next.size() < prev.size() + static_cast<std::size_t>(shift)) {
+            next.resize(prev.size() + static_cast<std::size_t>(shift), 0);
+        }
+        for (std::size_t i = 0; i < prev.size(); ++i) {
+            next[i + static_cast<std::size_t>(shift)] ^= field_.mul(scale, prev[i]);
+        }
+        if (2 * l <= r) {
+            prev = sigma;
+            prev_discrepancy = d;
+            l = r + 1 - l;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        sigma = std::move(next);
+    }
+    // Trim trailing zeros to get the true degree.
+    while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+    const int degree = static_cast<int>(sigma.size()) - 1;
+    if (degree > t_ || degree != l) {
+        return {false, received, 0};
+    }
+
+    // Chien search: roots alpha^(-e) of sigma locate errors at x^e.
+    bits::BitVec corrected = received;
+    int found = 0;
+    for (int e = 0; e < n_; ++e) {
+        const int x = field_.alpha_pow(((n_ - e) % n_));
+        if (field_.eval_poly(sigma, x) == 0) {
+            const int bit_index = n_ - 1 - e;
+            corrected[static_cast<std::size_t>(bit_index)] ^= 1u;
+            ++found;
+        }
+    }
+    if (found != degree) {
+        return {false, received, 0};
+    }
+    // A valid correction must restore a codeword.
+    if (!is_codeword(corrected)) {
+        return {false, received, 0};
+    }
+    return {true, corrected, found};
+}
+
+bits::BitVec BchCode::message_of(const bits::BitVec& codeword) const {
+    assert(static_cast<int>(codeword.size()) == n_);
+    return bits::slice(codeword, 0, static_cast<std::size_t>(k_));
+}
+
+bool BchCode::is_codeword(const bits::BitVec& word) const {
+    return !syndromes(word).has_value();
+}
+
+} // namespace ropuf::ecc

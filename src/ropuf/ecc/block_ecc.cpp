@@ -1,0 +1,111 @@
+#include "ropuf/ecc/block_ecc.hpp"
+
+#include <cassert>
+
+namespace ropuf::ecc {
+
+int BlockEcc::block_count(int response_bits) const {
+    assert(response_bits >= 0);
+    const int k = code_->k();
+    return (response_bits + k - 1) / k;
+}
+
+int BlockEcc::block_data_bits(int response_bits, int block) const {
+    const int k = code_->k();
+    const int blocks = block_count(response_bits);
+    assert(block >= 0 && block < blocks);
+    if (block < blocks - 1) return k;
+    const int rem = response_bits - (blocks - 1) * k;
+    return rem == 0 ? k : rem;
+}
+
+int BlockEcc::helper_bits(int response_bits) const {
+    return block_count(response_bits) * code_->parity_bits();
+}
+
+BlockEccHelper BlockEcc::enroll(const bits::BitVec& reference) const {
+    const int total = static_cast<int>(reference.size());
+    const int k = code_->k();
+    BlockEccHelper helper;
+    helper.response_bits = total;
+    helper.parity.reserve(static_cast<std::size_t>(helper_bits(total)));
+    const int blocks = block_count(total);
+    for (int b = 0; b < blocks; ++b) {
+        const int len = block_data_bits(total, b);
+        // Shortened code: the message is zero-padded up to k bits; the zero
+        // prefix is virtual and never transmitted or corrupted.
+        bits::BitVec message = bits::zeros(static_cast<std::size_t>(k - len));
+        const auto data = bits::slice(reference, static_cast<std::size_t>(b * k),
+                                      static_cast<std::size_t>(len));
+        message.insert(message.end(), data.begin(), data.end());
+        const auto parity = code_->parity(message);
+        helper.parity.insert(helper.parity.end(), parity.begin(), parity.end());
+    }
+    return helper;
+}
+
+BlockEcc::Result BlockEcc::reconstruct(const bits::BitVec& noisy,
+                                       const BlockEccHelper& helper) const {
+    const int total = helper.response_bits;
+    assert(static_cast<int>(noisy.size()) == total);
+    assert(static_cast<int>(helper.parity.size()) == helper_bits(total));
+    const int k = code_->k();
+    const int p = code_->parity_bits();
+    Result out;
+    out.value.reserve(static_cast<std::size_t>(total));
+    out.ok = true;
+    const int blocks = block_count(total);
+    for (int b = 0; b < blocks; ++b) {
+        const int len = block_data_bits(total, b);
+        bits::BitVec word = bits::zeros(static_cast<std::size_t>(k - len));
+        const auto data = bits::slice(noisy, static_cast<std::size_t>(b * k),
+                                      static_cast<std::size_t>(len));
+        word.insert(word.end(), data.begin(), data.end());
+        const auto parity = bits::slice(helper.parity, static_cast<std::size_t>(b * p),
+                                        static_cast<std::size_t>(p));
+        word.insert(word.end(), parity.begin(), parity.end());
+        const auto result = code_->decode(word);
+        if (!result.ok) {
+            out.ok = false;
+            ++out.failed_blocks;
+            // Keep the noisy bits so the caller still gets a length-correct value.
+            out.value.insert(out.value.end(), data.begin(), data.end());
+            continue;
+        }
+        // A decoder that "corrects" a virtual (shortened) zero position has
+        // actually miscorrected; flag it as a failure.
+        const auto corrected_data =
+            bits::slice(result.codeword, static_cast<std::size_t>(k - len),
+                        static_cast<std::size_t>(len));
+        bool virtual_flip = false;
+        for (int i = 0; i < k - len; ++i) {
+            if (result.codeword[static_cast<std::size_t>(i)]) virtual_flip = true;
+        }
+        if (virtual_flip) {
+            out.ok = false;
+            ++out.failed_blocks;
+            out.value.insert(out.value.end(), data.begin(), data.end());
+            continue;
+        }
+        out.corrected += result.corrected;
+        out.value.insert(out.value.end(), corrected_data.begin(), corrected_data.end());
+    }
+    return out;
+}
+
+std::vector<int> BlockEcc::block_error_counts(const bits::BitVec& reference,
+                                              const bits::BitVec& noisy) const {
+    assert(reference.size() == noisy.size());
+    const int total = static_cast<int>(reference.size());
+    const int k = code_->k();
+    const int blocks = block_count(total);
+    std::vector<int> counts(static_cast<std::size_t>(blocks), 0);
+    for (int i = 0; i < total; ++i) {
+        if (reference[static_cast<std::size_t>(i)] != noisy[static_cast<std::size_t>(i)]) {
+            ++counts[static_cast<std::size_t>(i / k)];
+        }
+    }
+    return counts;
+}
+
+} // namespace ropuf::ecc

@@ -1,0 +1,41 @@
+#include "ropuf/ecc/helper_constructions.hpp"
+
+#include <cassert>
+
+namespace ropuf::ecc {
+
+bits::BitVec SystematicParityHelper::enroll(const bits::BitVec& reference) const {
+    assert(static_cast<int>(reference.size()) == code_->k());
+    return code_->parity(reference);
+}
+
+Reconstruction SystematicParityHelper::reconstruct(const bits::BitVec& noisy,
+                                                   const bits::BitVec& helper) const {
+    assert(static_cast<int>(noisy.size()) == code_->k());
+    assert(static_cast<int>(helper.size()) == code_->parity_bits());
+    const auto result = code_->decode(bits::concat(noisy, helper));
+    if (!result.ok) {
+        return {false, noisy, 0};
+    }
+    return {true, code_->message_of(result.codeword), result.corrected};
+}
+
+bits::BitVec CodeOffsetHelper::enroll(const bits::BitVec& reference,
+                                      rng::Xoshiro256pp& rng) const {
+    assert(static_cast<int>(reference.size()) == code_->n());
+    const auto message = bits::random_bits(static_cast<std::size_t>(code_->k()), rng);
+    return bits::xor_bits(code_->encode(message), reference);
+}
+
+Reconstruction CodeOffsetHelper::reconstruct(const bits::BitVec& noisy,
+                                             const bits::BitVec& helper) const {
+    assert(static_cast<int>(noisy.size()) == code_->n());
+    assert(static_cast<int>(helper.size()) == code_->n());
+    const auto result = code_->decode(bits::xor_bits(noisy, helper));
+    if (!result.ok) {
+        return {false, noisy, 0};
+    }
+    return {true, bits::xor_bits(result.codeword, helper), result.corrected};
+}
+
+} // namespace ropuf::ecc

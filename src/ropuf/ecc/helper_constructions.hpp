@@ -1,0 +1,76 @@
+// Helper-data constructions that turn a block code into a reliability scheme
+// for noisy PUF responses.
+//
+// Two classical constructions are provided:
+//
+//  * SystematicParityHelper — "store the ECC redundancy": the enrolled
+//    response block is treated as the message of a systematic code and the
+//    parity bits are published. This is the construction the group-based RO
+//    PUF (paper Section V-D) and the other attacked schemes use: "public
+//    helper data allows regenerated instances to be error-corrected, so that
+//    they are identical to the reference". The attacker can *recompute* the
+//    parity for any hypothesized response — the property the Section VI-C/D
+//    attacks exploit.
+//
+//  * CodeOffsetHelper — the fuzzy-extractor secure sketch of Dodis et al. [2]
+//    (paper Fig. 7): helper = codeword(random message) XOR response.
+//
+// Both expose the same reconstruct() shape so higher layers can swap them.
+#pragma once
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/ecc/bch.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace ropuf::ecc {
+
+/// Outcome of one helper-assisted reconstruction of a single block.
+struct Reconstruction {
+    bool ok = false;        ///< decoder reported success
+    bits::BitVec value;     ///< reconstructed reference block (data bits)
+    int corrected = 0;      ///< errors corrected by the decoder
+};
+
+/// Publishes the parity of the enrolled (reference) block.
+///
+/// Enrollment:    helper = parity(reference)           (n-k public bits)
+/// Reconstruction: decode([noisy || helper]) -> reference
+class SystematicParityHelper {
+public:
+    explicit SystematicParityHelper(const BchCode& code) : code_(&code) {}
+
+    int data_bits() const { return code_->k(); }
+    int helper_bits() const { return code_->parity_bits(); }
+
+    /// Helper data for a reference block of exactly k bits.
+    bits::BitVec enroll(const bits::BitVec& reference) const;
+
+    /// Error-corrects a regenerated block against the published parity.
+    Reconstruction reconstruct(const bits::BitVec& noisy, const bits::BitVec& helper) const;
+
+private:
+    const BchCode* code_;
+};
+
+/// Code-offset secure sketch (fuzzy-extractor style).
+///
+/// Enrollment:    helper = encode(random message) XOR reference
+/// Reconstruction: decode(noisy XOR helper) XOR helper -> reference
+class CodeOffsetHelper {
+public:
+    explicit CodeOffsetHelper(const BchCode& code) : code_(&code) {}
+
+    int data_bits() const { return code_->n(); }
+    int helper_bits() const { return code_->n(); }
+
+    /// Helper data for a reference block of exactly n bits.
+    bits::BitVec enroll(const bits::BitVec& reference, rng::Xoshiro256pp& rng) const;
+
+    /// Recovers the enrolled reference from a noisy re-measurement.
+    Reconstruction reconstruct(const bits::BitVec& noisy, const bits::BitVec& helper) const;
+
+private:
+    const BchCode* code_;
+};
+
+} // namespace ropuf::ecc

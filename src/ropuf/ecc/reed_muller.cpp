@@ -1,0 +1,80 @@
+#include "ropuf/ecc/reed_muller.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace ropuf::ecc {
+
+ReedMullerCode::ReedMullerCode(int m) : m_(m) {
+    if (m < 3 || m > 16) throw std::invalid_argument("ReedMullerCode requires 3 <= m <= 16");
+}
+
+bits::BitVec ReedMullerCode::encode(const bits::BitVec& message) const {
+    assert(static_cast<int>(message.size()) == k());
+    bits::BitVec out(static_cast<std::size_t>(n()));
+    for (int pos = 0; pos < n(); ++pos) {
+        // Affine function evaluation: c + sum_j a_j * x_j with x_j = bit j of pos.
+        std::uint8_t bit = message[0];
+        for (int j = 0; j < m_; ++j) {
+            if ((pos >> j) & 1) bit ^= message[static_cast<std::size_t>(j + 1)];
+        }
+        out[static_cast<std::size_t>(pos)] = bit;
+    }
+    return out;
+}
+
+ReedMullerCode::DecodeResult ReedMullerCode::decode(const bits::BitVec& received) const {
+    assert(static_cast<int>(received.size()) == n());
+    // Map bits to +/-1 and run the fast Hadamard transform; entry a of the
+    // spectrum is then n - 2*dist(received, codeword of linear function a),
+    // so the largest |spectrum| identifies the ML affine function (sign
+    // selects the constant term).
+    std::vector<int> spectrum(static_cast<std::size_t>(n()));
+    for (int pos = 0; pos < n(); ++pos) {
+        spectrum[static_cast<std::size_t>(pos)] = received[static_cast<std::size_t>(pos)] ? -1 : 1;
+    }
+    for (int len = 1; len < n(); len <<= 1) {
+        for (int block = 0; block < n(); block += 2 * len) {
+            for (int i = block; i < block + len; ++i) {
+                const int a = spectrum[static_cast<std::size_t>(i)];
+                const int b = spectrum[static_cast<std::size_t>(i + len)];
+                spectrum[static_cast<std::size_t>(i)] = a + b;
+                spectrum[static_cast<std::size_t>(i + len)] = a - b;
+            }
+        }
+    }
+
+    int best_index = 0;
+    int best_mag = std::abs(spectrum[0]);
+    bool tie = false;
+    for (int a = 1; a < n(); ++a) {
+        const int mag = std::abs(spectrum[static_cast<std::size_t>(a)]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best_index = a;
+            tie = false;
+        } else if (mag == best_mag) {
+            tie = true;
+        }
+    }
+
+    DecodeResult out;
+    if (tie && best_mag != n()) {
+        // Equidistant codewords: beyond the unique-decoding radius.
+        return out;
+    }
+    out.ok = true;
+    out.message.assign(static_cast<std::size_t>(k()), 0);
+    out.message[0] = spectrum[static_cast<std::size_t>(best_index)] < 0 ? 1 : 0;
+    for (int j = 0; j < m_; ++j) {
+        out.message[static_cast<std::size_t>(j + 1)] =
+            static_cast<std::uint8_t>((best_index >> j) & 1);
+    }
+    out.codeword = encode(out.message);
+    out.corrected = bits::hamming(out.codeword, received);
+    return out;
+}
+
+} // namespace ropuf::ecc

@@ -1,0 +1,52 @@
+// First-order Reed–Muller codes RM(1, m) with fast-Hadamard-transform
+// maximum-likelihood decoding.
+//
+// RM(1, m) is the other classic block code of the PUF key-generation
+// literature (used, e.g., in the concatenated fuzzy-extractor designs that
+// the paper's reference solution [2] is typically instantiated with):
+//   n = 2^m, k = m + 1, minimum distance 2^(m-1),
+//   corrects t = 2^(m-2) - 1 errors, always, via one Hadamard transform —
+// attractive in hardware because the decoder is multiplier-free.
+//
+// Message layout: bit 0 is the coefficient of the all-ones row; bits 1..m
+// are the coefficients of the variable rows x_1..x_m (x_j = bit j-1 of the
+// position index).
+#pragma once
+
+#include "ropuf/bits/bitvec.hpp"
+
+namespace ropuf::ecc {
+
+class ReedMullerCode {
+public:
+    /// RM(1, m) with 3 <= m <= 16.
+    explicit ReedMullerCode(int m);
+
+    int m() const { return m_; }
+    int n() const { return 1 << m_; }
+    int k() const { return m_ + 1; }
+    int min_distance() const { return 1 << (m_ - 1); }
+    /// Guaranteed correction radius (unique decoding): 2^(m-2) - 1.
+    int t() const { return (1 << (m_ - 2)) - 1; }
+
+    /// Encodes a (m+1)-bit message into a 2^m-bit codeword.
+    bits::BitVec encode(const bits::BitVec& message) const;
+
+    struct DecodeResult {
+        bool ok = false;       ///< a unique maximum-likelihood codeword existed
+        bits::BitVec message;  ///< decoded message (valid iff ok)
+        bits::BitVec codeword; ///< re-encoded codeword (valid iff ok)
+        int corrected = 0;     ///< Hamming distance from the received word
+    };
+
+    /// Maximum-likelihood decode via the fast Hadamard transform: picks the
+    /// affine function with the largest correlation magnitude. `ok` is false
+    /// only on a correlation tie (a received word equidistant from two
+    /// codewords), which cannot happen within the guaranteed radius.
+    DecodeResult decode(const bits::BitVec& received) const;
+
+private:
+    int m_;
+};
+
+} // namespace ropuf::ecc

@@ -1,0 +1,43 @@
+#include "ropuf/ecc/repetition.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ropuf::ecc {
+
+RepetitionCode::RepetitionCode(int n) : n_(n) {
+    if (n < 1 || n % 2 == 0) {
+        throw std::invalid_argument("RepetitionCode requires odd n >= 1");
+    }
+}
+
+bits::BitVec RepetitionCode::encode_bit(std::uint8_t bit) const {
+    assert(bit == 0 || bit == 1);
+    return bits::BitVec(static_cast<std::size_t>(n_), bit);
+}
+
+bits::BitVec RepetitionCode::encode(const bits::BitVec& message) const {
+    bits::BitVec out;
+    out.reserve(message.size() * static_cast<std::size_t>(n_));
+    for (auto b : message) {
+        for (int i = 0; i < n_; ++i) out.push_back(b);
+    }
+    return out;
+}
+
+std::uint8_t RepetitionCode::decode_bit(const bits::BitVec& block) const {
+    assert(static_cast<int>(block.size()) == n_);
+    return bits::weight(block) * 2 > n_ ? 1 : 0;
+}
+
+bits::BitVec RepetitionCode::decode(const bits::BitVec& received) const {
+    assert(received.size() % static_cast<std::size_t>(n_) == 0);
+    bits::BitVec out;
+    out.reserve(received.size() / static_cast<std::size_t>(n_));
+    for (std::size_t i = 0; i < received.size(); i += static_cast<std::size_t>(n_)) {
+        out.push_back(decode_bit(bits::slice(received, i, static_cast<std::size_t>(n_))));
+    }
+    return out;
+}
+
+} // namespace ropuf::ecc

@@ -1,0 +1,37 @@
+// Repetition code — the simplest t-error-correcting block code.
+//
+// Kept alongside BCH for two reasons: it is the degenerate construction many
+// early PUF papers used, and its transparent behaviour makes it ideal for
+// unit-testing the helper-data constructions independently of BCH decoding.
+#pragma once
+
+#include "ropuf/bits/bitvec.hpp"
+
+namespace ropuf::ecc {
+
+/// (n, 1) repetition code with odd n; corrects t = (n-1)/2 errors.
+class RepetitionCode {
+public:
+    explicit RepetitionCode(int n);
+
+    int n() const { return n_; }
+    int k() const { return 1; }
+    int t() const { return (n_ - 1) / 2; }
+
+    /// Encodes one bit into n copies.
+    bits::BitVec encode_bit(std::uint8_t bit) const;
+
+    /// Encodes a message of arbitrary length into n copies per bit.
+    bits::BitVec encode(const bits::BitVec& message) const;
+
+    /// Majority-decodes a length-n block to one bit.
+    std::uint8_t decode_bit(const bits::BitVec& block) const;
+
+    /// Majority-decodes a multiple-of-n received word.
+    bits::BitVec decode(const bits::BitVec& received) const;
+
+private:
+    int n_;
+};
+
+} // namespace ropuf::ecc

@@ -1,0 +1,78 @@
+#include "ropuf/fuzzy/fuzzy_extractor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ropuf::fuzzy {
+
+hash::Digest hash_response(std::string_view domain, const bits::BitVec& response) {
+    hash::Sha256 h;
+    h.update(domain);
+    const auto packed = bits::pack_bytes(response);
+    h.update(packed);
+    return h.finalize();
+}
+
+FuzzyExtractor::Enrollment FuzzyExtractor::enroll(const bits::BitVec& response,
+                                                  rng::Xoshiro256pp& rng) const {
+    const int n = code_->n();
+    const ecc::CodeOffsetHelper sketch(*code_);
+    Enrollment out;
+    out.helper.response_bits = static_cast<int>(response.size());
+    for (std::size_t begin = 0; begin < response.size(); begin += static_cast<std::size_t>(n)) {
+        const std::size_t len = std::min(static_cast<std::size_t>(n), response.size() - begin);
+        bits::BitVec block = bits::slice(response, begin, len);
+        block.resize(static_cast<std::size_t>(n), 0); // zero padding, noiseless
+        const auto offset = sketch.enroll(block, rng);
+        out.helper.offset.insert(out.helper.offset.end(), offset.begin(), offset.end());
+    }
+    out.key = hash_response("ropuf-fe-key", response);
+    return out;
+}
+
+FuzzyExtractor::Reconstruction FuzzyExtractor::reconstruct(const bits::BitVec& noisy,
+                                                           const FuzzyHelper& helper) const {
+    const int n = code_->n();
+    if (static_cast<int>(noisy.size()) != helper.response_bits) return {};
+    const std::size_t blocks =
+        (noisy.size() + static_cast<std::size_t>(n) - 1) / static_cast<std::size_t>(n);
+    if (helper.offset.size() != blocks * static_cast<std::size_t>(n)) return {};
+
+    const ecc::CodeOffsetHelper sketch(*code_);
+    Reconstruction out;
+    bits::BitVec recovered;
+    recovered.reserve(noisy.size());
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * static_cast<std::size_t>(n);
+        const std::size_t len = std::min(static_cast<std::size_t>(n), noisy.size() - begin);
+        bits::BitVec block = bits::slice(noisy, begin, len);
+        block.resize(static_cast<std::size_t>(n), 0);
+        const auto offset =
+            bits::slice(helper.offset, begin, static_cast<std::size_t>(n));
+        const auto rec = sketch.reconstruct(block, offset);
+        if (!rec.ok) return {};
+        out.corrected += rec.corrected;
+        recovered.insert(recovered.end(), rec.value.begin(),
+                         rec.value.begin() + static_cast<std::ptrdiff_t>(len));
+    }
+    out.ok = true;
+    out.key = hash_response("ropuf-fe-key", recovered);
+    return out;
+}
+
+helperdata::Nvm serialize(const FuzzyHelper& helper) {
+    helperdata::BlobWriter w;
+    w.put_u32(static_cast<std::uint32_t>(helper.response_bits));
+    w.put_bits(helper.offset);
+    return helperdata::Nvm(w.take());
+}
+
+FuzzyHelper parse_fuzzy(const helperdata::Nvm& nvm) {
+    auto r = nvm.reader();
+    FuzzyHelper helper;
+    helper.response_bits = static_cast<int>(r.get_u32());
+    helper.offset = r.get_bits();
+    return helper;
+}
+
+} // namespace ropuf::fuzzy

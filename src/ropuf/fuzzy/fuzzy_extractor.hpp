@@ -1,0 +1,72 @@
+// The fuzzy extractor — the paper's recommended reference solution
+// (Section VII-A, Fig. 7; Dodis et al. [2]).
+//
+// Secure sketch: code-offset over BCH blocks (helper = codeword XOR
+// response). Entropy extraction: SHA-256 over the corrected response, which
+// compensates both the initial response non-uniformity and the sketch's
+// entropy loss. "Secure and competitive PUF solutions do not pose read or
+// write constraints on their helper data."
+//
+// Against pure *leakage* the plain construction is solid; against
+// *manipulation* it degrades gracefully (an attacker can cause failures and
+// bias which codeword region decodes, but the hash output gives no
+// failure-rate hypothesis shaped by individual response bits the way the
+// attacked schemes do). The explicitly manipulation-robust variant of [1] is
+// in robust.hpp.
+#pragma once
+
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/ecc/bch.hpp"
+#include "ropuf/ecc/helper_constructions.hpp"
+#include "ropuf/hash/sha256.hpp"
+#include "ropuf/helperdata/blob.hpp"
+
+namespace ropuf::fuzzy {
+
+/// Public helper data: one code-offset vector per n-bit block.
+struct FuzzyHelper {
+    bits::BitVec offset;    ///< concatenated per-block offsets (n bits each)
+    int response_bits = 0;  ///< enrolled response length
+};
+
+helperdata::Nvm serialize(const FuzzyHelper& helper);
+FuzzyHelper parse_fuzzy(const helperdata::Nvm& nvm);
+
+/// Code-offset + SHA-256 fuzzy extractor over an arbitrary-length response.
+/// The final partial block is zero-padded (the pad positions are noiseless
+/// by construction).
+class FuzzyExtractor {
+public:
+    explicit FuzzyExtractor(const ecc::BchCode& code) : code_(&code) {}
+
+    struct Enrollment {
+        FuzzyHelper helper;
+        hash::Digest key;
+    };
+
+    /// Enrollment: samples random codewords, publishes offsets, derives the
+    /// key as SHA-256 of the (exact) reference response.
+    Enrollment enroll(const bits::BitVec& response, rng::Xoshiro256pp& rng) const;
+
+    struct Reconstruction {
+        bool ok = false;
+        hash::Digest key{};
+        int corrected = 0;
+    };
+
+    /// Key regeneration from a noisy response re-measurement.
+    Reconstruction reconstruct(const bits::BitVec& noisy, const FuzzyHelper& helper) const;
+
+    const ecc::BchCode& code() const { return *code_; }
+
+private:
+    const ecc::BchCode* code_;
+};
+
+/// Hash of a response bit vector with domain separation — the "Hash Function"
+/// box of Fig. 7.
+hash::Digest hash_response(std::string_view domain, const bits::BitVec& response);
+
+} // namespace ropuf::fuzzy

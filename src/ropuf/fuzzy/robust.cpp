@@ -1,0 +1,95 @@
+#include "ropuf/fuzzy/robust.hpp"
+
+#include <algorithm>
+
+namespace ropuf::fuzzy {
+
+namespace {
+
+hash::Digest bound_hash(std::string_view domain, const bits::BitVec& response,
+                        const FuzzyHelper& sketch) {
+    hash::Sha256 h;
+    h.update(domain);
+    const auto rbytes = bits::pack_bytes(response);
+    h.update(rbytes);
+    const auto obytes = bits::pack_bytes(sketch.offset);
+    h.update(obytes);
+    return h.finalize();
+}
+
+} // namespace
+
+hash::Digest RobustFuzzyExtractor::tag_of(const bits::BitVec& response,
+                                          const FuzzyHelper& sketch) {
+    return bound_hash("ropuf-rfe-tag", response, sketch);
+}
+
+hash::Digest RobustFuzzyExtractor::key_of(const bits::BitVec& response,
+                                          const FuzzyHelper& sketch) {
+    return bound_hash("ropuf-rfe-key", response, sketch);
+}
+
+RobustFuzzyExtractor::Enrollment RobustFuzzyExtractor::enroll(const bits::BitVec& response,
+                                                              rng::Xoshiro256pp& rng) const {
+    Enrollment out;
+    const auto inner = inner_.enroll(response, rng);
+    out.helper.sketch = inner.helper;
+    out.helper.tag = tag_of(response, inner.helper);
+    out.key = key_of(response, inner.helper);
+    return out;
+}
+
+RobustFuzzyExtractor::Reconstruction RobustFuzzyExtractor::reconstruct(
+    const bits::BitVec& noisy, const RobustHelper& helper) const {
+    Reconstruction out;
+    // Reuse the inner reconstruction for decoding, then re-derive with binding.
+    const int n = inner_.code().n();
+    if (static_cast<int>(noisy.size()) != helper.sketch.response_bits) return out;
+    const std::size_t blocks =
+        (noisy.size() + static_cast<std::size_t>(n) - 1) / static_cast<std::size_t>(n);
+    if (helper.sketch.offset.size() != blocks * static_cast<std::size_t>(n)) return out;
+
+    const ecc::CodeOffsetHelper sketch(inner_.code());
+    bits::BitVec recovered;
+    recovered.reserve(noisy.size());
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * static_cast<std::size_t>(n);
+        const std::size_t len = std::min(static_cast<std::size_t>(n), noisy.size() - begin);
+        bits::BitVec block = bits::slice(noisy, begin, len);
+        block.resize(static_cast<std::size_t>(n), 0);
+        const auto offset = bits::slice(helper.sketch.offset, begin, static_cast<std::size_t>(n));
+        const auto rec = sketch.reconstruct(block, offset);
+        if (!rec.ok) return out;
+        out.corrected += rec.corrected;
+        recovered.insert(recovered.end(), rec.value.begin(),
+                         rec.value.begin() + static_cast<std::ptrdiff_t>(len));
+    }
+    const auto tag = tag_of(recovered, helper.sketch);
+    if (tag != helper.tag) {
+        out.tampered = true;
+        return out;
+    }
+    out.ok = true;
+    out.key = key_of(recovered, helper.sketch);
+    return out;
+}
+
+helperdata::Nvm serialize(const RobustHelper& helper) {
+    helperdata::BlobWriter w;
+    w.put_u32(static_cast<std::uint32_t>(helper.sketch.response_bits));
+    w.put_bits(helper.sketch.offset);
+    w.put_bytes(helper.tag);
+    return helperdata::Nvm(w.take());
+}
+
+RobustHelper parse_robust(const helperdata::Nvm& nvm) {
+    auto r = nvm.reader();
+    RobustHelper helper;
+    helper.sketch.response_bits = static_cast<int>(r.get_u32());
+    helper.sketch.offset = r.get_bits();
+    const auto tag_bytes = r.get_bytes(32);
+    std::copy(tag_bytes.begin(), tag_bytes.end(), helper.tag.begin());
+    return helper;
+}
+
+} // namespace ropuf::fuzzy

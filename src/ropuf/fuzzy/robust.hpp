@@ -1,0 +1,54 @@
+// Manipulation-robust fuzzy extractor (paper Section VII-B: "An extension of
+// the architecture to counter manipulation attacks is described in [1]" —
+// Boyen et al., Eurocrypt 2005).
+//
+// The robust variant binds the helper data into the key derivation and adds
+// a verification tag:
+//   tag = H("tag" || corrected_response || offset)
+//   key = H("key" || corrected_response || offset)
+// A manipulated offset either breaks decoding, or yields a corrected response
+// whose recomputed tag mismatches — the device rejects instead of running the
+// application with a perturbed key, so an attacker observes a flat "always
+// reject" signal carrying no per-bit failure-rate information.
+#pragma once
+
+#include "ropuf/fuzzy/fuzzy_extractor.hpp"
+
+namespace ropuf::fuzzy {
+
+struct RobustHelper {
+    FuzzyHelper sketch;
+    hash::Digest tag{};
+};
+
+helperdata::Nvm serialize(const RobustHelper& helper);
+RobustHelper parse_robust(const helperdata::Nvm& nvm);
+
+class RobustFuzzyExtractor {
+public:
+    explicit RobustFuzzyExtractor(const ecc::BchCode& code) : inner_(code) {}
+
+    struct Enrollment {
+        RobustHelper helper;
+        hash::Digest key;
+    };
+
+    Enrollment enroll(const bits::BitVec& response, rng::Xoshiro256pp& rng) const;
+
+    struct Reconstruction {
+        bool ok = false;        ///< key regenerated and tag verified
+        bool tampered = false;  ///< decoding succeeded but the tag mismatched
+        hash::Digest key{};
+        int corrected = 0;
+    };
+
+    Reconstruction reconstruct(const bits::BitVec& noisy, const RobustHelper& helper) const;
+
+private:
+    static hash::Digest tag_of(const bits::BitVec& response, const FuzzyHelper& sketch);
+    static hash::Digest key_of(const bits::BitVec& response, const FuzzyHelper& sketch);
+
+    FuzzyExtractor inner_;
+};
+
+} // namespace ropuf::fuzzy

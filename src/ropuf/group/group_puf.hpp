@@ -1,0 +1,100 @@
+// The complete group-based RO PUF of paper Fig. 4 (Yin, Qu & Zhou, DATE 2013
+// + the DAC 2013 regression distiller) — the Section VI-C victim.
+//
+// Pipeline (all on-chip except the NVM):
+//   RO array -> entropy distillation -> grouping -> Kendall coding -> ECC
+//            -> entropy packing -> secret key
+//
+// Public helper data: distiller polynomial coefficients, group assignment,
+// ECC redundancy. Enrollment runs Algorithm 2 once and freezes the groups;
+// every regeneration re-measures, subtracts the (stored) polynomial, orders
+// each (stored) group by residual, Kendall-codes the orders, error-corrects
+// the concatenated Kendall bits against the stored parity, and packs the
+// corrected orders into the compact key.
+#pragma once
+
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/distiller/regression.hpp"
+#include "ropuf/ecc/block_ecc.hpp"
+#include "ropuf/group/compact.hpp"
+#include "ropuf/group/grouping.hpp"
+#include "ropuf/group/kendall.hpp"
+#include "ropuf/helperdata/blob.hpp"
+#include "ropuf/sim/ro_array.hpp"
+
+namespace ropuf::group {
+
+/// Public helper data of the construction (Fig. 4's NVM box).
+struct GroupPufHelper {
+    std::vector<double> beta;   ///< distiller polynomial coefficients
+    std::vector<int> group_of;  ///< 1-based group id per RO
+    ecc::BlockEccHelper ecc;    ///< parity over the concatenated Kendall bits
+};
+
+helperdata::Nvm serialize(const GroupPufHelper& helper);
+GroupPufHelper parse_group_puf(const helperdata::Nvm& nvm);
+
+struct GroupPufConfig {
+    int distiller_degree = 2;  ///< p = 2 / 3 recommended by the DAC'13 study
+    double delta_f_th = 0.15;  ///< Algorithm 2 threshold (MHz)
+    int ecc_m = 6;
+    int ecc_t = 3;
+    int enroll_samples = 16;
+    int max_group_size = 12;   ///< guard for the quadratic Kendall workload
+    sim::Condition condition;
+};
+
+class GroupBasedPuf {
+public:
+    GroupBasedPuf(const sim::RoArray& array, const GroupPufConfig& config);
+
+    struct Enrollment {
+        GroupPufHelper helper;
+        bits::BitVec key;          ///< packed (compact-coded) key
+        bits::BitVec kendall_ref;  ///< reference Kendall bits (pre-ECC view)
+        GroupingResult grouping;   ///< enrollment-time groups, descending order
+    };
+
+    /// One-time enrollment.
+    Enrollment enroll(rng::Xoshiro256pp& rng) const;
+
+    struct Reconstruction {
+        bool ok = false;
+        bits::BitVec key;
+        int corrected = 0;
+    };
+
+    /// Key regeneration with (possibly manipulated) helper data. Any
+    /// structural inconsistency — non-dense groups, oversized groups, wrong
+    /// parity length, invalid corrected codeword — fails safely.
+    Reconstruction reconstruct(const GroupPufHelper& helper, rng::Xoshiro256pp& rng) const;
+
+    /// Total Kendall bits implied by a group assignment (the ECC input size).
+    static int kendall_bits_of(const std::vector<std::vector<int>>& members);
+
+    /// Packed key length implied by a group assignment.
+    static int key_bits_of(const std::vector<std::vector<int>>& members);
+
+    /// Computes the Kendall bit string and the packed key for a given
+    /// members partition and residual map — shared by enrollment,
+    /// reconstruction and the attacker's forward computation.
+    struct Coded {
+        bits::BitVec kendall;
+        bits::BitVec key;
+    };
+    static Coded encode_groups(const std::vector<std::vector<int>>& members,
+                               const std::vector<double>& residuals);
+
+    const sim::RoArray& array() const { return *array_; }
+    const GroupPufConfig& config() const { return config_; }
+    const ecc::BchCode& code() const { return code_; }
+
+private:
+    const sim::RoArray* array_;
+    GroupPufConfig config_;
+    ecc::BchCode code_;
+};
+
+} // namespace ropuf::group

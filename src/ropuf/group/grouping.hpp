@@ -1,0 +1,48 @@
+// The grouping algorithm of group-based RO PUFs (paper Section V-B,
+// Algorithm 2; Yin, Qu & Zhou, DATE 2013).
+//
+// ROs are processed in descending (distilled) frequency order and greedily
+// appended to the first group whose most recent member is more than Δfth
+// faster. Because insertion order is monotone decreasing, the gap to the most
+// recent member lower-bounds the gap to *every* member, so all within-group
+// pairs exceed Δfth — the invariant our tests assert.
+//
+// The available entropy is sum_j log2(|Gj|!): "having few large groups is
+// more beneficial than having many small groups".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ropuf/stats/estimators.hpp"
+
+namespace ropuf::group {
+
+struct GroupingResult {
+    /// 1-based group id per RO (Algorithm 2's convention).
+    std::vector<int> group_of;
+    int num_groups = 0;
+    /// members[j] lists group j+1's RO indices in descending value order
+    /// (the order Algorithm 2 inserted them).
+    std::vector<std::vector<int>> members;
+};
+
+/// Runs Algorithm 2 on a value map (enrolled frequencies or residuals).
+///
+/// `max_group_size` caps group growth (a full group no longer accepts
+/// members and the scan moves to the next group). The paper's pseudocode has
+/// no cap, but notes the Kendall "workload increases quadratically with the
+/// group size" — practical implementations bound it; we default to 12,
+/// matching GroupPufConfig::max_group_size.
+GroupingResult grouping(std::span<const double> values, double delta_f_th,
+                        int max_group_size = 12);
+
+/// Rebuilds the members lists from a stored group assignment (device side;
+/// members are listed in ascending RO index = the canonical label order).
+/// Throws helperdata-style std::invalid_argument on non-dense ids.
+std::vector<std::vector<int>> members_from_assignment(const std::vector<int>& group_of);
+
+/// Total extractable entropy sum_j log2(|Gj|!) in bits.
+double grouping_entropy_bits(const GroupingResult& grouping);
+
+} // namespace ropuf::group

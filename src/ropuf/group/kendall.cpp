@@ -1,0 +1,138 @@
+#include "ropuf/group/kendall.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ropuf::group {
+
+int kendall_bits(int g) {
+    assert(g >= 0);
+    return g * (g - 1) / 2;
+}
+
+int kendall_pair_index(int i, int j, int g) {
+    assert(0 <= i && i < j && j < g);
+    // Pairs (0,1) (0,2) ... (0,g-1) (1,2) ... in lexicographic order.
+    return i * g - i * (i + 1) / 2 + (j - i - 1);
+}
+
+bits::BitVec kendall_encode(const Order& order) {
+    const int g = static_cast<int>(order.size());
+    // rank_of[label] = position in the descending-frequency sequence.
+    std::vector<int> rank_of(static_cast<std::size_t>(g), -1);
+    for (int r = 0; r < g; ++r) {
+        assert(order[static_cast<std::size_t>(r)] >= 0 &&
+               order[static_cast<std::size_t>(r)] < g);
+        rank_of[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])] = r;
+    }
+    bits::BitVec code(static_cast<std::size_t>(kendall_bits(g)));
+    for (int i = 0; i < g; ++i) {
+        for (int j = i + 1; j < g; ++j) {
+            // Bit = 1 iff pair (i, j) is inverted: label j precedes label i.
+            code[static_cast<std::size_t>(kendall_pair_index(i, j, g))] =
+                rank_of[static_cast<std::size_t>(j)] < rank_of[static_cast<std::size_t>(i)] ? 1
+                                                                                            : 0;
+        }
+    }
+    return code;
+}
+
+namespace {
+
+/// wins[i] = number of labels that label i beats according to the code.
+std::vector<int> win_counts(const bits::BitVec& code, int g) {
+    std::vector<int> wins(static_cast<std::size_t>(g), 0);
+    for (int i = 0; i < g; ++i) {
+        for (int j = i + 1; j < g; ++j) {
+            const auto bit = code[static_cast<std::size_t>(kendall_pair_index(i, j, g))];
+            if (bit) {
+                ++wins[static_cast<std::size_t>(j)];
+            } else {
+                ++wins[static_cast<std::size_t>(i)];
+            }
+        }
+    }
+    return wins;
+}
+
+} // namespace
+
+std::optional<Order> kendall_decode_exact(const bits::BitVec& code, int g) {
+    assert(static_cast<int>(code.size()) == kendall_bits(g));
+    const auto wins = win_counts(code, g);
+    // A valid total order gives distinct win counts g-1, g-2, ..., 0.
+    Order order(static_cast<std::size_t>(g), -1);
+    for (int label = 0; label < g; ++label) {
+        const int rank = g - 1 - wins[static_cast<std::size_t>(label)];
+        if (rank < 0 || rank >= g || order[static_cast<std::size_t>(rank)] != -1) {
+            return std::nullopt;
+        }
+        order[static_cast<std::size_t>(rank)] = label;
+    }
+    // Win counts being a permutation of 0..g-1 guarantees transitivity for a
+    // tournament built from pairwise bits? It does not in general — verify.
+    if (kendall_encode(order) != code) return std::nullopt;
+    return order;
+}
+
+bool kendall_is_valid(const bits::BitVec& code, int g) {
+    return kendall_decode_exact(code, g).has_value();
+}
+
+Order kendall_decode_nearest(const bits::BitVec& code, int g) {
+    assert(static_cast<int>(code.size()) == kendall_bits(g));
+    if (g <= 1) return Order(static_cast<std::size_t>(g), 0);
+
+    if (g <= 7) {
+        // Exhaustive search over g! <= 5040 permutations.
+        Order perm(static_cast<std::size_t>(g));
+        std::iota(perm.begin(), perm.end(), 0);
+        Order best = perm;
+        int best_dist = bits::hamming(kendall_encode(perm), code);
+        while (std::next_permutation(perm.begin(), perm.end())) {
+            const int d = bits::hamming(kendall_encode(perm), code);
+            if (d < best_dist) {
+                best_dist = d;
+                best = perm;
+            }
+        }
+        return best;
+    }
+
+    // Borda heuristic: rank by win count, then adjacent-transposition local
+    // search until no single swap improves the distance.
+    const auto wins = win_counts(code, g);
+    Order order(static_cast<std::size_t>(g));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (wins[static_cast<std::size_t>(a)] != wins[static_cast<std::size_t>(b)]) {
+            return wins[static_cast<std::size_t>(a)] > wins[static_cast<std::size_t>(b)];
+        }
+        return a < b;
+    });
+    int dist = bits::hamming(kendall_encode(order), code);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (int r = 0; r + 1 < g; ++r) {
+            std::swap(order[static_cast<std::size_t>(r)], order[static_cast<std::size_t>(r + 1)]);
+            const int d = bits::hamming(kendall_encode(order), code);
+            if (d < dist) {
+                dist = d;
+                improved = true;
+            } else {
+                std::swap(order[static_cast<std::size_t>(r)],
+                          order[static_cast<std::size_t>(r + 1)]);
+            }
+        }
+    }
+    return order;
+}
+
+int kendall_tau(const Order& a, const Order& b) {
+    assert(a.size() == b.size());
+    return bits::hamming(kendall_encode(a), kendall_encode(b));
+}
+
+} // namespace ropuf::group

@@ -1,0 +1,54 @@
+#include "ropuf/pairing/neighbor_chain.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ropuf::pairing {
+
+std::vector<IndexPair> neighbor_chain(const sim::ArrayGeometry& g, ChainOrder order,
+                                      ChainOverlap overlap) {
+    std::vector<int> chain;
+    if (order == ChainOrder::Serpentine) {
+        chain = sim::serpentine_order(g);
+    } else {
+        chain.resize(static_cast<std::size_t>(g.count()));
+        std::iota(chain.begin(), chain.end(), 0);
+    }
+    std::vector<IndexPair> pairs;
+    if (overlap == ChainOverlap::Disjoint) {
+        pairs.reserve(chain.size() / 2);
+        for (std::size_t i = 0; i + 1 < chain.size(); i += 2) {
+            pairs.emplace_back(chain[i], chain[i + 1]);
+        }
+    } else {
+        pairs.reserve(chain.size() - 1);
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            pairs.emplace_back(chain[i], chain[i + 1]);
+        }
+    }
+    return pairs;
+}
+
+bits::BitVec evaluate_pairs(const std::vector<IndexPair>& pairs,
+                            const std::vector<double>& values) {
+    bits::BitVec out(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto [a, b] = pairs[i];
+        assert(static_cast<std::size_t>(a) < values.size());
+        assert(static_cast<std::size_t>(b) < values.size());
+        out[i] = values[static_cast<std::size_t>(a)] > values[static_cast<std::size_t>(b)] ? 1 : 0;
+    }
+    return out;
+}
+
+std::vector<double> pair_discrepancies(const std::vector<IndexPair>& pairs,
+                                       const std::vector<double>& values) {
+    std::vector<double> out(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto [a, b] = pairs[i];
+        out[i] = values[static_cast<std::size_t>(a)] - values[static_cast<std::size_t>(b)];
+    }
+    return out;
+}
+
+} // namespace ropuf::pairing

@@ -1,0 +1,190 @@
+// Complete key-generation devices built on RO pairing.
+//
+// Three constructions attacked in the paper are modeled as self-contained
+// "devices": each owns a reference to a manufactured RoArray (the silicon),
+// performs a one-time enrollment producing {helper data, key}, and can
+// regenerate the key from one noisy measurement plus (possibly manipulated)
+// helper data. All of them protect the response bits with the shared
+// BlockEcc ("we assume all constructions to employ an ECC as a final
+// reliability measure, which is actually a common practice", Section VI).
+//
+//  * SeqPairingPuf   — Algorithm 1 pair selection (Section IV-C / VI-A).
+//  * MaskedChainPuf  — entropy distiller + disjoint neighbor chain +
+//                      1-out-of-k masking (Section VI-D, Fig. 6b).
+//  * OverlapChainPuf — entropy distiller + overlapping neighbor chain
+//                      (Section VI-D, Fig. 6c).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/distiller/regression.hpp"
+#include "ropuf/ecc/block_ecc.hpp"
+#include "ropuf/helperdata/blob.hpp"
+#include "ropuf/helperdata/formats.hpp"
+#include "ropuf/pairing/masking.hpp"
+#include "ropuf/pairing/neighbor_chain.hpp"
+#include "ropuf/pairing/sequential.hpp"
+#include "ropuf/sim/ro_array.hpp"
+
+namespace ropuf::pairing {
+
+/// Result of one key regeneration attempt.
+struct KeyReconstruction {
+    bool ok = false;     ///< parsing and every ECC block succeeded
+    bits::BitVec key;    ///< regenerated key (meaningful iff ok)
+    int corrected = 0;   ///< total ECC corrections applied
+};
+
+// ---------------------------------------------------------------------------
+// Sequential pairing (Section VI-A victim)
+// ---------------------------------------------------------------------------
+
+/// Public helper data of a sequential-pairing device. `pairs` are stored in
+/// the exact index order written at enrollment (bit i of the key is the
+/// comparison of pairs[i] as stored: r = [f_first > f_second]).
+struct SeqPairingHelper {
+    std::vector<helperdata::IndexPair> pairs;
+    ecc::BlockEccHelper ecc;
+};
+
+/// Serialization to/from the NVM byte level.
+helperdata::Nvm serialize(const SeqPairingHelper& helper);
+SeqPairingHelper parse_seq_pairing(const helperdata::Nvm& nvm);
+
+struct SeqPairingConfig {
+    double delta_f_th = 0.5;  ///< Algorithm 1 threshold (MHz)
+    int ecc_m = 6;            ///< BCH field degree: n = 63
+    int ecc_t = 3;            ///< errors corrected per block
+    helperdata::PairOrderPolicy policy = helperdata::PairOrderPolicy::Randomized;
+    int enroll_samples = 16;  ///< measurement averaging during enrollment
+    sim::Condition condition; ///< nominal operating point
+};
+
+class SeqPairingPuf {
+public:
+    SeqPairingPuf(const sim::RoArray& array, const SeqPairingConfig& config);
+
+    struct Enrollment {
+        SeqPairingHelper helper;
+        bits::BitVec key;
+    };
+
+    /// One-time enrollment: averaged measurement, Algorithm 1, pair-order
+    /// policy, ECC parity.
+    Enrollment enroll(rng::Xoshiro256pp& rng) const;
+
+    /// Key regeneration from one noisy array scan and the given helper data.
+    /// Malformed helper data (bad indices, wrong parity length) fails safely.
+    KeyReconstruction reconstruct(const SeqPairingHelper& helper,
+                                  rng::Xoshiro256pp& rng) const;
+
+    const sim::RoArray& array() const { return *array_; }
+    const SeqPairingConfig& config() const { return config_; }
+    const ecc::BchCode& code() const { return code_; }
+
+private:
+    const sim::RoArray* array_;
+    SeqPairingConfig config_;
+    ecc::BchCode code_;
+};
+
+// ---------------------------------------------------------------------------
+// Entropy distiller + disjoint chain + 1-out-of-k masking (Fig. 6b victim)
+// ---------------------------------------------------------------------------
+
+struct MaskedChainHelper {
+    std::vector<double> beta;  ///< distiller coefficients (public!)
+    MaskingHelper masking;     ///< selected pair per group of k
+    ecc::BlockEccHelper ecc;
+};
+
+helperdata::Nvm serialize(const MaskedChainHelper& helper);
+MaskedChainHelper parse_masked_chain(const helperdata::Nvm& nvm);
+
+struct MaskedChainConfig {
+    int distiller_degree = 2;
+    int k = 5;                 ///< 1-out-of-k (paper Fig. 6b uses k = 5)
+    ChainOrder order = ChainOrder::RowMajor;
+    int ecc_m = 6;
+    int ecc_t = 3;
+    int enroll_samples = 16;
+    sim::Condition condition;
+};
+
+class MaskedChainPuf {
+public:
+    MaskedChainPuf(const sim::RoArray& array, const MaskedChainConfig& config);
+
+    struct Enrollment {
+        MaskedChainHelper helper;
+        bits::BitVec key;
+    };
+
+    Enrollment enroll(rng::Xoshiro256pp& rng) const;
+    KeyReconstruction reconstruct(const MaskedChainHelper& helper,
+                                  rng::Xoshiro256pp& rng) const;
+
+    /// The fixed base pair set the masking selects from (disjoint chain).
+    const std::vector<helperdata::IndexPair>& base_pairs() const { return base_pairs_; }
+    const sim::RoArray& array() const { return *array_; }
+    const MaskedChainConfig& config() const { return config_; }
+    const ecc::BchCode& code() const { return code_; }
+
+private:
+    const sim::RoArray* array_;
+    MaskedChainConfig config_;
+    ecc::BchCode code_;
+    std::vector<helperdata::IndexPair> base_pairs_;
+};
+
+// ---------------------------------------------------------------------------
+// Entropy distiller + overlapping chain (Fig. 6c victim)
+// ---------------------------------------------------------------------------
+
+struct OverlapChainHelper {
+    std::vector<double> beta;
+    ecc::BlockEccHelper ecc;
+};
+
+helperdata::Nvm serialize(const OverlapChainHelper& helper);
+OverlapChainHelper parse_overlap_chain(const helperdata::Nvm& nvm);
+
+struct OverlapChainConfig {
+    int distiller_degree = 2;
+    ChainOrder order = ChainOrder::RowMajor; ///< Fig. 6c uses row-major indices
+    int ecc_m = 6;
+    int ecc_t = 3;
+    int enroll_samples = 16;
+    sim::Condition condition;
+};
+
+class OverlapChainPuf {
+public:
+    OverlapChainPuf(const sim::RoArray& array, const OverlapChainConfig& config);
+
+    struct Enrollment {
+        OverlapChainHelper helper;
+        bits::BitVec key;
+    };
+
+    Enrollment enroll(rng::Xoshiro256pp& rng) const;
+    KeyReconstruction reconstruct(const OverlapChainHelper& helper,
+                                  rng::Xoshiro256pp& rng) const;
+
+    /// The N-1 overlapping pairs; every one contributes a key bit.
+    const std::vector<helperdata::IndexPair>& pairs() const { return pairs_; }
+    const sim::RoArray& array() const { return *array_; }
+    const OverlapChainConfig& config() const { return config_; }
+    const ecc::BchCode& code() const { return code_; }
+
+private:
+    const sim::RoArray* array_;
+    OverlapChainConfig config_;
+    ecc::BchCode code_;
+    std::vector<helperdata::IndexPair> pairs_;
+};
+
+} // namespace ropuf::pairing

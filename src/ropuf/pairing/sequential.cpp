@@ -1,0 +1,35 @@
+#include "ropuf/pairing/sequential.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ropuf::pairing {
+
+std::vector<helperdata::IndexPair> sequential_pairing(std::span<const double> freqs,
+                                                      double delta_f_th) {
+    const int n = static_cast<int>(freqs.size());
+    std::vector<int> pi(static_cast<std::size_t>(n));
+    std::iota(pi.begin(), pi.end(), 0);
+    std::sort(pi.begin(), pi.end(), [&](int a, int b) {
+        // Descending frequency; index tiebreak keeps the sort deterministic.
+        if (freqs[static_cast<std::size_t>(a)] != freqs[static_cast<std::size_t>(b)]) {
+            return freqs[static_cast<std::size_t>(a)] > freqs[static_cast<std::size_t>(b)];
+        }
+        return a < b;
+    });
+
+    std::vector<helperdata::IndexPair> pairs;
+    int i = 0; // 0-based counterpart of the paper's i <- 1
+    for (int j = (n + 1) / 2; j < n; ++j) { // j from ceil(N/2)+1 (1-based) to N
+        const int hi = pi[static_cast<std::size_t>(i)];
+        const int lo = pi[static_cast<std::size_t>(j)];
+        if (freqs[static_cast<std::size_t>(hi)] - freqs[static_cast<std::size_t>(lo)] >
+            delta_f_th) {
+            pairs.emplace_back(hi, lo);
+            ++i;
+        }
+    }
+    return pairs;
+}
+
+} // namespace ropuf::pairing

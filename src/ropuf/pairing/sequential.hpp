@@ -1,0 +1,29 @@
+// The sequential pairing algorithm (paper Section IV-C, Algorithm 1;
+// Yin & Qu, "LISA", HOST 2010).
+//
+//   Sort frequencies descending into pi.
+//   i <- 1
+//   for j <- ceil(N/2)+1 .. N:
+//       if RO_pi(i).f - RO_pi(j).f > dfth:
+//           pair { RO_pi(i), RO_pi(j) };  i <- i+1
+//
+// Every produced pair exceeds the discrepancy threshold, the pairs are
+// disjunct, and at most floor(N/2) pairs are produced. Note that the
+// algorithm intrinsically produces pairs ordered (faster RO, slower RO) —
+// which is why the storage-order policy of Section VII-C matters so much.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ropuf/helperdata/formats.hpp"
+
+namespace ropuf::pairing {
+
+/// Runs Algorithm 1. The returned pairs are oriented (faster, slower) exactly
+/// as the algorithm creates them; callers that store them must apply a
+/// helperdata::PairOrderPolicy.
+std::vector<helperdata::IndexPair> sequential_pairing(std::span<const double> freqs,
+                                                      double delta_f_th);
+
+} // namespace ropuf::pairing

@@ -1,0 +1,12 @@
+// xoshiro.hpp is header-only; this translation unit exists so the subsystem
+// has a concrete archive member and the header gets compiled standalone at
+// least once (catching missing includes early).
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace ropuf::rng {
+
+// Compile-time smoke checks of the seeding helpers.
+static_assert(derive_seed(1, 2) != derive_seed(1, 3), "derived seeds must differ by label");
+static_assert(derive_seed(1, 2) != derive_seed(2, 2), "derived seeds must differ by base");
+
+} // namespace ropuf::rng

@@ -1,0 +1,150 @@
+// Deterministic pseudo-random number generation for reproducible PUF experiments.
+//
+// All simulation and attack code in this library draws randomness exclusively
+// through Xoshiro256pp so that every experiment is reproducible from a single
+// 64-bit seed. The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// splitmix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ropuf::rng {
+
+/// splitmix64: a tiny, high-quality 64-bit generator used to expand a single
+/// seed word into the xoshiro state. Also useful on its own for hashing
+/// experiment identifiers into seeds.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+    /// Returns the next 64-bit word of the sequence.
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Mixes an experiment label (e.g. a trial index) into a base seed.
+/// Derived streams are statistically independent for practical purposes.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t label) noexcept {
+    SplitMix64 sm(base ^ (0x517cc1b727220a95ULL * (label + 1)));
+    return sm.next();
+}
+
+/// xoshiro256++ — the library's workhorse generator.
+///
+/// Satisfies (the useful parts of) UniformRandomBitGenerator so it can be
+/// passed to <random> distributions, but the library's own sampling helpers
+/// (uniform/gaussian/bernoulli) are preferred because their output is
+/// platform-stable, unlike libstdc++ distribution objects.
+class Xoshiro256pp {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from one word via splitmix64.
+    explicit Xoshiro256pp(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept { reseed(seed); }
+
+    /// Re-seeds in place; the generator restarts its sequence.
+    void reseed(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& w : s_) w = sm.next();
+        cached_gaussian_valid_ = false;
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return std::numeric_limits<result_type>::max(); }
+
+    /// Next raw 64-bit output.
+    result_type operator()() noexcept { return next(); }
+
+    result_type next() noexcept {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1) with 53 random mantissa bits.
+    double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in the inclusive range [lo, hi]. Uses rejection
+    /// sampling, so the distribution is exactly uniform.
+    std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+        const std::uint64_t span = hi - lo + 1; // span==0 means the full 2^64 range
+        if (span == 0) return next();
+        const std::uint64_t limit = max() - max() % span;
+        std::uint64_t v = next();
+        while (v >= limit) v = next();
+        return lo + v % span;
+    }
+
+    /// Uniform int in [lo, hi], convenience signature for index selection.
+    int uniform_int(int lo, int hi) noexcept {
+        return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+    }
+
+    /// Bernoulli trial with success probability p.
+    bool bernoulli(double p) noexcept { return uniform() < p; }
+
+    /// Standard normal sample via the Marsaglia polar method (caches the
+    /// second sample of each generated pair).
+    double gaussian() noexcept {
+        if (cached_gaussian_valid_) {
+            cached_gaussian_valid_ = false;
+            return cached_gaussian_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double factor = std::sqrt(-2.0 * std::log(s) / s);
+        cached_gaussian_ = v * factor;
+        cached_gaussian_valid_ = true;
+        return u * factor;
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    double gaussian(double mean, double sd) noexcept { return mean + sd * gaussian(); }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> s_{};
+    double cached_gaussian_ = 0.0;
+    bool cached_gaussian_valid_ = false;
+};
+
+/// Fisher–Yates shuffle using the library RNG (keeps experiments
+/// platform-stable, unlike std::shuffle whose behaviour is unspecified).
+template <typename Container>
+void shuffle(Container& c, Xoshiro256pp& rng) {
+    using std::swap;
+    const auto n = c.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+        const auto j = static_cast<std::size_t>(rng.uniform_u64(0, i));
+        swap(c[i], c[j]);
+    }
+}
+
+} // namespace ropuf::rng

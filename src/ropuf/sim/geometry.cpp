@@ -1,0 +1,30 @@
+#include "ropuf/sim/geometry.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace ropuf::sim {
+
+std::vector<int> serpentine_order(const ArrayGeometry& g) {
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(g.count()));
+    for (int y = 0; y < g.rows; ++y) {
+        if (y % 2 == 0) {
+            for (int x = 0; x < g.cols; ++x) order.push_back(g.index(x, y));
+        } else {
+            for (int x = g.cols - 1; x >= 0; --x) order.push_back(g.index(x, y));
+        }
+    }
+    return order;
+}
+
+int manhattan_distance(const ArrayGeometry& g, int a, int b) {
+    assert(a >= 0 && a < g.count() && b >= 0 && b < g.count());
+    return std::abs(g.x_of(a) - g.x_of(b)) + std::abs(g.y_of(a) - g.y_of(b));
+}
+
+bool are_neighbors(const ArrayGeometry& g, int a, int b) {
+    return manhattan_distance(g, a, b) == 1;
+}
+
+} // namespace ropuf::sim

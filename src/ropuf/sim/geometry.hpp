@@ -1,0 +1,41 @@
+// Two-dimensional RO array geometry.
+//
+// "For convenience, the ring oscillators are typically laid-out as a
+// two-dimensional array on the IC. Without loss of generality, we still label
+// each RO with a univariate index i in [1, N]." (paper Section II). We use
+// 0-based univariate indices in row-major order and provide the (x, y)
+// mapping needed by the spatial-variation model and the entropy distiller.
+#pragma once
+
+#include <vector>
+
+namespace ropuf::sim {
+
+/// Rectangular RO array: `cols` oscillators per row, `rows` rows.
+/// Index i maps to x = i % cols (column), y = i / cols (row).
+struct ArrayGeometry {
+    int cols = 0;
+    int rows = 0;
+
+    constexpr int count() const { return cols * rows; }
+    constexpr int index(int x, int y) const { return y * cols + x; }
+    constexpr int x_of(int i) const { return i % cols; }
+    constexpr int y_of(int i) const { return i / cols; }
+    constexpr bool contains(int x, int y) const {
+        return x >= 0 && x < cols && y >= 0 && y < rows;
+    }
+    constexpr bool operator==(const ArrayGeometry&) const = default;
+};
+
+/// Serpentine (boustrophedon) traversal of the array: left-to-right on even
+/// rows, right-to-left on odd rows. Consecutive entries are always physically
+/// adjacent, which is what makes "chain of neighbors" pairing meaningful.
+std::vector<int> serpentine_order(const ArrayGeometry& g);
+
+/// Manhattan distance between two RO indices.
+int manhattan_distance(const ArrayGeometry& g, int a, int b);
+
+/// True iff the two ROs are 4-neighbours on the grid.
+bool are_neighbors(const ArrayGeometry& g, int a, int b);
+
+} // namespace ropuf::sim

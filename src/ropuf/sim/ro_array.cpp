@@ -1,0 +1,71 @@
+#include "ropuf/sim/ro_array.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ropuf::sim {
+
+RoArray::RoArray(const ArrayGeometry& geometry, const ProcessParams& params, std::uint64_t seed)
+    : geometry_(geometry), params_(params) {
+    assert(geometry.cols > 0 && geometry.rows > 0);
+    rng::Xoshiro256pp manufacture(seed);
+    const auto n = static_cast<std::size_t>(geometry.count());
+    random_.resize(n);
+    tempco_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        random_[i] = manufacture.gaussian(0.0, params_.sigma_random_mhz);
+        tempco_[i] = manufacture.gaussian(params_.tempco_mean, params_.tempco_sigma);
+    }
+}
+
+double RoArray::systematic_component(int i) const {
+    const double x = geometry_.x_of(i);
+    const double y = geometry_.y_of(i);
+    const double cx = 0.5 * (geometry_.cols - 1);
+    const double cy = 0.5 * (geometry_.rows - 1);
+    return params_.gradient_x_mhz * x + params_.gradient_y_mhz * y +
+           params_.quad_bow_mhz * ((x - cx) * (x - cx) + (y - cy) * (y - cy));
+}
+
+double RoArray::true_frequency(int i, const Condition& c) const {
+    assert(i >= 0 && i < count());
+    return params_.f_nominal_mhz + systematic_component(i) +
+           random_[static_cast<std::size_t>(i)] +
+           tempco_[static_cast<std::size_t>(i)] * (c.temperature_c - params_.t_ref_c) +
+           params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
+}
+
+double RoArray::quantize(double f_mhz, rng::Xoshiro256pp&) const {
+    // An edge counter over a fixed window sees floor(f * window) edges; the
+    // reported frequency is that count divided by the window.
+    const double window = params_.counter_window_us; // us * MHz = edge count
+    const double count = std::floor(f_mhz * window);
+    return count / window;
+}
+
+double RoArray::measure(int i, const Condition& c, rng::Xoshiro256pp& rng) const {
+    double f = true_frequency(i, c) + rng.gaussian(0.0, params_.sigma_noise_mhz);
+    if (params_.quantize_counters) f = quantize(f, rng);
+    return f;
+}
+
+std::vector<double> RoArray::measure_all(const Condition& c, rng::Xoshiro256pp& rng) const {
+    std::vector<double> out(static_cast<std::size_t>(count()));
+    for (int i = 0; i < count(); ++i) out[static_cast<std::size_t>(i)] = measure(i, c, rng);
+    return out;
+}
+
+std::vector<double> RoArray::enroll_frequencies(const Condition& c, int samples,
+                                                rng::Xoshiro256pp& rng) const {
+    assert(samples >= 1);
+    std::vector<double> acc(static_cast<std::size_t>(count()), 0.0);
+    for (int s = 0; s < samples; ++s) {
+        for (int i = 0; i < count(); ++i) {
+            acc[static_cast<std::size_t>(i)] += measure(i, c, rng);
+        }
+    }
+    for (auto& f : acc) f /= samples;
+    return acc;
+}
+
+} // namespace ropuf::sim

@@ -1,0 +1,104 @@
+// Monte-Carlo model of a ring-oscillator array.
+//
+// This is the substitute for the paper's FPGA prototypes (Xilinx Spartan-3 /
+// XC4010XL): a statistical model with the three frequency components that
+// drive every construction and every attack in the paper:
+//
+//   f_i(T, V) = f_nom                                   nominal design value
+//             + systematic(x_i, y_i)                    spatially correlated
+//             + random_i                                 per-RO process noise
+//             + tempco_i * (T - T_ref)                   temperature slope
+//             + vco * (V - V_ref)                        supply pushing
+//   measurement = f_i(T, V) + N(0, sigma_noise)         thermal/meas. noise
+//
+// * systematic(x, y) is a linear trend plus a mild quadratic bowing, matching
+//   the within-die topology of Fig. 2 (Sedcole & Cheung [4]).
+// * tempco_i = tempco_mean + N(0, tempco_sigma): every RO slows down with
+//   temperature, but at a slightly different rate — which is exactly what
+//   creates the "cooperating pair" frequency crossovers of Fig. 3.
+// * Counter quantization can be enabled to reproduce the discrete Δf = 0
+//   bias discussed in Section III-B.
+#pragma once
+
+#include <vector>
+
+#include "ropuf/rng/xoshiro.hpp"
+#include "ropuf/sim/geometry.hpp"
+
+namespace ropuf::sim {
+
+/// Environmental operating point of one measurement.
+struct Condition {
+    double temperature_c = 25.0;
+    double voltage_v = 1.20;
+};
+
+/// Statistical parameters of the array. Defaults are laptop-scale numbers in
+/// MHz that match the relative magnitudes reported for FPGA RO PUFs:
+/// random variation ~0.5% of nominal, systematic trend of the same order
+/// across the die, measurement noise an order of magnitude below random
+/// variation.
+struct ProcessParams {
+    double f_nominal_mhz = 200.0;     ///< nominal RO frequency
+    double sigma_random_mhz = 1.0;    ///< per-RO random process variation
+    double gradient_x_mhz = 0.25;     ///< systematic linear trend per column
+    double gradient_y_mhz = 0.15;     ///< systematic linear trend per row
+    double quad_bow_mhz = 0.01;       ///< systematic quadratic bowing coefficient
+    double sigma_noise_mhz = 0.05;    ///< per-measurement Gaussian noise
+    double tempco_mean = -0.040;      ///< MHz / degC (ROs slow when hot)
+    double tempco_sigma = 0.004;      ///< per-RO tempco spread (crossovers)
+    double vco_mhz_per_v = 10.0;      ///< supply-voltage pushing
+    double t_ref_c = 25.0;            ///< reference temperature
+    double v_ref_v = 1.20;            ///< reference voltage
+    bool quantize_counters = false;   ///< model discrete edge counters
+    double counter_window_us = 100.0; ///< measurement window when quantizing
+};
+
+/// One manufactured instance of an RO array.
+///
+/// Construction "manufactures" the chip: all static components (random
+/// variation, systematic surface, tempcos) are drawn once from the seed and
+/// frozen. `measure*` adds fresh measurement noise from a caller-provided
+/// RNG, so repeated measurements fluctuate the way silicon does.
+class RoArray {
+public:
+    RoArray(const ArrayGeometry& geometry, const ProcessParams& params, std::uint64_t seed);
+
+    const ArrayGeometry& geometry() const { return geometry_; }
+    const ProcessParams& params() const { return params_; }
+    int count() const { return geometry_.count(); }
+
+    /// Noise-free frequency of RO i at the given condition.
+    double true_frequency(int i, const Condition& c = {}) const;
+
+    /// One noisy measurement of RO i.
+    double measure(int i, const Condition& c, rng::Xoshiro256pp& rng) const;
+
+    /// One noisy measurement of every RO (a full array scan).
+    std::vector<double> measure_all(const Condition& c, rng::Xoshiro256pp& rng) const;
+
+    /// Enrollment-quality measurement: averages `samples` scans, the standard
+    /// way enrollment suppresses noise.
+    std::vector<double> enroll_frequencies(const Condition& c, int samples,
+                                           rng::Xoshiro256pp& rng) const;
+
+    /// Model introspection (used by tests and by the Fig. 2 bench).
+    double systematic_component(int i) const;
+    double random_component(int i) const { return random_[static_cast<std::size_t>(i)]; }
+    double tempco(int i) const { return tempco_[static_cast<std::size_t>(i)]; }
+
+    /// Nominal pairwise discrepancy Δf = f_a - f_b at a condition (no noise).
+    double delta_f(int a, int b, const Condition& c = {}) const {
+        return true_frequency(a, c) - true_frequency(b, c);
+    }
+
+private:
+    double quantize(double f_mhz, rng::Xoshiro256pp& rng) const;
+
+    ArrayGeometry geometry_;
+    ProcessParams params_;
+    std::vector<double> random_;
+    std::vector<double> tempco_;
+};
+
+} // namespace ropuf::sim

@@ -1,0 +1,109 @@
+#include "ropuf/stats/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ropuf::stats {
+
+double binomial_coefficient(int n, int k) {
+    assert(n >= 0);
+    if (k < 0 || k > n) return 0.0;
+    k = std::min(k, n - k);
+    double c = 1.0;
+    for (int i = 0; i < k; ++i) {
+        c = c * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    }
+    return c;
+}
+
+double binomial_pmf(int n, int k, double p) {
+    assert(n >= 0);
+    assert(p >= 0.0 && p <= 1.0);
+    if (k < 0 || k > n) return 0.0;
+    if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0) return k == n ? 1.0 : 0.0;
+    const double log_pmf = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                           std::lgamma(n - k + 1.0) + k * std::log(p) +
+                           (n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+double binomial_cdf(int n, int k, double p) {
+    if (k < 0) return 0.0;
+    if (k >= n) return 1.0;
+    double acc = 0.0;
+    for (int i = 0; i <= k; ++i) acc += binomial_pmf(n, i, p);
+    return std::min(acc, 1.0);
+}
+
+double binomial_tail(int n, int t, double p) { return 1.0 - binomial_cdf(n, t, p); }
+
+std::vector<double> poisson_binomial_pmf(std::span<const double> p) {
+    // Dynamic program over bits: q_k after bit i = q_k (1-p_i) + q_{k-1} p_i.
+    std::vector<double> q(p.size() + 1, 0.0);
+    q[0] = 1.0;
+    std::size_t filled = 0;
+    for (double pi : p) {
+        assert(pi >= 0.0 && pi <= 1.0);
+        ++filled;
+        for (std::size_t k = filled; k > 0; --k) {
+            q[k] = q[k] * (1.0 - pi) + q[k - 1] * pi;
+        }
+        q[0] *= (1.0 - pi);
+    }
+    return q;
+}
+
+double poisson_binomial_tail(std::span<const double> p, int t) {
+    const auto q = poisson_binomial_pmf(p);
+    double head = 0.0;
+    for (int k = 0; k <= t && k < static_cast<int>(q.size()); ++k) head += q[static_cast<std::size_t>(k)];
+    return std::max(0.0, 1.0 - head);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double prob) {
+    if (prob <= 0.0 || prob >= 1.0) {
+        throw std::domain_error("normal_quantile requires prob in (0,1)");
+    }
+    // Acklam's algorithm.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+    constexpr double p_high = 1.0 - p_low;
+    double x;
+    if (prob < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(prob));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (prob <= p_high) {
+        const double q = prob - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log1p(-prob));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    return x;
+}
+
+double comparison_flip_probability(double delta_f, double sigma_noise) {
+    assert(sigma_noise >= 0.0);
+    if (sigma_noise == 0.0) return delta_f == 0.0 ? 0.5 : 0.0;
+    return normal_cdf(-std::abs(delta_f) / (std::sqrt(2.0) * sigma_noise));
+}
+
+} // namespace ropuf::stats

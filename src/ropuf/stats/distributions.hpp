@@ -1,0 +1,52 @@
+// Probability distributions used throughout the attack framework.
+//
+// Section VI of the paper models the number of errors at the ECC input with a
+// probability density function (binomial for large blocks) and distinguishes
+// helper-data hypotheses by the failure mass P[#errors > t]. These routines
+// provide exact binomial arithmetic, Poisson-binomial evaluation for
+// heterogeneous per-bit error rates (the realistic RO case), and normal-tail
+// helpers for the z-tests of the distinguisher.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ropuf::stats {
+
+/// Binomial coefficient as a double (exact for the sizes used here).
+double binomial_coefficient(int n, int k);
+
+/// P[X = k] for X ~ Binomial(n, p). Computed in log-space for stability.
+double binomial_pmf(int n, int k, double p);
+
+/// P[X <= k] for X ~ Binomial(n, p).
+double binomial_cdf(int n, int k, double p);
+
+/// P[X > t] — the key-regeneration failure probability for an ECC correcting
+/// t errors when the block sees n i.i.d. bit errors of probability p.
+double binomial_tail(int n, int t, double p);
+
+/// Poisson-binomial PMF: distribution of the number of errors when bit i
+/// fails independently with its own probability p[i]. This is the exact
+/// model for RO response bits, whose error rates depend on |Δf|.
+/// Returns a vector q with q[k] = P[#errors = k], k = 0..n.
+std::vector<double> poisson_binomial_pmf(std::span<const double> p);
+
+/// P[#errors > t] under the Poisson-binomial model.
+double poisson_binomial_tail(std::span<const double> p, int t);
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9 over (0,1)).
+double normal_quantile(double prob);
+
+/// Bit-error probability of a pairwise frequency comparison: the enrolled
+/// discrepancy is `delta_f` and each of the two measurements carries
+/// independent Gaussian noise of standard deviation `sigma_noise`, so the
+/// measured discrepancy is N(delta_f, 2 sigma_noise^2).
+/// Returns P[sign flips] = Φ(-|delta_f| / (sqrt(2) sigma_noise)).
+double comparison_flip_probability(double delta_f, double sigma_noise);
+
+} // namespace ropuf::stats

@@ -1,0 +1,202 @@
+#include "ropuf/stats/estimators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "ropuf/stats/distributions.hpp"
+
+namespace ropuf::stats {
+
+double Proportion::rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+Proportion::Interval Proportion::wilson(double z) const {
+    if (trials == 0) return {};
+    const double n = static_cast<double>(trials);
+    const double p = rate();
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double centre = p + z2 / (2.0 * n);
+    const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+    return {std::max(0.0, (centre - margin) / denom), std::min(1.0, (centre + margin) / denom)};
+}
+
+double two_proportion_z(const Proportion& a, const Proportion& b) {
+    if (a.trials == 0 || b.trials == 0) return 0.0;
+    const double na = static_cast<double>(a.trials);
+    const double nb = static_cast<double>(b.trials);
+    const double pooled = static_cast<double>(a.successes + b.successes) / (na + nb);
+    const double se = std::sqrt(pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb));
+    if (se == 0.0) return 0.0;
+    return (a.rate() - b.rate()) / se;
+}
+
+double two_proportion_p_value(const Proportion& a, const Proportion& b) {
+    const double z = two_proportion_z(a, b);
+    return 2.0 * normal_cdf(-std::abs(z));
+}
+
+void Histogram::add(int value) { add(value, 1); }
+
+void Histogram::add(int value, std::int64_t count) {
+    counts_[value] += count;
+    total_ += count;
+}
+
+std::int64_t Histogram::count(int value) const {
+    const auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double Histogram::pmf(int value) const {
+    return total_ == 0 ? 0.0 : static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double Histogram::mean() const {
+    if (total_ == 0) return 0.0;
+    double acc = 0.0;
+    for (const auto& [v, c] : counts_) acc += static_cast<double>(v) * static_cast<double>(c);
+    return acc / static_cast<double>(total_);
+}
+
+double Histogram::variance() const {
+    if (total_ == 0) return 0.0;
+    const double mu = mean();
+    double acc = 0.0;
+    for (const auto& [v, c] : counts_) {
+        const double d = static_cast<double>(v) - mu;
+        acc += d * d * static_cast<double>(c);
+    }
+    return acc / static_cast<double>(total_);
+}
+
+int Histogram::min_value() const { return counts_.empty() ? 0 : counts_.begin()->first; }
+
+int Histogram::max_value() const { return counts_.empty() ? 0 : counts_.rbegin()->first; }
+
+double Histogram::tail_above(int t) const {
+    if (total_ == 0) return 0.0;
+    std::int64_t tail = 0;
+    for (const auto& [v, c] : counts_) {
+        if (v > t) tail += c;
+    }
+    return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<int, std::int64_t>> Histogram::items() const {
+    return {counts_.begin(), counts_.end()};
+}
+
+std::string Histogram::ascii(int width) const {
+    std::ostringstream os;
+    std::int64_t peak = 1;
+    for (const auto& [v, c] : counts_) peak = std::max(peak, c);
+    for (const auto& [v, c] : counts_) {
+        const int bar = static_cast<int>(static_cast<double>(c) * width / static_cast<double>(peak));
+        os << (v < 10 ? " " : "") << v << " | " << std::string(static_cast<std::size_t>(bar), '#')
+           << "  " << pmf(v) << "\n";
+    }
+    return os.str();
+}
+
+void RunningStats::add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double empirical_entropy_bits(const std::vector<std::int64_t>& counts) {
+    std::int64_t total = 0;
+    for (auto c : counts) total += c;
+    if (total == 0) return 0.0;
+    double h = 0.0;
+    for (auto c : counts) {
+        if (c == 0) continue;
+        const double p = static_cast<double>(c) / static_cast<double>(total);
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double min_entropy_bits(const std::vector<std::int64_t>& counts) {
+    std::int64_t total = 0;
+    std::int64_t peak = 0;
+    for (auto c : counts) {
+        total += c;
+        peak = std::max(peak, c);
+    }
+    if (total == 0 || peak == 0) return 0.0;
+    return -std::log2(static_cast<double>(peak) / static_cast<double>(total));
+}
+
+double gamma_q(double a, double x) {
+    assert(a > 0.0 && x >= 0.0);
+    if (x == 0.0) return 1.0;
+    if (x < a + 1.0) {
+        // Series for P(a, x); Q = 1 - P.
+        double term = 1.0 / a;
+        double sum = term;
+        for (int n = 1; n < 500; ++n) {
+            term *= x / (a + n);
+            sum += term;
+            if (term < sum * 1e-15) break;
+        }
+        const double log_prefactor = -x + a * std::log(x) - std::lgamma(a);
+        return std::max(0.0, 1.0 - sum * std::exp(log_prefactor));
+    }
+    // Continued fraction for Q(a, x) (Lentz's algorithm).
+    double b = x + 1.0 - a;
+    double c = 1e300;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i < 500; ++i) {
+        const double an = -i * (i - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < 1e-300) d = 1e-300;
+        c = b + an / c;
+        if (std::abs(c) < 1e-300) c = 1e-300;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::abs(delta - 1.0) < 1e-15) break;
+    }
+    const double log_prefactor = -x + a * std::log(x) - std::lgamma(a);
+    return std::min(1.0, h * std::exp(log_prefactor));
+}
+
+ChiSquare chi_square_uniform(const std::vector<std::int64_t>& counts) {
+    ChiSquare out;
+    const int bins = static_cast<int>(counts.size());
+    if (bins < 2) return out;
+    std::int64_t total = 0;
+    for (auto c : counts) total += c;
+    if (total == 0) return out;
+    const double expected = static_cast<double>(total) / bins;
+    double stat = 0.0;
+    for (auto c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        stat += d * d / expected;
+    }
+    out.statistic = stat;
+    out.degrees_of_freedom = bins - 1;
+    out.p_value = gamma_q(0.5 * out.degrees_of_freedom, 0.5 * stat);
+    return out;
+}
+
+double log2_factorial(int n) {
+    assert(n >= 0);
+    return std::lgamma(n + 1.0) / std::log(2.0);
+}
+
+} // namespace ropuf::stats

@@ -1,0 +1,109 @@
+// Empirical estimators: failure-rate proportions with confidence intervals,
+// two-proportion tests (the distinguisher's decision rule), and integer
+// histograms used to regenerate the error-count PDFs of Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ropuf::stats {
+
+/// A Bernoulli proportion estimate: `successes` out of `trials`.
+struct Proportion {
+    std::int64_t successes = 0;
+    std::int64_t trials = 0;
+
+    void add(bool success) {
+        successes += success ? 1 : 0;
+        ++trials;
+    }
+
+    /// Point estimate; 0 when no trials were recorded.
+    double rate() const;
+
+    /// Wilson score interval at confidence `z` sigma (default z = 1.96, 95%).
+    struct Interval {
+        double low = 0.0;
+        double high = 1.0;
+    };
+    Interval wilson(double z = 1.96) const;
+};
+
+/// Two-proportion z statistic (pooled). Positive when a's rate exceeds b's.
+/// Returns 0 when either sample is empty.
+double two_proportion_z(const Proportion& a, const Proportion& b);
+
+/// Two-sided p-value for the two-proportion z-test.
+double two_proportion_p_value(const Proportion& a, const Proportion& b);
+
+/// Integer histogram (e.g. number of errors observed at the ECC input).
+class Histogram {
+public:
+    void add(int value);
+    void add(int value, std::int64_t count);
+
+    std::int64_t total() const { return total_; }
+    std::int64_t count(int value) const;
+    double pmf(int value) const;
+    double mean() const;
+    double variance() const;
+    int min_value() const;
+    int max_value() const;
+
+    /// Probability mass at values strictly greater than t (failure mass
+    /// for an ECC correcting t errors).
+    double tail_above(int t) const;
+
+    /// Ordered (value, count) pairs for printing series.
+    std::vector<std::pair<int, std::int64_t>> items() const;
+
+    /// Formats an ASCII bar chart, one row per value, suitable for bench
+    /// output. `width` is the number of columns of the largest bar.
+    std::string ascii(int width = 50) const;
+
+private:
+    std::map<int, std::int64_t> counts_;
+    std::int64_t total_ = 0;
+};
+
+/// Running mean/variance accumulator (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    std::int64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;   // sample variance (n-1 denominator)
+    double stddev() const;
+
+private:
+    std::int64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Shannon entropy (bits) of an empirical distribution given by counts.
+double empirical_entropy_bits(const std::vector<std::int64_t>& counts);
+
+/// Min-entropy (bits) of an empirical distribution: -log2(max p). The
+/// conservative measure key-quality assessments use (NIST SP 800-90B style).
+double min_entropy_bits(const std::vector<std::int64_t>& counts);
+
+/// Pearson chi-square statistic of observed counts against a uniform
+/// expectation, plus its asymptotic p-value (df = bins - 1). Used by the key
+/// quality tests to flag biased or correlated extracted bits.
+struct ChiSquare {
+    double statistic = 0.0;
+    int degrees_of_freedom = 0;
+    double p_value = 1.0;
+};
+ChiSquare chi_square_uniform(const std::vector<std::int64_t>& counts);
+
+/// Upper regularized incomplete gamma Q(a, x) — the chi-square tail.
+double gamma_q(double a, double x);
+
+/// log2(n!) — the total response entropy of an N-RO array (Section II).
+double log2_factorial(int n);
+
+} // namespace ropuf::stats

@@ -1,0 +1,40 @@
+#include "ropuf/stats/sprt.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ropuf::stats {
+
+Sprt::Sprt(double p0, double p1, double alpha, double beta) : p0_(p0), p1_(p1) {
+    if (!(0.0 < p0 && p0 < p1 && p1 < 1.0)) {
+        throw std::invalid_argument("Sprt requires 0 < p0 < p1 < 1");
+    }
+    if (!(0.0 < alpha && alpha < 0.5 && 0.0 < beta && beta < 0.5)) {
+        throw std::invalid_argument("Sprt requires alpha, beta in (0, 0.5)");
+    }
+    log_a_ = std::log((1.0 - beta) / alpha);
+    log_b_ = std::log(beta / (1.0 - alpha));
+    step_fail_ = std::log(p1_ / p0_);
+    step_pass_ = std::log((1.0 - p1_) / (1.0 - p0_));
+}
+
+Sprt::Decision Sprt::feed(bool failure) {
+    if (decision_ != Decision::Continue) return decision_;
+    llr_ += failure ? step_fail_ : step_pass_;
+    ++n_;
+    if (llr_ >= log_a_) {
+        decision_ = Decision::AcceptH1;
+    } else if (llr_ <= log_b_) {
+        decision_ = Decision::AcceptH0;
+    }
+    return decision_;
+}
+
+void Sprt::reset() {
+    llr_ = 0.0;
+    n_ = 0;
+    decision_ = Decision::Continue;
+}
+
+} // namespace ropuf::stats

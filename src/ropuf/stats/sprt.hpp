@@ -1,0 +1,44 @@
+// Wald's sequential probability ratio test.
+//
+// The attacks of Section VI decide between hypotheses by comparing failure
+// rates. A fixed query budget works, but the SPRT reaches the same error
+// probabilities with far fewer oracle queries on easy instances — this is the
+// engine behind the query-complexity ablation (E13 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+namespace ropuf::stats {
+
+/// Sequential test between
+///   H0: failure probability = p0   vs   H1: failure probability = p1 (> p0)
+/// with type-I error alpha and type-II error beta.
+class Sprt {
+public:
+    enum class Decision { Continue, AcceptH0, AcceptH1 };
+
+    Sprt(double p0, double p1, double alpha = 0.01, double beta = 0.01);
+
+    /// Feeds one Bernoulli observation (true = failure observed) and returns
+    /// the current decision.
+    Decision feed(bool failure);
+
+    Decision decision() const { return decision_; }
+    std::int64_t observations() const { return n_; }
+    double log_likelihood_ratio() const { return llr_; }
+
+    void reset();
+
+private:
+    double p0_;
+    double p1_;
+    double log_a_; // accept-H1 threshold: log((1-beta)/alpha)
+    double log_b_; // accept-H0 threshold: log(beta/(1-alpha))
+    double step_fail_;
+    double step_pass_;
+    double llr_ = 0.0;
+    std::int64_t n_ = 0;
+    Decision decision_ = Decision::Continue;
+};
+
+} // namespace ropuf::stats

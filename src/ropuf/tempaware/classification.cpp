@@ -1,0 +1,79 @@
+#include "ropuf/tempaware/classification.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ropuf::tempaware {
+
+PairLine fit_pair_line(double delta_at_tmin, double delta_at_tmax, double t_min, double t_max,
+                       double t_ref) {
+    assert(t_max > t_min);
+    PairLine line;
+    line.slope = (delta_at_tmax - delta_at_tmin) / (t_max - t_min);
+    line.offset = delta_at_tmin + line.slope * (t_ref - t_min);
+    line.t_ref = t_ref;
+    return line;
+}
+
+Classified classify_pair(const PairLine& line, const ClassificationConfig& config) {
+    Classified out;
+    const double d_lo = line.at(config.t_min);
+    const double d_hi = line.at(config.t_max);
+    const double th = config.delta_f_th;
+
+    const bool stable_everywhere =
+        std::min(std::abs(d_lo), std::abs(d_hi)) > th && (d_lo > 0) == (d_hi > 0);
+    if (stable_everywhere) {
+        out.cls = PairClass::Good;
+        out.reference_bit = d_lo > 0 ? 1 : 0;
+        return out;
+    }
+
+    const bool crosses = (d_lo > 0) != (d_hi > 0) && line.slope != 0.0;
+    if (!crosses) {
+        // No sign flip in range: either weak everywhere or grazing the
+        // threshold near an edge — both discarded (conservative Bad).
+        out.cls = PairClass::Bad;
+        return out;
+    }
+
+    // Crossover: |Δf(T)| <= th on [t1, t2] around the zero of the line.
+    const double t_zero = line.t_ref - line.offset / line.slope;
+    const double half_width = th / std::abs(line.slope);
+    const double t1 = t_zero - half_width;
+    const double t2 = t_zero + half_width;
+    if (t1 <= config.t_min || t2 >= config.t_max) {
+        // The unreliable window clips the range edge: the pair is never
+        // stable on one side, so cooperation cannot be anchored — Bad.
+        out.cls = PairClass::Bad;
+        return out;
+    }
+    out.cls = PairClass::Cooperating;
+    out.t_low = t1;
+    out.t_high = t2;
+    out.reference_bit = line.at(config.t_min) > 0 ? 1 : 0;
+    return out;
+}
+
+std::vector<Classified> classify_pairs(const sim::RoArray& array,
+                                       const std::vector<helperdata::IndexPair>& pairs,
+                                       const ClassificationConfig& config, int enroll_samples,
+                                       rng::Xoshiro256pp& rng) {
+    const sim::Condition cold{config.t_min, array.params().v_ref_v};
+    const sim::Condition hot{config.t_max, array.params().v_ref_v};
+    const auto f_cold = array.enroll_frequencies(cold, enroll_samples, rng);
+    const auto f_hot = array.enroll_frequencies(hot, enroll_samples, rng);
+    std::vector<Classified> out;
+    out.reserve(pairs.size());
+    for (const auto& [a, b] : pairs) {
+        const double d_lo = f_cold[static_cast<std::size_t>(a)] - f_cold[static_cast<std::size_t>(b)];
+        const double d_hi = f_hot[static_cast<std::size_t>(a)] - f_hot[static_cast<std::size_t>(b)];
+        const auto line =
+            fit_pair_line(d_lo, d_hi, config.t_min, config.t_max, array.params().t_ref_c);
+        out.push_back(classify_pair(line, config));
+    }
+    return out;
+}
+
+} // namespace ropuf::tempaware

@@ -1,0 +1,69 @@
+// Pair classification for temperature-aware cooperative RO PUFs
+// (paper Section IV-D, Fig. 3; Yin & Qu, HOST 2009).
+//
+// Within a user-defined operating range [Tmin, Tmax], with RO frequencies
+// assumed linear in temperature, every disjoint neighbor pair falls into one
+// of three classes:
+//   Good        — |Δf(T)| > Δfth over the whole range: one reliable bit.
+//   Bad         — |Δf(T)| <= Δfth over the whole range: discarded.
+//   Cooperating — stable except for an interval [Tl, Th] around the
+//                 frequency crossover point: generates a bit with helper
+//                 assistance inside the interval and sign compensation
+//                 above it.
+#pragma once
+
+#include <vector>
+
+#include "ropuf/helperdata/formats.hpp"
+#include "ropuf/sim/ro_array.hpp"
+
+namespace ropuf::tempaware {
+
+enum class PairClass : std::uint8_t { Good = 0, Bad = 1, Cooperating = 2 };
+
+/// Linear model of one pair's discrepancy: Δf(T) = offset + slope * (T - t_ref).
+struct PairLine {
+    double offset = 0.0;
+    double slope = 0.0;
+    double t_ref = 25.0;
+
+    double at(double t) const { return offset + slope * (t - t_ref); }
+};
+
+/// Classification outcome of one pair.
+struct Classified {
+    PairClass cls = PairClass::Bad;
+    double t_low = 0.0;  ///< crossover interval start (Cooperating only)
+    double t_high = 0.0; ///< crossover interval end (Cooperating only)
+    /// Reference response bit: sign of Δf below the crossover interval
+    /// (Good pairs: the constant sign over the range).
+    std::uint8_t reference_bit = 0;
+};
+
+struct ClassificationConfig {
+    double t_min = -20.0;    ///< operating range (paper's [Tmin, Tmax])
+    double t_max = 85.0;
+    double delta_f_th = 0.2; ///< reliability threshold (MHz)
+};
+
+/// Fits the linear Δf(T) model from two enrollment measurements (at Tmin and
+/// Tmax — "in the original proposal, one requires frequency measurements at
+/// two environmental extremes").
+PairLine fit_pair_line(double delta_at_tmin, double delta_at_tmax, double t_min, double t_max,
+                       double t_ref);
+
+/// Classifies one pair from its linear discrepancy model.
+///
+/// A pair is Cooperating only when its sign actually flips inside the
+/// operating range (a genuine crossover); pairs that merely graze the
+/// threshold near a range edge without crossing are conservatively Bad.
+Classified classify_pair(const PairLine& line, const ClassificationConfig& config);
+
+/// Classifies every pair of a list against a simulated array, measuring the
+/// enrollment discrepancies at the two range extremes with averaging.
+std::vector<Classified> classify_pairs(const sim::RoArray& array,
+                                       const std::vector<helperdata::IndexPair>& pairs,
+                                       const ClassificationConfig& config, int enroll_samples,
+                                       rng::Xoshiro256pp& rng);
+
+} // namespace ropuf::tempaware

@@ -1,0 +1,221 @@
+#include "ropuf/tempaware/tempaware_puf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ropuf::tempaware {
+
+TempAwarePuf::TempAwarePuf(const sim::RoArray& array, const TempAwareConfig& config)
+    : array_(&array),
+      config_(config),
+      code_(config.ecc_m, config.ecc_t),
+      pairs_(pairing::neighbor_chain(array.geometry(), pairing::ChainOrder::Serpentine,
+                                     pairing::ChainOverlap::Disjoint)) {}
+
+TempAwarePuf::Enrollment TempAwarePuf::enroll(rng::Xoshiro256pp& rng) const {
+    Enrollment out;
+    // Randomize stored pair orientation so response bits are unbiased.
+    out.helper.pairs = pairs_;
+    for (auto& [a, b] : out.helper.pairs) {
+        if (rng.bernoulli(0.5)) std::swap(a, b);
+    }
+
+    const auto classified = classify_pairs(*array_, out.helper.pairs, config_.classification,
+                                           config_.enroll_samples, rng);
+    const int n_pairs = static_cast<int>(out.helper.pairs.size());
+    out.helper.records.resize(static_cast<std::size_t>(n_pairs));
+    out.reference_bits.assign(static_cast<std::size_t>(n_pairs), 0);
+
+    std::vector<int> good_indices;
+    std::vector<int> coop_indices;
+    for (int p = 0; p < n_pairs; ++p) {
+        const auto& c = classified[static_cast<std::size_t>(p)];
+        auto& rec = out.helper.records[static_cast<std::size_t>(p)];
+        rec.cls = c.cls;
+        rec.t_low = c.t_low;
+        rec.t_high = c.t_high;
+        out.reference_bits[static_cast<std::size_t>(p)] = c.reference_bit;
+        if (c.cls == PairClass::Good) good_indices.push_back(p);
+        if (c.cls == PairClass::Cooperating) coop_indices.push_back(p);
+    }
+
+    // Assign masked assistance to every cooperating pair.
+    for (const int c : coop_indices) {
+        auto& rec = out.helper.records[static_cast<std::size_t>(c)];
+        if (good_indices.empty()) {
+            rec.cls = PairClass::Bad; // nothing to mask with
+            continue;
+        }
+        // Masking good pair: uniformly random (its identity does not leak).
+        const int g = good_indices[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(good_indices.size()) - 1))];
+        const std::uint8_t required =
+            out.reference_bits[static_cast<std::size_t>(c)] ^
+            out.reference_bits[static_cast<std::size_t>(g)];
+
+        // Candidate assisting pairs: other cooperating pairs with a
+        // non-intersecting crossover interval.
+        std::vector<int> candidates;
+        for (const int h : coop_indices) {
+            if (h == c) continue;
+            const auto& hr = out.helper.records[static_cast<std::size_t>(h)];
+            const bool disjoint = hr.t_high < rec.t_low || hr.t_low > rec.t_high;
+            if (disjoint) candidates.push_back(h);
+        }
+        if (config_.policy == HelperSelectionPolicy::Random) {
+            rng::shuffle(candidates, rng);
+        } // DeterministicScan keeps index order — the leaking variant.
+
+        int chosen = -1;
+        for (const int h : candidates) {
+            if (out.reference_bits[static_cast<std::size_t>(h)] == required) {
+                chosen = h;
+                break;
+            }
+        }
+        if (chosen < 0) {
+            rec.cls = PairClass::Bad; // no satisfying assistant: discard pair
+            continue;
+        }
+        rec.helper_pair = chosen;
+        rec.mask_pair = g;
+    }
+
+    // Key = reference bits of kept pairs in pair-index order.
+    for (int p = 0; p < n_pairs; ++p) {
+        if (out.helper.records[static_cast<std::size_t>(p)].cls != PairClass::Bad) {
+            out.key.push_back(out.reference_bits[static_cast<std::size_t>(p)]);
+        }
+    }
+    out.helper.ecc = ecc::BlockEcc(code_).enroll(out.key);
+    return out;
+}
+
+std::uint8_t TempAwarePuf::direct_bit(const std::vector<double>& freqs,
+                                      const TempAwareHelper& helper, int p,
+                                      double temperature_c) {
+    const auto [a, b] = helper.pairs[static_cast<std::size_t>(p)];
+    std::uint8_t bit =
+        freqs[static_cast<std::size_t>(a)] > freqs[static_cast<std::size_t>(b)] ? 1 : 0;
+    const auto& rec = helper.records[static_cast<std::size_t>(p)];
+    if (rec.cls == PairClass::Cooperating && temperature_c > rec.t_high) {
+        bit ^= 1u; // crossover compensation
+    }
+    return bit;
+}
+
+TempAwarePuf::Reconstruction TempAwarePuf::reconstruct(const TempAwareHelper& helper,
+                                                       double temperature_c,
+                                                       rng::Xoshiro256pp& rng) const {
+    const int n_pairs = static_cast<int>(helper.pairs.size());
+    if (static_cast<int>(helper.records.size()) != n_pairs) return {};
+    for (const auto& [a, b] : helper.pairs) {
+        if (a < 0 || a >= array_->count() || b < 0 || b >= array_->count()) return {};
+    }
+
+    const sim::Condition cond{temperature_c, array_->params().v_ref_v};
+    const auto freqs = array_->measure_all(cond, rng);
+
+    bits::BitVec response;
+    for (int p = 0; p < n_pairs; ++p) {
+        const auto& rec = helper.records[static_cast<std::size_t>(p)];
+        switch (rec.cls) {
+            case PairClass::Bad:
+                break;
+            case PairClass::Good:
+                response.push_back(direct_bit(freqs, helper, p, temperature_c));
+                break;
+            case PairClass::Cooperating: {
+                if (temperature_c < rec.t_low || temperature_c > rec.t_high) {
+                    response.push_back(direct_bit(freqs, helper, p, temperature_c));
+                    break;
+                }
+                // Inside the crossover interval: masked assistance. The
+                // device trusts the stored indices blindly.
+                const int h = rec.helper_pair;
+                const int g = rec.mask_pair;
+                if (h < 0 || h >= n_pairs || g < 0 || g >= n_pairs || h == p) return {};
+                const std::uint8_t bit = direct_bit(freqs, helper, h, temperature_c) ^
+                                         direct_bit(freqs, helper, g, temperature_c);
+                response.push_back(bit);
+                break;
+            }
+        }
+    }
+
+    if (helper.ecc.response_bits != static_cast<int>(response.size())) return {};
+    const ecc::BlockEcc block_ecc(code_);
+    if (static_cast<int>(helper.ecc.parity.size()) !=
+        block_ecc.helper_bits(helper.ecc.response_bits)) {
+        return {};
+    }
+    const auto rec = block_ecc.reconstruct(response, helper.ecc);
+    return {rec.ok, rec.value, rec.corrected};
+}
+
+int TempAwarePuf::key_position(const TempAwareHelper& helper, int pair_index) {
+    assert(pair_index >= 0 && pair_index < static_cast<int>(helper.records.size()));
+    if (helper.records[static_cast<std::size_t>(pair_index)].cls == PairClass::Bad) return -1;
+    int pos = 0;
+    for (int p = 0; p < pair_index; ++p) {
+        if (helper.records[static_cast<std::size_t>(p)].cls != PairClass::Bad) ++pos;
+    }
+    return pos;
+}
+
+int TempAwarePuf::key_bits(const TempAwareHelper& helper) {
+    int bits = 0;
+    for (const auto& rec : helper.records) {
+        if (rec.cls != PairClass::Bad) ++bits;
+    }
+    return bits;
+}
+
+helperdata::Nvm serialize(const TempAwareHelper& helper) {
+    helperdata::BlobWriter w;
+    w.put_u32(static_cast<std::uint32_t>(helper.pairs.size()));
+    for (const auto& [a, b] : helper.pairs) {
+        w.put_u32(static_cast<std::uint32_t>(a));
+        w.put_u32(static_cast<std::uint32_t>(b));
+    }
+    for (const auto& rec : helper.records) {
+        w.put_u8(static_cast<std::uint8_t>(rec.cls));
+        w.put_f64(rec.t_low);
+        w.put_f64(rec.t_high);
+        w.put_u32(static_cast<std::uint32_t>(rec.helper_pair));
+        w.put_u32(static_cast<std::uint32_t>(rec.mask_pair));
+    }
+    w.put_u32(static_cast<std::uint32_t>(helper.ecc.response_bits));
+    w.put_bits(helper.ecc.parity);
+    return helperdata::Nvm(w.take());
+}
+
+TempAwareHelper parse_temp_aware(const helperdata::Nvm& nvm) {
+    auto r = nvm.reader();
+    TempAwareHelper helper;
+    const std::uint32_t n = r.get_u32();
+    r.require_count(n, 8 + 25); // pair (8 bytes) + record (25 bytes) each
+    helper.pairs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const int a = static_cast<int>(r.get_u32());
+        const int b = static_cast<int>(r.get_u32());
+        helper.pairs.emplace_back(a, b);
+    }
+    helper.records.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto& rec = helper.records[i];
+        const std::uint8_t cls = r.get_u8();
+        if (cls > 2) throw helperdata::ParseError("temp-aware: invalid pair class");
+        rec.cls = static_cast<PairClass>(cls);
+        rec.t_low = r.get_f64();
+        rec.t_high = r.get_f64();
+        rec.helper_pair = static_cast<int>(r.get_u32());
+        rec.mask_pair = static_cast<int>(r.get_u32());
+    }
+    helper.ecc.response_bits = static_cast<int>(r.get_u32());
+    helper.ecc.parity = r.get_bits();
+    return helper;
+}
+
+} // namespace ropuf::tempaware

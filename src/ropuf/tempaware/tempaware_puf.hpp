@@ -1,0 +1,121 @@
+// Temperature-aware cooperative RO PUF device (paper Section IV-D;
+// Yin & Qu, HOST 2009) — the Section VI-B victim.
+//
+// Enrollment measures at the two range extremes, classifies every disjoint
+// neighbor pair (good / bad / cooperating), and for every cooperating pair c
+// stores in public helper NVM:
+//   * its crossover interval [Tl, Th];
+//   * the index of an assisting cooperating pair h with a non-intersecting
+//     crossover interval;
+//   * the index of a masking good pair g,
+// chosen such that   r_c XOR r_g = r_h   (the masked-cooperation constraint).
+//
+// Reconstruction at temperature T:
+//   * good pair:            r = sign(Δf(T))
+//   * cooperating, T < Tl:  r = sign(Δf(T))
+//   * cooperating, T > Th:  r = NOT sign(Δf(T))      (crossover compensation)
+//   * cooperating, inside:  r = r_h(T) XOR r_g(T)    (masked assistance)
+// where referenced bits r_h, r_g are themselves resolved with the
+// outside-interval rule of *their* helper records. The device trusts every
+// record field — precisely the attack surface of Section VI-B.
+//
+// The helper-selection policy is configurable: Random (the paper's
+// recommendation) or DeterministicScan (the leaking variant the paper warns
+// about: every candidate skipped before the selected one reveals
+// r_candidate != r_h).
+#pragma once
+
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/ecc/block_ecc.hpp"
+#include "ropuf/helperdata/blob.hpp"
+#include "ropuf/pairing/neighbor_chain.hpp"
+#include "ropuf/tempaware/classification.hpp"
+
+namespace ropuf::tempaware {
+
+/// Per-pair public helper record.
+struct PairRecord {
+    PairClass cls = PairClass::Bad;
+    double t_low = 0.0;
+    double t_high = 0.0;
+    int helper_pair = -1; ///< index of the assisting cooperating pair
+    int mask_pair = -1;   ///< index of the masking good pair
+};
+
+/// Full public helper data of the construction.
+struct TempAwareHelper {
+    std::vector<helperdata::IndexPair> pairs; ///< disjoint neighbor pairs (stored orientation)
+    std::vector<PairRecord> records;          ///< one per pair
+    ecc::BlockEccHelper ecc;                  ///< parity over the kept bits
+};
+
+helperdata::Nvm serialize(const TempAwareHelper& helper);
+TempAwareHelper parse_temp_aware(const helperdata::Nvm& nvm);
+
+enum class HelperSelectionPolicy {
+    Random,            ///< sample candidates in random order (recommended)
+    DeterministicScan, ///< first satisfying candidate in index order (leaks!)
+};
+
+struct TempAwareConfig {
+    ClassificationConfig classification;
+    int ecc_m = 6;
+    int ecc_t = 3;
+    int enroll_samples = 16;
+    HelperSelectionPolicy policy = HelperSelectionPolicy::Random;
+};
+
+class TempAwarePuf {
+public:
+    TempAwarePuf(const sim::RoArray& array, const TempAwareConfig& config);
+
+    struct Enrollment {
+        TempAwareHelper helper;
+        bits::BitVec key;
+        /// Ground-truth reference bit per pair (tests/attack verification;
+        /// not part of the public helper data).
+        std::vector<std::uint8_t> reference_bits;
+    };
+
+    /// One-time enrollment (measures at both range extremes).
+    Enrollment enroll(rng::Xoshiro256pp& rng) const;
+
+    struct Reconstruction {
+        bool ok = false;
+        bits::BitVec key;
+        int corrected = 0;
+    };
+
+    /// Key regeneration at ambient temperature `temperature_c` with the given
+    /// (possibly manipulated) helper data.
+    Reconstruction reconstruct(const TempAwareHelper& helper, double temperature_c,
+                               rng::Xoshiro256pp& rng) const;
+
+    /// Key-bit position of pair `pair_index` given a helper's records
+    /// (-1 when the pair carries no key bit). The layout is shared knowledge:
+    /// kept pairs contribute bits in pair-index order.
+    static int key_position(const TempAwareHelper& helper, int pair_index);
+
+    /// Number of key bits implied by a helper's records.
+    static int key_bits(const TempAwareHelper& helper);
+
+    const std::vector<helperdata::IndexPair>& pairs() const { return pairs_; }
+    const sim::RoArray& array() const { return *array_; }
+    const TempAwareConfig& config() const { return config_; }
+    const ecc::BchCode& code() const { return code_; }
+
+private:
+    /// Resolves the bit of pair `p` with the outside-interval rule only
+    /// (sign at T, inverted for a cooperating record with T > Th).
+    static std::uint8_t direct_bit(const std::vector<double>& freqs,
+                                   const TempAwareHelper& helper, int p, double temperature_c);
+
+    const sim::RoArray* array_;
+    TempAwareConfig config_;
+    ecc::BchCode code_;
+    std::vector<helperdata::IndexPair> pairs_;
+};
+
+} // namespace ropuf::tempaware

@@ -1,0 +1,134 @@
+// Type-erased code facade + concatenation tests.
+#include <gtest/gtest.h>
+
+#include "ropuf/ecc/any_code.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace {
+
+namespace bits = ropuf::bits;
+using ropuf::ecc::AnyCode;
+using ropuf::ecc::concatenate;
+using ropuf::rng::Xoshiro256pp;
+
+TEST(AnyCode, AdaptersReportFamilyParameters) {
+    const auto bch = AnyCode::bch(5, 2);
+    EXPECT_EQ(bch.n(), 31);
+    EXPECT_EQ(bch.k(), 21);
+    EXPECT_EQ(bch.t(), 2);
+    EXPECT_EQ(bch.name(), "BCH(31,21,2)");
+
+    const auto rm = AnyCode::reed_muller(5);
+    EXPECT_EQ(rm.n(), 32);
+    EXPECT_EQ(rm.k(), 6);
+    EXPECT_EQ(rm.name(), "RM(1,5)");
+
+    const auto rep = AnyCode::repetition(5);
+    EXPECT_EQ(rep.n(), 5);
+    EXPECT_EQ(rep.k(), 1);
+    EXPECT_EQ(rep.t(), 2);
+    EXPECT_NEAR(rep.rate(), 0.2, 1e-12);
+}
+
+class AnyCodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnyCodeRoundTrip, EveryFamilyCorrectsUpToT) {
+    Xoshiro256pp rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+    const AnyCode codes[] = {AnyCode::bch(5, 3), AnyCode::reed_muller(5),
+                             AnyCode::repetition(7)};
+    for (const auto& code : codes) {
+        for (int e = 0; e <= code.t(); ++e) {
+            const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+            auto received = code.encode(msg);
+            bits::flip_random(received, e, rng);
+            const auto result = code.decode(received);
+            ASSERT_TRUE(result.ok) << code.name() << " e=" << e;
+            EXPECT_EQ(result.message, msg) << code.name();
+            EXPECT_EQ(result.codeword, code.encode(msg)) << code.name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, AnyCodeRoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(Concatenated, ParametersOfTheClassicPufChain) {
+    // Rep(3) inside BCH(31,21,2): the early fuzzy-extractor workhorse shape.
+    const auto code = concatenate(AnyCode::bch(5, 2), AnyCode::repetition(3));
+    EXPECT_EQ(code.n(), 31 * 3);
+    EXPECT_EQ(code.k(), 21);
+    EXPECT_EQ(code.t(), (1 + 1) * (2 + 1) - 1); // 5 guaranteed
+    EXPECT_EQ(code.name(), "BCH(31,21,2) o Rep(3)");
+}
+
+TEST(Concatenated, RoundTripNoiseless) {
+    const auto code = concatenate(AnyCode::bch(5, 2), AnyCode::repetition(3));
+    Xoshiro256pp rng(7101);
+    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    const auto cw = code.encode(msg);
+    EXPECT_EQ(static_cast<int>(cw.size()), code.n());
+    const auto result = code.decode(cw);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.message, msg);
+    EXPECT_EQ(result.corrected, 0);
+}
+
+TEST(Concatenated, CorrectsGuaranteedRadius) {
+    const auto code = concatenate(AnyCode::bch(5, 2), AnyCode::repetition(3));
+    Xoshiro256pp rng(7102);
+    for (int e = 0; e <= code.t(); ++e) {
+        for (int trial = 0; trial < 10; ++trial) {
+            const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+            auto received = code.encode(msg);
+            bits::flip_random(received, e, rng);
+            const auto result = code.decode(received);
+            ASSERT_TRUE(result.ok) << "e=" << e;
+            EXPECT_EQ(result.message, msg) << "e=" << e;
+        }
+    }
+}
+
+TEST(Concatenated, SurvivesHighRandomBitErrorRate) {
+    // The reason for concatenation: at 10% BER a bare BCH(31,21,2) block
+    // usually fails, while Rep(3)-inside-BCH almost always recovers.
+    const auto bare = AnyCode::bch(5, 2);
+    const auto chained = concatenate(AnyCode::bch(5, 2), AnyCode::repetition(3));
+    Xoshiro256pp rng(7103);
+    int bare_ok = 0;
+    int chained_ok = 0;
+    constexpr int kTrials = 200;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto msg = bits::random_bits(static_cast<std::size_t>(bare.k()), rng);
+        auto rx1 = bare.encode(msg);
+        for (auto& b : rx1) b ^= rng.bernoulli(0.10) ? 1 : 0;
+        const auto r1 = bare.decode(rx1);
+        bare_ok += r1.ok && r1.message == msg;
+
+        auto rx2 = chained.encode(msg);
+        for (auto& b : rx2) b ^= rng.bernoulli(0.10) ? 1 : 0;
+        const auto r2 = chained.decode(rx2);
+        chained_ok += r2.ok && r2.message == msg;
+    }
+    EXPECT_LT(bare_ok, kTrials / 2);
+    EXPECT_GT(chained_ok, kTrials * 8 / 10);
+}
+
+TEST(Concatenated, RmOuterAlsoWorks) {
+    const auto code = concatenate(AnyCode::reed_muller(4), AnyCode::repetition(3));
+    EXPECT_EQ(code.n(), 48);
+    EXPECT_EQ(code.k(), 5);
+    Xoshiro256pp rng(7104);
+    const auto msg = bits::random_bits(5, rng);
+    auto received = code.encode(msg);
+    bits::flip_random(received, code.t(), rng);
+    const auto result = code.decode(received);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.message, msg);
+}
+
+TEST(Concatenated, MismatchedInnerKRejected) {
+    // Inner k = 21 does not divide outer n = 32.
+    EXPECT_THROW(concatenate(AnyCode::reed_muller(5), AnyCode::bch(5, 2)),
+                 std::invalid_argument);
+}
+
+} // namespace

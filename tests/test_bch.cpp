@@ -1,0 +1,197 @@
+// BCH encoder/decoder tests, parameterized over (m, t).
+#include <gtest/gtest.h>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/ecc/bch.hpp"
+#include "ropuf/ecc/repetition.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace {
+
+namespace bits = ropuf::bits;
+using ropuf::ecc::BchCode;
+using ropuf::ecc::RepetitionCode;
+using ropuf::rng::Xoshiro256pp;
+
+struct BchParams {
+    int m;
+    int t;
+    int expected_k; // standard (n, k) values from code tables
+};
+
+class BchParam : public ::testing::TestWithParam<BchParams> {};
+
+TEST_P(BchParam, DimensionsMatchStandardTables) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    EXPECT_EQ(code.n(), (1 << m) - 1);
+    EXPECT_EQ(code.k(), expected_k);
+    EXPECT_EQ(code.parity_bits(), code.n() - code.k());
+}
+
+TEST_P(BchParam, EncodeIsSystematic) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    Xoshiro256pp rng(41);
+    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    const auto cw = code.encode(msg);
+    ASSERT_EQ(static_cast<int>(cw.size()), code.n());
+    EXPECT_EQ(bits::slice(cw, 0, static_cast<std::size_t>(code.k())), msg);
+    EXPECT_EQ(code.message_of(cw), msg);
+}
+
+TEST_P(BchParam, EncodedWordsAreCodewords) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    Xoshiro256pp rng(42);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+        EXPECT_TRUE(code.is_codeword(code.encode(msg)));
+    }
+}
+
+TEST_P(BchParam, ParityIsLinear) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    Xoshiro256pp rng(43);
+    const auto m1 = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    const auto m2 = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    const auto p1 = code.parity(m1);
+    const auto p2 = code.parity(m2);
+    EXPECT_EQ(code.parity(bits::xor_bits(m1, m2)), bits::xor_bits(p1, p2));
+    EXPECT_EQ(code.parity(bits::zeros(static_cast<std::size_t>(code.k()))),
+              bits::zeros(static_cast<std::size_t>(code.parity_bits())));
+}
+
+TEST_P(BchParam, CorrectsUpToTErrors) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    Xoshiro256pp rng(44);
+    for (int e = 0; e <= t; ++e) {
+        for (int trial = 0; trial < 8; ++trial) {
+            const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+            const auto cw = code.encode(msg);
+            auto received = cw;
+            bits::flip_random(received, e, rng);
+            const auto result = code.decode(received);
+            ASSERT_TRUE(result.ok) << "m=" << m << " t=" << t << " e=" << e;
+            EXPECT_EQ(result.codeword, cw);
+            EXPECT_EQ(result.corrected, e);
+        }
+    }
+}
+
+TEST_P(BchParam, DetectsOrMiscorrectsBeyondT) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    Xoshiro256pp rng(45);
+    int detected = 0;
+    int miscorrected_to_wrong = 0;
+    constexpr int kTrials = 30;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+        const auto cw = code.encode(msg);
+        auto received = cw;
+        bits::flip_random(received, t + 2, rng);
+        const auto result = code.decode(received);
+        if (!result.ok) {
+            ++detected;
+        } else if (result.codeword != cw) {
+            ++miscorrected_to_wrong;
+            EXPECT_TRUE(code.is_codeword(result.codeword));
+        } else {
+            // t+2 flips can cancel only if flip_random repeated a position,
+            // which it does not — decoding back to cw would need distance<=t.
+            ADD_FAILURE() << "t+2 distinct errors decoded back to the original";
+        }
+    }
+    // Either outcome is legitimate, but the decoder must never be silent
+    // about success while returning garbage lengths.
+    EXPECT_EQ(detected + miscorrected_to_wrong, kTrials);
+}
+
+TEST_P(BchParam, ZeroErrorsFastPath) {
+    const auto [m, t, expected_k] = GetParam();
+    const BchCode code(m, t);
+    Xoshiro256pp rng(46);
+    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    const auto cw = code.encode(msg);
+    const auto result = code.decode(cw);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 0);
+    EXPECT_EQ(result.codeword, cw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardCodes, BchParam,
+    ::testing::Values(BchParams{4, 1, 11}, BchParams{4, 2, 7}, BchParams{4, 3, 5},
+                      BchParams{5, 1, 26}, BchParams{5, 2, 21}, BchParams{5, 3, 16},
+                      BchParams{6, 1, 57}, BchParams{6, 2, 51}, BchParams{6, 3, 45},
+                      BchParams{6, 4, 39}, BchParams{7, 2, 113}, BchParams{7, 4, 99},
+                      BchParams{8, 2, 239}, BchParams{8, 5, 215}));
+
+TEST(Bch, HammingCodeSpecialCase) {
+    // BCH(7, 4, 1) is the Hamming code.
+    const BchCode code(3, 1);
+    EXPECT_EQ(code.n(), 7);
+    EXPECT_EQ(code.k(), 4);
+    // Every single-bit error is correctable.
+    Xoshiro256pp rng(47);
+    const auto msg = bits::from_string("1011");
+    const auto cw = code.encode(msg);
+    for (int pos = 0; pos < 7; ++pos) {
+        auto received = cw;
+        bits::flip(received, static_cast<std::size_t>(pos));
+        const auto result = code.decode(received);
+        ASSERT_TRUE(result.ok);
+        EXPECT_EQ(result.codeword, cw);
+    }
+}
+
+TEST(Bch, RejectsDegenerateParameters) {
+    EXPECT_THROW(BchCode(3, 0), std::invalid_argument);
+    EXPECT_THROW(BchCode(4, 8), std::invalid_argument); // no message bits left
+}
+
+TEST(Bch, GeneratorDividesXnMinusOne) {
+    // g(x) | x^n - 1 is equivalent to: encoding the all-zero message yields
+    // zero parity and shifting any codeword cyclically stays a codeword.
+    const BchCode code(5, 2);
+    Xoshiro256pp rng(48);
+    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
+    auto cw = code.encode(msg);
+    // Cyclic shift by one position.
+    bits::BitVec shifted(cw.size());
+    for (std::size_t i = 0; i < cw.size(); ++i) {
+        shifted[(i + 1) % cw.size()] = cw[i];
+    }
+    EXPECT_TRUE(code.is_codeword(shifted));
+}
+
+TEST(Repetition, EncodeDecodeMajority) {
+    const RepetitionCode rep(5);
+    EXPECT_EQ(rep.t(), 2);
+    const auto cw = rep.encode_bit(1);
+    EXPECT_EQ(bits::weight(cw), 5);
+    auto noisy = cw;
+    noisy[0] = 0;
+    noisy[3] = 0;
+    EXPECT_EQ(rep.decode_bit(noisy), 1);
+    noisy[4] = 0;
+    EXPECT_EQ(rep.decode_bit(noisy), 0); // 3 of 5 flipped: majority lost
+}
+
+TEST(Repetition, VectorRoundTrip) {
+    const RepetitionCode rep(3);
+    const auto msg = bits::from_string("1011");
+    const auto cw = rep.encode(msg);
+    EXPECT_EQ(cw.size(), 12u);
+    EXPECT_EQ(rep.decode(cw), msg);
+}
+
+TEST(Repetition, RejectsEvenLength) {
+    EXPECT_THROW(RepetitionCode(4), std::invalid_argument);
+    EXPECT_THROW(RepetitionCode(0), std::invalid_argument);
+}
+
+} // namespace

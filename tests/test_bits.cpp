@@ -1,0 +1,103 @@
+// Unit tests for the bit-vector utilities.
+#include <gtest/gtest.h>
+
+#include "ropuf/bits/bitvec.hpp"
+
+namespace {
+
+using namespace ropuf::bits;
+using ropuf::rng::Xoshiro256pp;
+
+TEST(BitVec, XorBasics) {
+    const auto a = from_string("1100");
+    const auto b = from_string("1010");
+    EXPECT_EQ(to_string(xor_bits(a, b)), "0110");
+    auto c = a;
+    xor_into(c, b);
+    EXPECT_EQ(to_string(c), "0110");
+}
+
+TEST(BitVec, WeightAndHamming) {
+    EXPECT_EQ(weight(from_string("101101")), 4);
+    EXPECT_EQ(weight(zeros(8)), 0);
+    EXPECT_EQ(weight(ones(8)), 8);
+    EXPECT_EQ(hamming(from_string("1010"), from_string("0110")), 2);
+    EXPECT_EQ(hamming(from_string("1111"), from_string("1111")), 0);
+}
+
+TEST(BitVec, FlipSingle) {
+    auto v = zeros(5);
+    flip(v, 2);
+    EXPECT_EQ(to_string(v), "00100");
+    flip(v, 2);
+    EXPECT_EQ(to_string(v), "00000");
+}
+
+TEST(BitVec, FlipRandomFlipsExactlyCountDistinctPositions) {
+    Xoshiro256pp rng(11);
+    for (int count : {0, 1, 5, 32}) {
+        auto v = zeros(32);
+        const auto positions = flip_random(v, count, rng);
+        EXPECT_EQ(static_cast<int>(positions.size()), count);
+        EXPECT_EQ(weight(v), count);
+    }
+}
+
+TEST(BitVec, RandomBitsRoughlyBalanced) {
+    Xoshiro256pp rng(12);
+    const auto v = random_bits(20000, rng);
+    EXPECT_NEAR(bias(v), 0.5, 0.02);
+}
+
+TEST(BitVec, ComplementInverts) {
+    const auto v = from_string("10110");
+    EXPECT_EQ(to_string(complement(v)), "01001");
+    EXPECT_EQ(complement(complement(v)), v);
+}
+
+TEST(BitVec, ConcatAndSlice) {
+    const auto v = concat(from_string("101"), from_string("0011"));
+    EXPECT_EQ(to_string(v), "1010011");
+    EXPECT_EQ(to_string(slice(v, 2, 3)), "100");
+    EXPECT_EQ(to_string(slice(v, 0, 0)), "");
+}
+
+TEST(BitVec, PackUnpackRoundTrip) {
+    Xoshiro256pp rng(13);
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 100u}) {
+        const auto v = random_bits(n, rng);
+        const auto bytes = pack_bytes(v);
+        EXPECT_EQ(bytes.size(), (n + 7) / 8);
+        EXPECT_EQ(unpack_bytes(bytes, n), v);
+    }
+}
+
+TEST(BitVec, PackIsMsbFirst) {
+    const auto v = from_string("10000001");
+    const auto bytes = pack_bytes(v);
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0x81u);
+}
+
+TEST(BitVec, StringRoundTripAndValidation) {
+    const auto v = from_string("0110101");
+    EXPECT_EQ(to_string(v), "0110101");
+    EXPECT_THROW(from_string("01x0"), std::invalid_argument);
+}
+
+TEST(BitVec, U64RoundTrip) {
+    EXPECT_EQ(to_u64(from_string("101")), 5u);
+    EXPECT_EQ(to_string(from_u64(5, 3)), "101");
+    EXPECT_EQ(to_string(from_u64(5, 6)), "000101");
+    for (std::uint64_t x : {0ULL, 1ULL, 255ULL, 1ULL << 40, 0xdeadbeefULL}) {
+        EXPECT_EQ(to_u64(from_u64(x, 64)), x);
+    }
+}
+
+TEST(BitVec, BiasEdgeCases) {
+    EXPECT_EQ(bias({}), 0.0);
+    EXPECT_EQ(bias(ones(10)), 1.0);
+    EXPECT_EQ(bias(zeros(10)), 0.0);
+}
+
+} // namespace

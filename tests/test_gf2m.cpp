@@ -1,0 +1,110 @@
+// Field-axiom and table-consistency tests for GF(2^m), parameterized over m.
+#include <gtest/gtest.h>
+
+#include "ropuf/ecc/gf2m.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace {
+
+using ropuf::ecc::Gf2m;
+
+class Gf2mParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gf2mParam, ExpLogRoundTrip) {
+    const Gf2m f(GetParam());
+    for (int x = 1; x < f.size(); ++x) {
+        EXPECT_EQ(f.alpha_pow(f.log(x)), x);
+    }
+}
+
+TEST_P(Gf2mParam, AlphaHasFullOrder) {
+    const Gf2m f(GetParam());
+    // alpha^n = 1 and no smaller positive power is 1 for prime-order checks;
+    // full-order is implied by the log table being a bijection.
+    EXPECT_EQ(f.alpha_pow(f.n()), 1);
+    EXPECT_EQ(f.log(1), 0);
+}
+
+TEST_P(Gf2mParam, MultiplicationCommutesAndAssociates) {
+    const Gf2m f(GetParam());
+    ropuf::rng::Xoshiro256pp rng(31);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int a = rng.uniform_int(0, f.size() - 1);
+        const int b = rng.uniform_int(0, f.size() - 1);
+        const int c = rng.uniform_int(0, f.size() - 1);
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    }
+}
+
+TEST_P(Gf2mParam, DistributivityOverAddition) {
+    const Gf2m f(GetParam());
+    ropuf::rng::Xoshiro256pp rng(32);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int a = rng.uniform_int(0, f.size() - 1);
+        const int b = rng.uniform_int(0, f.size() - 1);
+        const int c = rng.uniform_int(0, f.size() - 1);
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    }
+}
+
+TEST_P(Gf2mParam, InverseIsTwoSided) {
+    const Gf2m f(GetParam());
+    for (int x = 1; x < f.size(); ++x) {
+        EXPECT_EQ(f.mul(x, f.inv(x)), 1);
+        EXPECT_EQ(f.mul(f.inv(x), x), 1);
+    }
+}
+
+TEST_P(Gf2mParam, ZeroAnnihilates) {
+    const Gf2m f(GetParam());
+    for (int x = 0; x < f.size(); ++x) {
+        EXPECT_EQ(f.mul(0, x), 0);
+        EXPECT_EQ(f.mul(x, 0), 0);
+    }
+}
+
+TEST_P(Gf2mParam, PowMatchesRepeatedMultiplication) {
+    const Gf2m f(GetParam());
+    ropuf::rng::Xoshiro256pp rng(33);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int a = rng.uniform_int(1, f.size() - 1);
+        int acc = 1;
+        for (int e = 0; e <= 8; ++e) {
+            EXPECT_EQ(f.pow(a, e), acc);
+            acc = f.mul(acc, a);
+        }
+    }
+    EXPECT_EQ(f.pow(0, 0), 1);
+    EXPECT_EQ(f.pow(0, 5), 0);
+}
+
+TEST_P(Gf2mParam, PolynomialEvaluationHorner) {
+    const Gf2m f(GetParam());
+    // p(x) = 1 + x + x^2 at alpha: compare against manual sum.
+    const std::vector<int> coeffs{1, 1, 1};
+    const int alpha = f.alpha_pow(1);
+    const int expected = f.add(f.add(1, alpha), f.mul(alpha, alpha));
+    EXPECT_EQ(f.eval_poly(coeffs, alpha), expected);
+    // Empty polynomial is zero; constant polynomial is itself.
+    EXPECT_EQ(f.eval_poly({}, alpha), 0);
+    EXPECT_EQ(f.eval_poly({7 % f.size()}, alpha), 7 % f.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, Gf2mParam, ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Gf2m, RejectsUnsupportedDegrees) {
+    EXPECT_THROW(Gf2m(2), std::invalid_argument);
+    EXPECT_THROW(Gf2m(15), std::invalid_argument);
+}
+
+TEST(Gf2m, Gf16KnownTable) {
+    // GF(16) with x^4 + x + 1: alpha^4 = alpha + 1 = 0b0011.
+    const Gf2m f(4);
+    EXPECT_EQ(f.alpha_pow(0), 1);
+    EXPECT_EQ(f.alpha_pow(1), 2);
+    EXPECT_EQ(f.alpha_pow(4), 3);
+    EXPECT_EQ(f.alpha_pow(15), 1);
+}
+
+} // namespace

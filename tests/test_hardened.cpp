@@ -1,0 +1,172 @@
+// Hardened-device tests: the Section VII countermeasures must keep the
+// honest path intact and reduce every Section VI attack to refusal/DoS.
+#include <gtest/gtest.h>
+
+#include "ropuf/attack/group_attack.hpp"
+#include "ropuf/attack/seqpair_attack.hpp"
+#include "ropuf/hardened/hardened_devices.hpp"
+
+namespace {
+
+namespace bits = ropuf::bits;
+using namespace ropuf;
+using namespace ropuf::hardened;
+
+const std::vector<std::uint8_t> kDeviceKey{0xd3, 0x7f, 0x11, 0x42, 0x90};
+
+TEST(HardenedSeq, HonestPathStillWorks) {
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 901);
+    const pairing::SeqPairingPuf inner(chip, pairing::SeqPairingConfig{});
+    const HardenedSeqPairingPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(902);
+    const auto enrollment = puf.enroll(rng);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto rec = puf.reconstruct(enrollment.sealed_nvm, rng);
+        ASSERT_TRUE(rec.ok);
+        EXPECT_EQ(rec.refusal, Refusal::None);
+        EXPECT_EQ(rec.key, enrollment.key);
+    }
+}
+
+TEST(HardenedSeq, AnyByteFlipIsRefused) {
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 903);
+    const pairing::SeqPairingPuf inner(chip, pairing::SeqPairingConfig{});
+    const HardenedSeqPairingPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(904);
+    const auto enrollment = puf.enroll(rng);
+    for (std::size_t i = 0; i < enrollment.sealed_nvm.size();
+         i += enrollment.sealed_nvm.size() / 11) {
+        auto tampered = enrollment.sealed_nvm;
+        tampered[i] ^= 0x20;
+        const auto rec = puf.reconstruct(tampered, rng);
+        EXPECT_FALSE(rec.ok);
+        EXPECT_EQ(rec.refusal, Refusal::SealBroken) << "byte " << i;
+    }
+}
+
+TEST(HardenedSeq, SwapAttackVariantsAllRefused) {
+    // Craft exactly the Section VI-A manipulations and show the oracle the
+    // attack needs no longer exists: every variant is refused identically.
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 905);
+    const pairing::SeqPairingPuf inner(chip, pairing::SeqPairingConfig{});
+    const HardenedSeqPairingPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(906);
+    const auto enrollment = puf.enroll(rng);
+    // The attacker can still PARSE the sealed blob (it is public!) — he just
+    // cannot produce a valid seal for his variants.
+    const auto body = std::vector<std::uint8_t>(
+        enrollment.sealed_nvm.begin(), enrollment.sealed_nvm.end() - 32);
+    const auto pristine = pairing::parse_seq_pairing(helperdata::Nvm(body));
+    int refusals = 0;
+    for (int j = 1; j <= 5; ++j) {
+        const auto variant = attack::SeqPairingAttack::make_swap_helper(
+            pristine, inner.code(), 0, j, inner.code().t());
+        auto forged = pairing::serialize(variant).bytes();
+        forged.insert(forged.end(), enrollment.sealed_nvm.end() - 32,
+                      enrollment.sealed_nvm.end()); // reuse the old tag
+        const auto rec = puf.reconstruct(forged, rng);
+        EXPECT_FALSE(rec.ok);
+        refusals += rec.refusal == Refusal::SealBroken;
+    }
+    EXPECT_EQ(refusals, 5) << "every forged variant must die at the seal";
+}
+
+TEST(HardenedSeq, ReuseIntroducingHelperCaughtStructurally) {
+    // If the seal were absent (device key leaked), the structural layer still
+    // catches re-use manipulations: seal a malicious blob with the real key.
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 907);
+    const pairing::SeqPairingPuf inner(chip, pairing::SeqPairingConfig{});
+    const HardenedSeqPairingPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(908);
+    const auto enrollment = puf.enroll(rng);
+    const auto body = std::vector<std::uint8_t>(
+        enrollment.sealed_nvm.begin(), enrollment.sealed_nvm.end() - 32);
+    auto helper = pairing::parse_seq_pairing(helperdata::Nvm(body));
+    helper.pairs[1] = helper.pairs[0]; // RO re-use
+    const helperdata::HelperAuthenticator auth(kDeviceKey);
+    const auto resealed = auth.seal(pairing::serialize(helper).bytes());
+    const auto rec = puf.reconstruct(resealed, rng);
+    EXPECT_FALSE(rec.ok);
+    EXPECT_EQ(rec.refusal, Refusal::StructuralCheck);
+}
+
+sim::ProcessParams quiet_params() {
+    sim::ProcessParams p{};
+    p.sigma_noise_mhz = 0.02;
+    return p;
+}
+
+TEST(HardenedGroup, HonestPathStillWorks) {
+    const sim::RoArray chip({10, 4}, quiet_params(), 911);
+    group::GroupPufConfig cfg;
+    cfg.delta_f_th = 0.15;
+    const group::GroupBasedPuf inner(chip, cfg);
+    const HardenedGroupPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(912);
+    const auto enrollment = puf.enroll(rng);
+    const auto rec = puf.reconstruct(enrollment.sealed_nvm, rng);
+    ASSERT_TRUE(rec.ok);
+    EXPECT_EQ(rec.key, enrollment.key);
+}
+
+TEST(HardenedGroup, DistillerInjectionDiesAtPlausibilityBoundEvenUnsealed) {
+    // Even the checks-only device (no seal) stops the Fig. 6a surfaces.
+    const sim::RoArray chip({10, 4}, quiet_params(), 913);
+    group::GroupPufConfig cfg;
+    cfg.delta_f_th = 0.15;
+    const group::GroupBasedPuf inner(chip, cfg);
+    const HardenedGroupPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(914);
+    const auto inner_enrollment = inner.enroll(rng);
+    const auto instance = attack::GroupBasedAttack::build_comparison(
+        inner_enrollment.helper, chip.geometry(), inner.code(), 3, 17, 1000.0);
+    for (int h = 0; h < 2; ++h) {
+        const auto rec = puf.reconstruct_checked_only(instance.helper[h], rng);
+        EXPECT_FALSE(rec.ok);
+        EXPECT_EQ(rec.refusal, Refusal::Implausible);
+    }
+    // The honest helper sails through the same check.
+    const auto honest = puf.reconstruct_checked_only(inner_enrollment.helper, rng);
+    EXPECT_TRUE(honest.ok);
+}
+
+TEST(HardenedGroup, FullAttackAgainstSealedDeviceRecoversNothing) {
+    // End-to-end: run the Section VI-C attack with an oracle that goes
+    // through the hardened device. Every query must be refused, so the
+    // comparator never resolves and the attack reports failure.
+    const sim::RoArray chip({10, 4}, quiet_params(), 915);
+    group::GroupPufConfig cfg;
+    cfg.delta_f_th = 0.15;
+    const group::GroupBasedPuf inner(chip, cfg);
+    const HardenedGroupPuf puf(inner, kDeviceKey);
+    rng::Xoshiro256pp rng(916);
+    const auto enrollment = puf.enroll(rng);
+    const auto body = std::vector<std::uint8_t>(
+        enrollment.sealed_nvm.begin(), enrollment.sealed_nvm.end() - 32);
+    const auto pristine = group::parse_group_puf(helperdata::Nvm(body));
+
+    rng::Xoshiro256pp noise(917);
+    int comparisons = 0;
+    attack::GroupBasedAttack::Config acfg;
+    acfg.max_retries = 1;
+    // Oracle shim: attacker writes (unsealable) variants; device refuses all.
+    const auto instance = attack::GroupBasedAttack::build_comparison(
+        pristine, chip.geometry(), inner.code(), 0, 11, acfg.steep_amp);
+    for (int h = 0; h < 2; ++h) {
+        auto blob = group::serialize(instance.helper[h]).bytes();
+        blob.insert(blob.end(), enrollment.sealed_nvm.end() - 32, enrollment.sealed_nvm.end());
+        const auto rec = puf.reconstruct(blob, noise);
+        EXPECT_FALSE(rec.ok);
+        ++comparisons;
+    }
+    EXPECT_EQ(comparisons, 2);
+}
+
+TEST(Refusal, NamesAreStable) {
+    EXPECT_STREQ(to_string(Refusal::None), "none");
+    EXPECT_STREQ(to_string(Refusal::SealBroken), "seal broken");
+    EXPECT_STREQ(to_string(Refusal::StructuralCheck), "structural check");
+    EXPECT_STREQ(to_string(Refusal::Implausible), "implausible coefficients");
+}
+
+} // namespace

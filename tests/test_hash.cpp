@@ -1,0 +1,110 @@
+// SHA-256 / HMAC-SHA-256 against FIPS 180-4 and RFC 4231 vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ropuf/hash/sha256.hpp"
+
+namespace {
+
+using ropuf::hash::Digest;
+using ropuf::hash::hmac_sha256;
+using ropuf::hash::Sha256;
+using ropuf::hash::to_hex;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+    return {s.begin(), s.end()};
+}
+
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(to_hex(Sha256::hash("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(to_hex(Sha256::hash("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(to_hex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+    // 64-byte message exercises the "no room for length" padding path.
+    const std::string m(64, 'x');
+    EXPECT_EQ(to_hex(Sha256::hash(m)), to_hex(Sha256::hash(m))); // deterministic
+    // Cross-check against incremental update in odd chunk sizes.
+    Sha256 h;
+    h.update(m.substr(0, 13));
+    h.update(m.substr(13, 50));
+    h.update(m.substr(63));
+    EXPECT_EQ(to_hex(h.finalize()), to_hex(Sha256::hash(m)));
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+    // 55 bytes: padding fits in one block; 56 bytes: needs an extra block.
+    const std::string m55(55, 'y');
+    const std::string m56(56, 'y');
+    EXPECT_NE(to_hex(Sha256::hash(m55)), to_hex(Sha256::hash(m56)));
+    for (const auto& m : {m55, m56}) {
+        Sha256 h;
+        for (char c : m) h.update(std::string(1, c));
+        EXPECT_EQ(to_hex(h.finalize()), to_hex(Sha256::hash(m)));
+    }
+}
+
+TEST(Sha256, ResetReusesObject) {
+    Sha256 h;
+    h.update("abc");
+    (void)h.finalize();
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(to_hex(h.finalize()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+    EXPECT_EQ(to_hex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+    const auto mac = hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+    EXPECT_EQ(to_hex(mac),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+    const std::vector<std::uint8_t> key(20, 0xaa);
+    const std::vector<std::uint8_t> msg(50, 0xdd);
+    EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+    // RFC 4231 case 6: 131-byte key.
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    const auto mac = hmac_sha256(key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+    EXPECT_EQ(to_hex(mac),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+    const auto m = bytes_of("fixed message");
+    EXPECT_NE(to_hex(hmac_sha256(bytes_of("k1"), m)), to_hex(hmac_sha256(bytes_of("k2"), m)));
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+// Kendall and compact coding tests — including a bit-exact regeneration of
+// the paper's Table I.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "ropuf/group/compact.hpp"
+#include "ropuf/group/kendall.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace {
+
+namespace bits = ropuf::bits;
+using namespace ropuf::group;
+
+Order order_from_letters(const std::string& letters) {
+    Order order;
+    for (char c : letters) order.push_back(c - 'A');
+    return order;
+}
+
+// The paper's Table I, verbatim: order -> (compact, Kendall).
+const std::map<std::string, std::pair<std::string, std::string>> kTable1 = {
+    {"ABCD", {"00000", "000000"}}, {"CABD", {"01100", "010100"}},
+    {"ABDC", {"00001", "000001"}}, {"CADB", {"01101", "010110"}},
+    {"ACBD", {"00010", "000100"}}, {"CBAD", {"01110", "110100"}},
+    {"ACDB", {"00011", "000110"}}, {"CBDA", {"01111", "111100"}},
+    {"ADBC", {"00100", "000011"}}, {"CDAB", {"10000", "011110"}},
+    {"ADCB", {"00101", "000111"}}, {"CDBA", {"10001", "111110"}},
+    {"BACD", {"00110", "100000"}}, {"DABC", {"10010", "001011"}},
+    {"BADC", {"00111", "100001"}}, {"DACB", {"10011", "001111"}},
+    {"BCAD", {"01000", "110000"}}, {"DBAC", {"10100", "101011"}},
+    {"BCDA", {"01001", "111000"}}, {"DBCA", {"10101", "111011"}},
+    {"BDAC", {"01010", "101001"}}, {"DCAB", {"10110", "011111"}},
+    {"BDCA", {"01011", "111001"}}, {"DCBA", {"10111", "111111"}},
+};
+
+TEST(Table1, KendallColumnMatchesPaperExactly) {
+    for (const auto& [letters, coding] : kTable1) {
+        const auto order = order_from_letters(letters);
+        EXPECT_EQ(bits::to_string(kendall_encode(order)), coding.second) << letters;
+    }
+}
+
+TEST(Table1, CompactColumnMatchesPaperExactly) {
+    for (const auto& [letters, coding] : kTable1) {
+        const auto order = order_from_letters(letters);
+        EXPECT_EQ(bits::to_string(compact_encode(order)), coding.first) << letters;
+    }
+}
+
+TEST(Kendall, BitCountFormula) {
+    EXPECT_EQ(kendall_bits(1), 0);
+    EXPECT_EQ(kendall_bits(2), 1);
+    EXPECT_EQ(kendall_bits(4), 6);
+    EXPECT_EQ(kendall_bits(8), 28);
+}
+
+TEST(Kendall, PairIndexIsLexicographicBijection) {
+    for (int g : {2, 3, 5, 8}) {
+        std::set<int> seen;
+        for (int i = 0; i < g; ++i) {
+            for (int j = i + 1; j < g; ++j) {
+                const int idx = kendall_pair_index(i, j, g);
+                EXPECT_GE(idx, 0);
+                EXPECT_LT(idx, kendall_bits(g));
+                EXPECT_TRUE(seen.insert(idx).second);
+            }
+        }
+        EXPECT_EQ(static_cast<int>(seen.size()), kendall_bits(g));
+    }
+}
+
+class KendallRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallRoundTrip, EncodeDecodeExactOverAllPermutations) {
+    const int g = GetParam();
+    Order perm(static_cast<std::size_t>(g));
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+        const auto code = kendall_encode(perm);
+        EXPECT_TRUE(kendall_is_valid(code, g));
+        const auto decoded = kendall_decode_exact(code, g);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST_P(KendallRoundTrip, CompactRoundTripOverAllPermutations) {
+    const int g = GetParam();
+    Order perm(static_cast<std::size_t>(g));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::uint64_t expected_rank = 0;
+    do {
+        EXPECT_EQ(lehmer_rank(perm), expected_rank);
+        EXPECT_EQ(lehmer_unrank(expected_rank, g), perm);
+        const auto decoded = compact_decode(compact_encode(perm), g);
+        EXPECT_TRUE(decoded.valid);
+        EXPECT_EQ(decoded.order, perm);
+        ++expected_rank;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, KendallRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Kendall, AdjacentFlipChangesExactlyOneBit) {
+    // "one observes that errors mostly occur in form of a flip, e.g. BACD to
+    // BCAD. Using Kendall coding ... there is only one error per flip."
+    ropuf::rng::Xoshiro256pp rng(171);
+    for (int g : {3, 4, 6, 8}) {
+        Order perm(static_cast<std::size_t>(g));
+        std::iota(perm.begin(), perm.end(), 0);
+        ropuf::rng::shuffle(perm, rng);
+        for (int r = 0; r + 1 < g; ++r) {
+            Order flipped = perm;
+            std::swap(flipped[static_cast<std::size_t>(r)],
+                      flipped[static_cast<std::size_t>(r + 1)]);
+            EXPECT_EQ(bits::hamming(kendall_encode(perm), kendall_encode(flipped)), 1);
+        }
+    }
+}
+
+TEST(Kendall, InvalidCodewordsDetected) {
+    // The intransitive tournament A>B, B>C, C>A for g = 3: bits (0,1)=0,
+    // (0,2)=1, (1,2)=0.
+    const auto cyclic = bits::from_string("010");
+    EXPECT_FALSE(kendall_is_valid(cyclic, 3));
+    EXPECT_FALSE(kendall_decode_exact(cyclic, 3).has_value());
+}
+
+TEST(Kendall, ValidCodewordCountIsFactorial) {
+    // Exactly g! of the 2^(g(g-1)/2) vectors are valid orders.
+    for (int g : {3, 4}) {
+        int valid = 0;
+        const int nb = kendall_bits(g);
+        for (std::uint64_t v = 0; v < (1ULL << nb); ++v) {
+            valid += kendall_is_valid(bits::from_u64(v, static_cast<std::size_t>(nb)), g);
+        }
+        EXPECT_EQ(valid, static_cast<int>(factorial(g)));
+    }
+}
+
+TEST(KendallNearest, SingleBitErrorDecodesToNeighborhood) {
+    // The Kendall code has minimum distance 1 (an adjacent transposition is
+    // one bit away), so a single flipped bit either still decodes to the
+    // original order or lands exactly on the transposed neighbor — this is
+    // why the construction needs the ECC stage at all.
+    ropuf::rng::Xoshiro256pp rng(172);
+    for (int g : {4, 5, 6}) {
+        for (int trial = 0; trial < 10; ++trial) {
+            Order perm(static_cast<std::size_t>(g));
+            std::iota(perm.begin(), perm.end(), 0);
+            ropuf::rng::shuffle(perm, rng);
+            auto code = kendall_encode(perm);
+            bits::flip(code, static_cast<std::size_t>(rng.uniform_int(0, kendall_bits(g) - 1)));
+            const auto decoded = kendall_decode_nearest(code, g);
+            // The decode is always at least as close to the received word...
+            EXPECT_LE(bits::hamming(kendall_encode(decoded), code), 1);
+            // ...and never further than two transpositions from the truth
+            // (ties at Hamming distance 1 include tau-2 orders, e.g. ABC
+            // with the (A,C) bit flipped is equidistant from ABC and CAB).
+            EXPECT_LE(kendall_tau(decoded, perm), 2);
+        }
+    }
+}
+
+TEST(KendallNearest, ValidCodewordIsFixedPoint) {
+    ropuf::rng::Xoshiro256pp rng(173);
+    for (int g : {3, 5, 9}) { // includes the Borda/local-search path (g > 7)
+        Order perm(static_cast<std::size_t>(g));
+        std::iota(perm.begin(), perm.end(), 0);
+        ropuf::rng::shuffle(perm, rng);
+        EXPECT_EQ(kendall_decode_nearest(kendall_encode(perm), g), perm);
+    }
+}
+
+TEST(KendallTau, MatchesInversionCount) {
+    EXPECT_EQ(kendall_tau(order_from_letters("ABCD"), order_from_letters("ABCD")), 0);
+    EXPECT_EQ(kendall_tau(order_from_letters("ABCD"), order_from_letters("BACD")), 1);
+    EXPECT_EQ(kendall_tau(order_from_letters("ABCD"), order_from_letters("DCBA")), 6);
+}
+
+TEST(Compact, BitWidths) {
+    EXPECT_EQ(compact_bits(1), 0);
+    EXPECT_EQ(compact_bits(2), 1);
+    EXPECT_EQ(compact_bits(3), 3);  // ceil(log2 6)
+    EXPECT_EQ(compact_bits(4), 5);  // ceil(log2 24) — Table I's 5-bit column
+    EXPECT_EQ(compact_bits(5), 7);  // ceil(log2 120)
+}
+
+TEST(Compact, Factorials) {
+    EXPECT_EQ(factorial(0), 1u);
+    EXPECT_EQ(factorial(4), 24u);
+    EXPECT_EQ(factorial(20), 2432902008176640000ULL);
+    EXPECT_THROW(factorial(21), std::invalid_argument);
+}
+
+TEST(Compact, UnusedCodepointsFlaggedInvalid) {
+    // g = 3 uses ranks 0..5 of 8 codepoints; 6 and 7 are invalid.
+    const auto bad = bits::from_u64(7, 3);
+    const auto decoded = compact_decode(bad, 3);
+    EXPECT_FALSE(decoded.valid);
+}
+
+TEST(Compact, PackEfficiencyPartialFix) {
+    // Section V-E: "the problem is only fixed partially, since |Gj|! is not a
+    // power of two, given |Gj| > 2."
+    EXPECT_DOUBLE_EQ(pack_efficiency(2), 1.0);
+    EXPECT_LT(pack_efficiency(3), 1.0);
+    EXPECT_GT(pack_efficiency(3), 0.8);
+    EXPECT_LT(pack_efficiency(5), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+// Pair-selection scheme tests: neighbor chains, 1-out-of-k masking and the
+// sequential pairing algorithm (paper Section IV).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ropuf/pairing/masking.hpp"
+#include "ropuf/pairing/neighbor_chain.hpp"
+#include "ropuf/pairing/sequential.hpp"
+
+namespace {
+
+using namespace ropuf::pairing;
+using ropuf::sim::ArrayGeometry;
+namespace helperdata = ropuf::helperdata;
+
+struct ChainCase {
+    ArrayGeometry g;
+    ChainOrder order;
+};
+
+class ChainParam : public ::testing::TestWithParam<ChainCase> {};
+
+TEST_P(ChainParam, DisjointChainProperties) {
+    const auto [g, order] = GetParam();
+    const auto pairs = neighbor_chain(g, order, ChainOverlap::Disjoint);
+    EXPECT_EQ(static_cast<int>(pairs.size()), g.count() / 2);
+    std::set<int> used;
+    for (const auto& [a, b] : pairs) {
+        EXPECT_TRUE(used.insert(a).second) << "RO reused";
+        EXPECT_TRUE(used.insert(b).second) << "RO reused";
+    }
+}
+
+TEST_P(ChainParam, OverlapChainProperties) {
+    const auto [g, order] = GetParam();
+    const auto pairs = neighbor_chain(g, order, ChainOverlap::Overlapping);
+    EXPECT_EQ(static_cast<int>(pairs.size()), g.count() - 1);
+    // Consecutive pairs share exactly one RO (the chain property).
+    for (std::size_t i = 0; i + 1 < pairs.size(); ++i) {
+        EXPECT_EQ(pairs[i].second, pairs[i + 1].first);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ChainParam,
+                         ::testing::Values(ChainCase{{10, 4}, ChainOrder::RowMajor},
+                                           ChainCase{{10, 4}, ChainOrder::Serpentine},
+                                           ChainCase{{16, 8}, ChainOrder::RowMajor},
+                                           ChainCase{{16, 8}, ChainOrder::Serpentine},
+                                           ChainCase{{6, 6}, ChainOrder::Serpentine}));
+
+TEST(Chain, SerpentinePairsArePhysicallyAdjacent) {
+    const ArrayGeometry g{10, 4};
+    for (auto overlap : {ChainOverlap::Disjoint, ChainOverlap::Overlapping}) {
+        for (const auto& [a, b] : neighbor_chain(g, ChainOrder::Serpentine, overlap)) {
+            EXPECT_TRUE(ropuf::sim::are_neighbors(g, a, b));
+        }
+    }
+}
+
+TEST(Chain, RowMajorMatchesFig6cNumbering) {
+    // Fig. 6c: indices 1..40 row by row; the overlapping chain pairs
+    // consecutive indices, wrapping across row ends.
+    const ArrayGeometry g{10, 4};
+    const auto pairs = neighbor_chain(g, ChainOrder::RowMajor, ChainOverlap::Overlapping);
+    EXPECT_EQ(pairs[0], (helperdata::IndexPair{0, 1}));
+    EXPECT_EQ(pairs[9], (helperdata::IndexPair{9, 10})); // row wrap
+}
+
+TEST(EvaluatePairs, ComparesValues) {
+    const std::vector<helperdata::IndexPair> pairs{{0, 1}, {1, 2}, {2, 0}};
+    const std::vector<double> values{3.0, 1.0, 2.0};
+    const auto bits = evaluate_pairs(pairs, values);
+    EXPECT_EQ(ropuf::bits::to_string(bits), "100"); // 3>1, 1<2, 2<3
+    const auto d = pair_discrepancies(pairs, values);
+    EXPECT_DOUBLE_EQ(d[0], 2.0);
+    EXPECT_DOUBLE_EQ(d[1], -1.0);
+    EXPECT_DOUBLE_EQ(d[2], -1.0);
+}
+
+TEST(Masking, SelectsMaxDiscrepancyPerGroup) {
+    // Base pairs with hand-picked discrepancies: |d| = 1, 5, 3 | 2, 9, 4.
+    const std::vector<helperdata::IndexPair> base{{0, 1}, {2, 3}, {4, 5},
+                                                  {6, 7}, {8, 9}, {10, 11}};
+    const std::vector<double> values{1.0, 0.0, 5.0, 0.0, 0.0,  3.0,
+                                     0.0, 2.0, 9.0, 0.0, 0.0, 4.0};
+    const auto helper = enroll_masking(base, values, 3);
+    ASSERT_EQ(helper.selected.size(), 2u);
+    EXPECT_EQ(helper.selected[0], 1); // |5| wins in group 0
+    EXPECT_EQ(helper.selected[1], 1); // |9| wins in group 1
+    const auto selected = select_pairs(base, helper);
+    EXPECT_EQ(selected[0], (helperdata::IndexPair{2, 3}));
+    EXPECT_EQ(selected[1], (helperdata::IndexPair{8, 9}));
+}
+
+TEST(Masking, GroupCountDropsIncompleteTail) {
+    EXPECT_EQ(masking_group_count(10, 3), 3);
+    EXPECT_EQ(masking_group_count(9, 3), 3);
+    EXPECT_EQ(masking_group_count(2, 3), 0);
+}
+
+TEST(Masking, MalformedHelperThrows) {
+    const std::vector<helperdata::IndexPair> base{{0, 1}, {2, 3}, {4, 5}};
+    MaskingHelper bad;
+    bad.k = 3;
+    bad.selected = {5}; // out of range
+    EXPECT_THROW(select_pairs(base, bad), ropuf::helperdata::ParseError);
+    bad.selected = {0, 0}; // wrong count
+    EXPECT_THROW(select_pairs(base, bad), ropuf::helperdata::ParseError);
+    bad.k = 0;
+    EXPECT_THROW(select_pairs(base, bad), ropuf::helperdata::ParseError);
+}
+
+TEST(SequentialPairing, HandcraftedExample) {
+    // Frequencies: descending order is indices 3 (9.0), 0 (7.0), 2 (4.0),
+    // 1 (1.5). N = 4: j starts at rank ceil(4/2) = 2 (0-based).
+    // rank2 = idx2 (4.0): 9.0 - 4.0 = 5 > 2 -> pair (3, 2), i -> rank1.
+    // rank3 = idx1 (1.5): 7.0 - 1.5 = 5.5 > 2 -> pair (0, 1).
+    const std::vector<double> freqs{7.0, 1.5, 4.0, 9.0};
+    const auto pairs = sequential_pairing(freqs, 2.0);
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0], (helperdata::IndexPair{3, 2}));
+    EXPECT_EQ(pairs[1], (helperdata::IndexPair{0, 1}));
+}
+
+TEST(SequentialPairing, ThresholdFiltersWeakPairs) {
+    const std::vector<double> freqs{7.0, 1.5, 4.0, 9.0};
+    // With threshold 5.2 the rank-0 vs rank-2 gap (9.0 - 4.0 = 5.0) fails,
+    // so i stays at rank 0; the next j (rank 3, value 1.5) gives 7.5 > 5.2
+    // and pairs the fastest RO (3) with the slowest (1).
+    const auto pairs = sequential_pairing(freqs, 5.2);
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(pairs[0], (helperdata::IndexPair{3, 1}));
+}
+
+TEST(SequentialPairing, AllPairsExceedThresholdAndAreDisjoint) {
+    ropuf::rng::Xoshiro256pp rng(81);
+    std::vector<double> freqs(64);
+    for (auto& f : freqs) f = rng.gaussian(200.0, 1.0);
+    const double th = 0.3;
+    const auto pairs = sequential_pairing(freqs, th);
+    std::set<int> used;
+    for (const auto& [hi, lo] : pairs) {
+        EXPECT_GT(freqs[static_cast<std::size_t>(hi)] - freqs[static_cast<std::size_t>(lo)], th);
+        EXPECT_TRUE(used.insert(hi).second);
+        EXPECT_TRUE(used.insert(lo).second);
+    }
+    EXPECT_LE(static_cast<int>(pairs.size()), 32);
+    EXPECT_GT(static_cast<int>(pairs.size()), 20); // plenty of pairs at this threshold
+}
+
+TEST(SequentialPairing, PairsOrientedFasterFirst) {
+    ropuf::rng::Xoshiro256pp rng(82);
+    std::vector<double> freqs(32);
+    for (auto& f : freqs) f = rng.gaussian(200.0, 1.0);
+    for (const auto& [hi, lo] : sequential_pairing(freqs, 0.1)) {
+        EXPECT_GT(freqs[static_cast<std::size_t>(hi)], freqs[static_cast<std::size_t>(lo)]);
+    }
+}
+
+TEST(SequentialPairing, HugeThresholdYieldsNothing) {
+    const std::vector<double> freqs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_TRUE(sequential_pairing(freqs, 100.0).empty());
+}
+
+TEST(SequentialPairing, CapsAtHalfN) {
+    std::vector<double> freqs(101);
+    for (std::size_t i = 0; i < freqs.size(); ++i) freqs[i] = static_cast<double>(i) * 10.0;
+    const auto pairs = sequential_pairing(freqs, 1.0);
+    EXPECT_LE(static_cast<int>(pairs.size()), 50);
+}
+
+} // namespace

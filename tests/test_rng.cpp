@@ -1,0 +1,167 @@
+// Unit tests for the deterministic RNG subsystem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace {
+
+using ropuf::rng::derive_seed;
+using ropuf::rng::SplitMix64;
+using ropuf::rng::Xoshiro256pp;
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+    SplitMix64 sm(1234567ULL);
+    const auto a = sm.next();
+    const auto b = sm.next();
+    SplitMix64 sm2(1234567ULL);
+    EXPECT_EQ(a, sm2.next());
+    EXPECT_EQ(b, sm2.next());
+    EXPECT_NE(a, b);
+}
+
+TEST(DeriveSeed, DistinctAcrossLabelsAndBases) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 0; base < 8; ++base) {
+        for (std::uint64_t label = 0; label < 64; ++label) {
+            seen.insert(derive_seed(base, label));
+        }
+    }
+    EXPECT_EQ(seen.size(), 8u * 64u);
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+    Xoshiro256pp a(42);
+    Xoshiro256pp b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+    Xoshiro256pp a(42);
+    Xoshiro256pp b(43);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, ReseedRestartsSequence) {
+    Xoshiro256pp a(7);
+    const auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+    Xoshiro256pp rng(1);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+    Xoshiro256pp rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Xoshiro, UniformIntCoversRangeUniformly) {
+    Xoshiro256pp rng(3);
+    std::vector<int> counts(10, 0);
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        const int v = rng.uniform_int(0, 9);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 9);
+        ++counts[static_cast<std::size_t>(v)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+    }
+}
+
+TEST(Xoshiro, UniformIntSingletonRange) {
+    Xoshiro256pp rng(4);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+    Xoshiro256pp rng(5);
+    int hits = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro, GaussianMoments) {
+    Xoshiro256pp rng(6);
+    double sum = 0.0;
+    double sum2 = 0.0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / kN;
+    const double var = sum2 / kN - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro, GaussianScaled) {
+    Xoshiro256pp rng(7);
+    double sum = 0.0;
+    double sum2 = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        const double g = rng.gaussian(10.0, 2.0);
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / kN;
+    const double var = sum2 / kN - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Shuffle, IsAPermutationAndDeterministic) {
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+    Xoshiro256pp rng(8);
+    ropuf::rng::shuffle(v, rng);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+
+    std::vector<int> w(50);
+    for (int i = 0; i < 50; ++i) w[static_cast<std::size_t>(i)] = i;
+    Xoshiro256pp rng2(8);
+    ropuf::rng::shuffle(w, rng2);
+    EXPECT_EQ(v, w);
+}
+
+TEST(Shuffle, MovesElementsWithHighProbability) {
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+    Xoshiro256pp rng(9);
+    ropuf::rng::shuffle(v, rng);
+    int fixed = 0;
+    for (int i = 0; i < 100; ++i) fixed += v[static_cast<std::size_t>(i)] == i;
+    EXPECT_LT(fixed, 10); // expected ~1 fixed point
+}
+
+} // namespace

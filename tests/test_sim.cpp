@@ -1,0 +1,211 @@
+// RO array simulator tests: geometry, manufacturing statistics, temperature
+// behaviour and measurement noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ropuf/sim/geometry.hpp"
+#include "ropuf/sim/ro_array.hpp"
+#include "ropuf/stats/estimators.hpp"
+
+namespace {
+
+using ropuf::sim::ArrayGeometry;
+using ropuf::sim::Condition;
+using ropuf::sim::ProcessParams;
+using ropuf::sim::RoArray;
+using ropuf::rng::Xoshiro256pp;
+
+TEST(Geometry, IndexMapping) {
+    const ArrayGeometry g{10, 4};
+    EXPECT_EQ(g.count(), 40);
+    EXPECT_EQ(g.index(0, 0), 0);
+    EXPECT_EQ(g.index(9, 0), 9);
+    EXPECT_EQ(g.index(0, 1), 10);
+    EXPECT_EQ(g.x_of(13), 3);
+    EXPECT_EQ(g.y_of(13), 1);
+    EXPECT_TRUE(g.contains(9, 3));
+    EXPECT_FALSE(g.contains(10, 0));
+    EXPECT_FALSE(g.contains(0, -1));
+}
+
+TEST(Geometry, SerpentineVisitsEveryCellOnceAdjacently) {
+    for (const ArrayGeometry g : {ArrayGeometry{10, 4}, ArrayGeometry{5, 5}, ArrayGeometry{3, 2}}) {
+        const auto order = ropuf::sim::serpentine_order(g);
+        ASSERT_EQ(static_cast<int>(order.size()), g.count());
+        std::vector<bool> seen(static_cast<std::size_t>(g.count()), false);
+        for (int idx : order) {
+            ASSERT_GE(idx, 0);
+            ASSERT_LT(idx, g.count());
+            EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+            seen[static_cast<std::size_t>(idx)] = true;
+        }
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            EXPECT_TRUE(ropuf::sim::are_neighbors(g, order[i], order[i + 1]))
+                << "positions " << i << "," << i + 1;
+        }
+    }
+}
+
+TEST(Geometry, ManhattanAndNeighbors) {
+    const ArrayGeometry g{10, 4};
+    EXPECT_EQ(ropuf::sim::manhattan_distance(g, g.index(0, 0), g.index(3, 2)), 5);
+    EXPECT_TRUE(ropuf::sim::are_neighbors(g, g.index(4, 1), g.index(5, 1)));
+    EXPECT_FALSE(ropuf::sim::are_neighbors(g, g.index(9, 0), g.index(0, 1)));
+}
+
+TEST(RoArray, ManufactureIsDeterministicPerSeed) {
+    const ArrayGeometry g{16, 8};
+    const ProcessParams p{};
+    const RoArray a(g, p, 1001);
+    const RoArray b(g, p, 1001);
+    const RoArray c(g, p, 1002);
+    int diff = 0;
+    for (int i = 0; i < g.count(); ++i) {
+        EXPECT_DOUBLE_EQ(a.true_frequency(i), b.true_frequency(i));
+        diff += a.true_frequency(i) != c.true_frequency(i);
+    }
+    EXPECT_GT(diff, g.count() - 3);
+}
+
+TEST(RoArray, SystematicComponentMatchesConfiguredGradients) {
+    const ArrayGeometry g{16, 8};
+    ProcessParams p{};
+    p.quad_bow_mhz = 0.0;
+    const RoArray arr(g, p, 7);
+    // Pure linear trend: horizontal neighbors differ by gradient_x.
+    const double d = arr.systematic_component(g.index(5, 3)) -
+                     arr.systematic_component(g.index(4, 3));
+    EXPECT_NEAR(d, p.gradient_x_mhz, 1e-12);
+    const double dy = arr.systematic_component(g.index(4, 4)) -
+                      arr.systematic_component(g.index(4, 3));
+    EXPECT_NEAR(dy, p.gradient_y_mhz, 1e-12);
+}
+
+TEST(RoArray, RandomComponentHasConfiguredSpread) {
+    const ArrayGeometry g{32, 32};
+    ProcessParams p{};
+    p.sigma_random_mhz = 0.8;
+    const RoArray arr(g, p, 8);
+    ropuf::stats::RunningStats rs;
+    for (int i = 0; i < g.count(); ++i) rs.add(arr.random_component(i));
+    EXPECT_NEAR(rs.mean(), 0.0, 0.1);
+    EXPECT_NEAR(rs.stddev(), 0.8, 0.08);
+}
+
+TEST(RoArray, FrequenciesDecreaseWithTemperature) {
+    const ArrayGeometry g{8, 4};
+    const ProcessParams p{};
+    const RoArray arr(g, p, 9);
+    const Condition cold{0.0, 1.2};
+    const Condition hot{80.0, 1.2};
+    for (int i = 0; i < g.count(); ++i) {
+        EXPECT_GT(arr.true_frequency(i, cold), arr.true_frequency(i, hot));
+    }
+}
+
+TEST(RoArray, FrequenciesIncreaseWithSupplyVoltage) {
+    const ArrayGeometry g{8, 4};
+    const ProcessParams p{};
+    const RoArray arr(g, p, 10);
+    const Condition low{25.0, 1.0};
+    const Condition high{25.0, 1.4};
+    for (int i = 0; i < g.count(); ++i) {
+        EXPECT_LT(arr.true_frequency(i, low), arr.true_frequency(i, high));
+    }
+}
+
+TEST(RoArray, TempcoSpreadCreatesCrossovers) {
+    // The raison d'etre of the temperature-aware construction: some neighbor
+    // pairs swap order across the temperature range.
+    const ArrayGeometry g{16, 16};
+    const ProcessParams p{};
+    const RoArray arr(g, p, 11);
+    int crossovers = 0;
+    for (int i = 0; i + 1 < g.count(); i += 2) {
+        const double d_cold = arr.delta_f(i, i + 1, Condition{-20.0, 1.2});
+        const double d_hot = arr.delta_f(i, i + 1, Condition{85.0, 1.2});
+        crossovers += (d_cold > 0) != (d_hot > 0);
+    }
+    EXPECT_GT(crossovers, 2);
+    EXPECT_LT(crossovers, g.count() / 2); // most pairs stay stable
+}
+
+TEST(RoArray, MeasurementNoiseHasConfiguredSigma) {
+    const ArrayGeometry g{4, 4};
+    ProcessParams p{};
+    p.sigma_noise_mhz = 0.2;
+    const RoArray arr(g, p, 12);
+    Xoshiro256pp rng(13);
+    ropuf::stats::RunningStats rs;
+    for (int s = 0; s < 4000; ++s) {
+        rs.add(arr.measure(0, Condition{}, rng) - arr.true_frequency(0));
+    }
+    EXPECT_NEAR(rs.mean(), 0.0, 0.02);
+    EXPECT_NEAR(rs.stddev(), 0.2, 0.02);
+}
+
+TEST(RoArray, EnrollmentAveragingReducesNoise) {
+    const ArrayGeometry g{4, 4};
+    ProcessParams p{};
+    p.sigma_noise_mhz = 0.2;
+    const RoArray arr(g, p, 14);
+    Xoshiro256pp rng(15);
+    ropuf::stats::RunningStats single;
+    ropuf::stats::RunningStats averaged;
+    for (int s = 0; s < 300; ++s) {
+        single.add(arr.measure(3, Condition{}, rng) - arr.true_frequency(3));
+        averaged.add(arr.enroll_frequencies(Condition{}, 16, rng)[3] - arr.true_frequency(3));
+    }
+    EXPECT_LT(averaged.stddev(), single.stddev() / 3.0);
+}
+
+TEST(RoArray, CounterQuantizationDiscretizes) {
+    const ArrayGeometry g{2, 2};
+    ProcessParams p{};
+    p.quantize_counters = true;
+    p.counter_window_us = 10.0; // 0.1 MHz resolution
+    const RoArray arr(g, p, 16);
+    Xoshiro256pp rng(17);
+    for (int s = 0; s < 100; ++s) {
+        const double f = arr.measure(0, Condition{}, rng);
+        const double scaled = f * 10.0;
+        EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    }
+}
+
+TEST(RoArray, QuantizationCanYieldExactTies) {
+    // Section III-B: Delta f = 0 happens with discrete counters, introducing
+    // bias. Two ROs within one counter LSB must collide sometimes.
+    const ArrayGeometry g{2, 1};
+    ProcessParams p{};
+    p.f_nominal_mhz = 200.5; // mid-cell: noise cannot straddle a count boundary
+    p.sigma_random_mhz = 0.001;
+    p.gradient_x_mhz = 0.0;
+    p.quad_bow_mhz = 0.0;
+    p.sigma_noise_mhz = 0.001;
+    p.quantize_counters = true;
+    p.counter_window_us = 1.0; // 1 MHz resolution, huge vs variation
+    const RoArray arr(g, p, 18);
+    Xoshiro256pp rng(19);
+    int ties = 0;
+    for (int s = 0; s < 200; ++s) {
+        ties += arr.measure(0, Condition{}, rng) == arr.measure(1, Condition{}, rng);
+    }
+    EXPECT_GT(ties, 150);
+}
+
+TEST(RoArray, MeasureAllMatchesIndividualStatistics) {
+    const ArrayGeometry g{6, 6};
+    const ProcessParams p{};
+    const RoArray arr(g, p, 20);
+    Xoshiro256pp rng(21);
+    const auto all = arr.measure_all(Condition{}, rng);
+    ASSERT_EQ(static_cast<int>(all.size()), g.count());
+    for (int i = 0; i < g.count(); ++i) {
+        EXPECT_NEAR(all[static_cast<std::size_t>(i)], arr.true_frequency(i),
+                    6.0 * p.sigma_noise_mhz);
+    }
+}
+
+} // namespace

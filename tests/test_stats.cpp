@@ -1,0 +1,236 @@
+// Unit tests for the statistics toolkit (distributions, estimators, SPRT).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ropuf/rng/xoshiro.hpp"
+#include "ropuf/stats/distributions.hpp"
+#include "ropuf/stats/estimators.hpp"
+#include "ropuf/stats/sprt.hpp"
+
+namespace {
+
+using namespace ropuf::stats;
+using ropuf::rng::Xoshiro256pp;
+
+TEST(Binomial, CoefficientKnownValues) {
+    EXPECT_DOUBLE_EQ(binomial_coefficient(5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
+    EXPECT_DOUBLE_EQ(binomial_coefficient(10, 5), 252.0);
+    EXPECT_DOUBLE_EQ(binomial_coefficient(5, 6), 0.0);
+    EXPECT_DOUBLE_EQ(binomial_coefficient(5, -1), 0.0);
+}
+
+TEST(Binomial, PmfKnownValues) {
+    EXPECT_NEAR(binomial_pmf(10, 3, 0.5), 120.0 / 1024.0, 1e-12);
+    EXPECT_NEAR(binomial_pmf(4, 0, 0.25), std::pow(0.75, 4), 1e-12);
+    EXPECT_DOUBLE_EQ(binomial_pmf(4, 2, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(binomial_pmf(4, 4, 1.0), 1.0);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+    for (double p : {0.01, 0.3, 0.9}) {
+        double sum = 0.0;
+        for (int k = 0; k <= 30; ++k) sum += binomial_pmf(30, k, p);
+        EXPECT_NEAR(sum, 1.0, 1e-10);
+    }
+}
+
+TEST(Binomial, CdfAndTailAreComplementary) {
+    for (int t : {0, 3, 15, 30}) {
+        EXPECT_NEAR(binomial_cdf(30, t, 0.2) + binomial_tail(30, t, 0.2), 1.0, 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(binomial_cdf(10, 10, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(binomial_tail(10, 10, 0.5), 0.0);
+}
+
+TEST(PoissonBinomial, MatchesBinomialForEqualProbabilities) {
+    const std::vector<double> p(20, 0.1);
+    const auto q = poisson_binomial_pmf(p);
+    ASSERT_EQ(q.size(), 21u);
+    for (int k = 0; k <= 20; ++k) {
+        EXPECT_NEAR(q[static_cast<std::size_t>(k)], binomial_pmf(20, k, 0.1), 1e-10);
+    }
+}
+
+TEST(PoissonBinomial, HeterogeneousMeanIsSumOfProbabilities) {
+    const std::vector<double> p{0.1, 0.5, 0.9, 0.0, 1.0};
+    const auto q = poisson_binomial_pmf(p);
+    double mean = 0.0;
+    double total = 0.0;
+    for (std::size_t k = 0; k < q.size(); ++k) {
+        mean += static_cast<double>(k) * q[k];
+        total += q[k];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(mean, 2.5, 1e-12);
+}
+
+TEST(PoissonBinomial, TailMatchesManualSum) {
+    const std::vector<double> p{0.2, 0.3, 0.4};
+    const auto q = poisson_binomial_pmf(p);
+    EXPECT_NEAR(poisson_binomial_tail(p, 1), q[2] + q[3], 1e-12);
+}
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+    for (double p : {0.001, 0.025, 0.3, 0.5, 0.7, 0.975, 0.999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-7);
+    }
+    EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(ComparisonFlip, LimitsAndMonotonicity) {
+    EXPECT_DOUBLE_EQ(comparison_flip_probability(0.0, 0.1), 0.5);
+    EXPECT_LT(comparison_flip_probability(1.0, 0.1), 1e-10);
+    EXPECT_GT(comparison_flip_probability(0.05, 0.1),
+              comparison_flip_probability(0.10, 0.1));
+    // Symmetric in the sign of delta f.
+    EXPECT_DOUBLE_EQ(comparison_flip_probability(0.3, 0.1),
+                     comparison_flip_probability(-0.3, 0.1));
+}
+
+TEST(Proportion, RateAndWilson) {
+    Proportion p;
+    EXPECT_DOUBLE_EQ(p.rate(), 0.0);
+    for (int i = 0; i < 30; ++i) p.add(i < 12);
+    EXPECT_NEAR(p.rate(), 0.4, 1e-12);
+    const auto ci = p.wilson();
+    EXPECT_LT(ci.low, 0.4);
+    EXPECT_GT(ci.high, 0.4);
+    EXPECT_GT(ci.low, 0.2);
+    EXPECT_LT(ci.high, 0.65);
+}
+
+TEST(TwoProportion, DetectsLargeDifference) {
+    Proportion a;
+    Proportion b;
+    for (int i = 0; i < 200; ++i) {
+        a.add(i % 10 == 0); // 10%
+        b.add(i % 2 == 0);  // 50%
+    }
+    EXPECT_LT(two_proportion_z(a, b), -5.0);
+    EXPECT_LT(two_proportion_p_value(a, b), 1e-6);
+}
+
+TEST(TwoProportion, NoDifferenceGivesLargePValue) {
+    Proportion a;
+    Proportion b;
+    for (int i = 0; i < 100; ++i) {
+        a.add(i % 4 == 0);
+        b.add(i % 4 == 1);
+    }
+    EXPECT_GT(two_proportion_p_value(a, b), 0.9);
+}
+
+TEST(Histogram, BasicAccounting) {
+    Histogram h;
+    h.add(2);
+    h.add(2);
+    h.add(5, 3);
+    EXPECT_EQ(h.total(), 5);
+    EXPECT_EQ(h.count(2), 2);
+    EXPECT_EQ(h.count(5), 3);
+    EXPECT_EQ(h.count(7), 0);
+    EXPECT_NEAR(h.pmf(2), 0.4, 1e-12);
+    EXPECT_EQ(h.min_value(), 2);
+    EXPECT_EQ(h.max_value(), 5);
+    EXPECT_NEAR(h.mean(), (2 * 2 + 5 * 3) / 5.0, 1e-12);
+}
+
+TEST(Histogram, TailAboveThreshold) {
+    Histogram h;
+    for (int v : {0, 1, 2, 3, 4}) h.add(v);
+    EXPECT_NEAR(h.tail_above(2), 0.4, 1e-12);
+    EXPECT_NEAR(h.tail_above(-1), 1.0, 1e-12);
+    EXPECT_NEAR(h.tail_above(10), 0.0, 1e-12);
+}
+
+TEST(Histogram, AsciiRendersAllRows) {
+    Histogram h;
+    h.add(1, 10);
+    h.add(2, 5);
+    const auto art = h.ascii(20);
+    EXPECT_NE(art.find("1 |"), std::string::npos);
+    EXPECT_NE(art.find("2 |"), std::string::npos);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+    RunningStats rs;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) rs.add(x);
+    EXPECT_EQ(rs.count(), 4);
+    EXPECT_NEAR(rs.mean(), 2.5, 1e-12);
+    EXPECT_NEAR(rs.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(rs.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Entropy, UniformAndDegenerate) {
+    EXPECT_NEAR(empirical_entropy_bits({1, 1, 1, 1}), 2.0, 1e-12);
+    EXPECT_NEAR(empirical_entropy_bits({10, 0, 0}), 0.0, 1e-12);
+    EXPECT_NEAR(empirical_entropy_bits({}), 0.0, 1e-12);
+}
+
+TEST(Entropy, Log2FactorialKnownValues) {
+    EXPECT_NEAR(log2_factorial(1), 0.0, 1e-9);
+    EXPECT_NEAR(log2_factorial(4), std::log2(24.0), 1e-9);
+    // Section II: a 16x32 = 512-RO array holds log2(512!) ~ 3875 bits.
+    EXPECT_NEAR(log2_factorial(512), 3875.3, 1.0);
+}
+
+TEST(Sprt, AcceptsTrueHypothesisLow) {
+    Xoshiro256pp rng(21);
+    int correct = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        Sprt sprt(0.1, 0.9, 0.01, 0.01);
+        while (sprt.decision() == Sprt::Decision::Continue) {
+            sprt.feed(rng.bernoulli(0.1));
+        }
+        correct += sprt.decision() == Sprt::Decision::AcceptH0;
+    }
+    EXPECT_GE(correct, 48);
+}
+
+TEST(Sprt, AcceptsTrueHypothesisHigh) {
+    Xoshiro256pp rng(22);
+    int correct = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        Sprt sprt(0.1, 0.9, 0.01, 0.01);
+        while (sprt.decision() == Sprt::Decision::Continue) {
+            sprt.feed(rng.bernoulli(0.9));
+        }
+        correct += sprt.decision() == Sprt::Decision::AcceptH1;
+    }
+    EXPECT_GE(correct, 48);
+}
+
+TEST(Sprt, WideSeparationDecidesFast) {
+    Xoshiro256pp rng(23);
+    Sprt sprt(0.05, 0.95, 0.01, 0.01);
+    while (sprt.decision() == Sprt::Decision::Continue) {
+        sprt.feed(rng.bernoulli(0.05));
+    }
+    EXPECT_LE(sprt.observations(), 20);
+}
+
+TEST(Sprt, ResetClearsState) {
+    Sprt sprt(0.1, 0.9);
+    sprt.feed(true);
+    sprt.feed(true);
+    sprt.reset();
+    EXPECT_EQ(sprt.observations(), 0);
+    EXPECT_EQ(sprt.decision(), Sprt::Decision::Continue);
+}
+
+TEST(Sprt, RejectsInvalidParameters) {
+    EXPECT_THROW(Sprt(0.5, 0.2), std::invalid_argument);
+    EXPECT_THROW(Sprt(0.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(Sprt(0.1, 0.9, 0.6, 0.01), std::invalid_argument);
+}
+
+} // namespace
