@@ -1,69 +1,53 @@
 // E6 — paper Section VI-A: key recovery against the sequential pairing
-// algorithm, swept over array sizes, noise levels and storage policies.
+// algorithm, swept over devices, noise levels and storage policies. All runs
+// go through the scenario registry (the engine owns enrollment/victim/attack
+// setup); this driver only sweeps ScenarioParams.
 #include "bench_util.hpp"
 
-#include "ropuf/attack/seqpair_attack.hpp"
+#include "ropuf/attack/scenarios.hpp"
 
 int main() {
     using namespace ropuf;
     benchutil::header("E6: sequential pairing key recovery", "Section VI-A",
                       "pair-swap hypotheses + ECC-helper final decision recover the full key");
 
+    const core::AttackEngine engine(attack::default_registry());
+
     benchutil::section("success and query cost across devices (randomized storage)");
-    std::printf("  %8s %8s %10s %10s %12s %9s\n", "array", "key bits", "rel.tests", "queries",
+    std::printf("  %8s %8s %10s %12s %12s %9s\n", "seed", "key bits", "queries", "meas(k)",
                 "queries/bit", "recovered");
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-        const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 900 + seed);
-        const pairing::SeqPairingPuf puf(chip, pairing::SeqPairingConfig{});
-        rng::Xoshiro256pp rng(910 + seed);
-        const auto enrollment = puf.enroll(rng);
-        attack::SeqPairingAttack::Victim victim(puf, enrollment.key, 920 + seed);
-        const auto result =
-            attack::SeqPairingAttack::run(victim, enrollment.helper, puf.code());
-        std::printf("  %8s %8zu %10d %10lld %12.2f %9s\n", "16x8", enrollment.key.size(),
-                    result.relation_tests, static_cast<long long>(result.queries),
-                    static_cast<double>(result.queries) /
-                        static_cast<double>(enrollment.key.size()),
-                    result.resolved && result.recovered_key == enrollment.key ? "FULL" : "no");
+        core::ScenarioParams params;
+        params.seed = seed;
+        const auto r = engine.run("seqpair/swap", params);
+        std::printf("  %8llu %8d %10lld %12.1f %12.2f %9s\n",
+                    static_cast<unsigned long long>(seed), r.key_bits,
+                    static_cast<long long>(r.queries),
+                    static_cast<double>(r.measurements) / 1000.0,
+                    static_cast<double>(r.queries) / static_cast<double>(r.key_bits),
+                    r.key_recovered ? "FULL" : "no");
     }
 
     benchutil::section("noise sweep (measurement sigma in MHz)");
-    std::printf("  %10s %10s %10s %9s\n", "sigma", "queries", "rel.tests", "recovered");
+    std::printf("  %10s %10s %10s %9s\n", "sigma", "queries", "accuracy", "recovered");
     for (double sigma : {0.02, 0.05, 0.10, 0.15}) {
-        sim::ProcessParams params{};
+        core::ScenarioParams params;
+        params.seed = 30;
         params.sigma_noise_mhz = sigma;
-        const sim::RoArray chip({16, 8}, params, 930);
-        const pairing::SeqPairingPuf puf(chip, pairing::SeqPairingConfig{});
-        rng::Xoshiro256pp rng(931);
-        const auto enrollment = puf.enroll(rng);
-        attack::SeqPairingAttack::Victim victim(puf, enrollment.key, 932);
-        attack::SeqPairingAttack::Config acfg;
-        acfg.majority_wins = 3;
-        const auto result =
-            attack::SeqPairingAttack::run(victim, enrollment.helper, puf.code(), acfg);
-        std::printf("  %10.2f %10lld %10d %9s\n", sigma,
-                    static_cast<long long>(result.queries), result.relation_tests,
-                    result.resolved && result.recovered_key == enrollment.key ? "FULL" : "no");
+        params.majority_wins = 3;
+        const auto r = engine.run("seqpair/swap", params);
+        std::printf("  %10.2f %10lld %10.3f %9s\n", sigma, static_cast<long long>(r.queries),
+                    r.accuracy, r.key_recovered ? "FULL" : "no");
     }
 
     benchutil::section("storage-policy comparison (Section VII-C)");
-    std::printf("  %12s %10s %9s\n", "policy", "queries", "recovered");
-    for (auto policy : {helperdata::PairOrderPolicy::SortedByFrequency,
-                        helperdata::PairOrderPolicy::Randomized}) {
-        pairing::SeqPairingConfig dcfg;
-        dcfg.policy = policy;
-        const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 940);
-        const pairing::SeqPairingPuf puf(chip, dcfg);
-        rng::Xoshiro256pp rng(941);
-        const auto enrollment = puf.enroll(rng);
-        attack::SeqPairingAttack::Victim victim(puf, enrollment.key, 942);
-        const auto result =
-            attack::SeqPairingAttack::run(victim, enrollment.helper, puf.code());
-        std::printf("  %12s %10lld %9s\n",
-                    policy == helperdata::PairOrderPolicy::SortedByFrequency ? "sorted"
-                                                                             : "randomized",
-                    static_cast<long long>(result.queries),
-                    result.resolved && result.recovered_key == enrollment.key ? "FULL" : "no");
+    std::printf("  %-20s %10s %9s\n", "scenario", "queries", "recovered");
+    for (const char* name : {"seqpair/swap-sorted", "seqpair/swap"}) {
+        core::ScenarioParams params;
+        params.seed = 40;
+        const auto r = engine.run(name, params);
+        std::printf("  %-20s %10lld %9s\n", name, static_cast<long long>(r.queries),
+                    r.key_recovered ? "FULL" : "no");
     }
     std::printf("\n[shape check] full recovery everywhere; sorted storage needs only a\n");
     std::printf("              handful of queries (direct leakage), randomized ~linear.\n");

@@ -1,7 +1,10 @@
 // E7 — paper Section VI-B: relation recovery against temperature-aware
 // cooperative RO PUFs, plus the deterministic-masking leakage of Section IV-D.
+// Attack runs go through the scenario registry; the zero-query leakage
+// analysis at the end needs no oracle and stays a direct computation.
 #include "bench_util.hpp"
 
+#include "ropuf/attack/scenarios.hpp"
 #include "ropuf/attack/tempaware_attack.hpp"
 
 int main() {
@@ -9,43 +12,34 @@ int main() {
     benchutil::header("E7: temperature-aware cooperative attack", "Section VI-B",
                       "assistance substitution reveals all cooperating-pair relations");
 
+    const core::AttackEngine engine(attack::default_registry());
+
     benchutil::section("attack across devices at T = 25 C");
-    std::printf("  %6s %6s %6s %10s %10s %12s\n", "good", "coop", "key", "rel.tests",
-                "queries", "result");
+    std::printf("  %8s %6s %10s %12s %12s\n", "seed", "key", "queries", "accuracy", "result");
     int full = 0;
-    int attempted = 0;
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-        sim::ProcessParams params{};
-        params.tempco_sigma = 0.015; // crossover-rich silicon (HOST'09 setting)
-        const sim::RoArray chip({16, 16}, params, 1000 + seed);
-        tempaware::TempAwareConfig cfg;
-        cfg.classification = {-20.0, 85.0, 0.2};
-        cfg.enroll_samples = 64;
-        const tempaware::TempAwarePuf puf(chip, cfg);
-        rng::Xoshiro256pp rng(1010 + seed);
-        const auto enrollment = puf.enroll(rng);
-        int good = 0;
-        int coop = 0;
-        for (const auto& rec : enrollment.helper.records) {
-            good += rec.cls == tempaware::PairClass::Good;
-            coop += rec.cls == tempaware::PairClass::Cooperating;
-        }
-        attack::TempAwareAttack::Victim victim(puf, enrollment.key, 25.0, 1020 + seed);
-        const auto result =
-            attack::TempAwareAttack::run(victim, enrollment.helper, puf.code());
-        const bool recovered = result.resolved && result.recovered_key == enrollment.key;
-        if (coop >= 2) {
-            ++attempted;
-            full += recovered;
-        }
-        std::printf("  %6d %6d %6zu %10d %10lld %12s\n", good, coop, enrollment.key.size(),
-                    result.relation_tests, static_cast<long long>(result.queries),
-                    recovered          ? "FULL KEY"
-                    : result.resolved  ? "wrong key"
-                    : coop < 2         ? "too few coop"
-                                       : "partial");
+        core::ScenarioParams params;
+        params.seed = seed;
+        const auto r = engine.run("tempaware/substitution", params);
+        full += r.key_recovered;
+        std::printf("  %8llu %6d %10lld %12.3f %12s\n",
+                    static_cast<unsigned long long>(seed), r.key_bits,
+                    static_cast<long long>(r.queries), r.accuracy,
+                    r.key_recovered ? "FULL KEY" : (r.complete ? "wrong key" : "partial"));
     }
-    std::printf("  => %d/%d attackable devices fully recovered\n", full, attempted);
+    std::printf("  => %d/8 devices fully recovered\n", full);
+
+    benchutil::section("ambient-temperature sweep (same device, seed 3)");
+    std::printf("  %10s %10s %12s %9s\n", "T (degC)", "queries", "accuracy", "recovered");
+    for (double ambient : {5.0, 15.0, 25.0, 35.0, 45.0}) {
+        core::ScenarioParams params;
+        params.seed = 3;
+        params.ambient_c = ambient;
+        const auto r = engine.run("tempaware/substitution", params);
+        std::printf("  %10.1f %10lld %12.3f %9s\n", ambient,
+                    static_cast<long long>(r.queries), r.accuracy,
+                    r.key_recovered ? "FULL" : "no");
+    }
 
     benchutil::section("deterministic-scan leakage (Section IV-D warning), zero queries");
     std::printf("  %8s %18s %14s\n", "seed", "leaked relations", "all correct?");

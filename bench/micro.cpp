@@ -1,6 +1,15 @@
 // E14 — microbenchmarks (google-benchmark): throughput of every substrate.
+//
+// By default the run also emits BENCH_micro.json (google-benchmark's JSON
+// format) in the working directory, the machine-readable perf trajectory CI
+// archives; pass your own --benchmark_out= to override.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ropuf/attack/scenarios.hpp"
 #include "ropuf/attack/seqpair_attack.hpp"
 #include "ropuf/distiller/regression.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
@@ -119,6 +128,52 @@ void BM_SeqPairAttackFullKey(benchmark::State& state) {
 }
 BENCHMARK(BM_SeqPairAttackFullKey)->Unit(benchmark::kMillisecond);
 
+void BM_RoArrayBatchedScan(benchmark::State& state) {
+    // The attack engine's hot path: repeated noisy scans at one condition.
+    const int cols = static_cast<int>(state.range(0));
+    const sim::RoArray chip({cols, 8}, sim::ProcessParams{}, 14);
+    rng::Xoshiro256pp rng(15);
+    std::vector<double> scan;
+    for (auto _ : state) {
+        chip.measure_all_into(sim::Condition{}, rng, scan);
+        benchmark::DoNotOptimize(scan.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * chip.count());
+}
+BENCHMARK(BM_RoArrayBatchedScan)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Scenario(benchmark::State& state, const char* name) {
+    const core::AttackEngine engine(attack::default_registry());
+    core::ScenarioParams params;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(name, params));
+    }
+}
+BENCHMARK_CAPTURE(BM_Scenario, seqpair_swap, "seqpair/swap")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Scenario, group_sortmerge, "group/sortmerge")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Scenario, tempaware_substitution, "tempaware/substitution")
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Default the JSON sidecar unless the caller picked an output file.
+    std::vector<char*> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    }
+    std::string out_flag = "--benchmark_out=BENCH_micro.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

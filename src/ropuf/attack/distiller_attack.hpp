@@ -35,7 +35,7 @@ namespace ropuf::attack {
 
 class MaskedChainAttack {
 public:
-    using Victim = ReprogramVictim<pairing::MaskedChainPuf, pairing::MaskedChainHelper>;
+    using Victim = attack::Victim<pairing::MaskedChainPuf>;
 
     struct Config {
         double steep_amp = 1000.0;
@@ -73,7 +73,7 @@ public:
 
 class OverlapChainAttack {
 public:
-    using Victim = ReprogramVictim<pairing::OverlapChainPuf, pairing::OverlapChainHelper>;
+    using Victim = attack::Victim<pairing::OverlapChainPuf>;
 
     struct Config {
         double steep_amp = 1000.0;

@@ -37,7 +37,7 @@ namespace ropuf::attack {
 
 class GroupBasedAttack {
 public:
-    using Victim = ReprogramVictim<group::GroupBasedPuf, group::GroupPufHelper>;
+    using Victim = attack::Victim<group::GroupBasedPuf>;
 
     enum class Mode {
         SortMerge,       ///< merge-sort each group: ~g log g comparisons

@@ -22,7 +22,7 @@ namespace ropuf::attack {
 
 class SelectionSubstitutionProbe {
 public:
-    using Victim = KeyedVictim<pairing::MaskedChainPuf, pairing::MaskedChainHelper>;
+    using Victim = attack::Victim<pairing::MaskedChainPuf>;
 
     struct Config {
         int majority_wins = 2;

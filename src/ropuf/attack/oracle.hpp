@@ -1,102 +1,111 @@
-// Failure oracles — the paper's observable (Section VI).
+// Failure oracle — the paper's observable (Section VI).
 //
 // "We make no assumption about the application: an inability to reconstruct
 // the key should affect the observable behavior of any useful application."
 // The oracle reduces that observable to a single bit per key-regeneration
-// attempt:
+// attempt.
 //
-//  * KeyedVictim     — constructions (1) and (2): the application holds the
-//    originally enrolled key; a regeneration fails observably when the device
-//    reconstructs anything else (or refuses).
-//  * ReprogramVictim — constructions (3) and (4): the attacker additionally
-//    chooses the key the observable is compared against ("maliciously
-//    reprogrammed keys, assuming their reconstruction failures to be
-//    observable ... consider for instance all applications where some form of
-//    encrypted data is presented to the user").
+// One generic Victim covers every construction through the unified device
+// layer (core::DeviceTraits); the paper's three victim flavors are usage
+// modes, not separate classes:
 //
-// Both wrappers count queries, the attack's primary cost metric.
+//  * keyed       — constructions whose application holds the originally
+//    enrolled key: a regeneration fails observably when the device
+//    reconstructs anything else (or refuses). Construct with an app key.
+//  * reprogram   — constructions where the attacker additionally chooses the
+//    key the observable is compared against ("maliciously reprogrammed keys,
+//    assuming their reconstruction failures to be observable"). Construct
+//    without an app key and pass the expectation per query.
+//  * temperature — the temperature-aware construction regenerates at an
+//    ambient operating point chosen at victim-construction time.
+//
+// Query accounting is shared: every mode counts queries (the attack's primary
+// cost metric) and oscillator measurements (queries x declared device cost).
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
 #include "ropuf/bits/bitvec.hpp"
+#include "ropuf/core/device.hpp"
 #include "ropuf/rng/xoshiro.hpp"
 
 namespace ropuf::attack {
 
-/// Victim wrapper for constructions whose application keeps the enrolled key.
-/// `Puf` must expose `reconstruct(const Helper&, rng) -> {ok, key, ...}`.
-template <typename Puf, typename Helper>
-class KeyedVictim {
+/// Shared query ledger: one regeneration attempt = one query; measurement
+/// cost follows the device's declaration (a full array scan per query).
+struct QueryLedger {
+    std::int64_t queries = 0;
+    std::int64_t measurements = 0;
+
+    void charge(int measurement_cost) {
+        ++queries;
+        measurements += measurement_cost;
+    }
+};
+
+/// The one victim wrapper. `Puf` must conform to core::Device.
+template <core::Device Puf>
+class Victim {
 public:
-    KeyedVictim(const Puf& puf, bits::BitVec app_key, std::uint64_t noise_seed)
-        : puf_(&puf), app_key_(std::move(app_key)), rng_(noise_seed) {}
+    using Traits = core::DeviceTraits<Puf>;
+    using Helper = typename Traits::Helper;
+
+    /// Keyed mode at the device's nominal operating condition.
+    Victim(const Puf& puf, bits::BitVec app_key, std::uint64_t noise_seed)
+        : puf_(&puf),
+          app_key_(std::move(app_key)),
+          ambient_(Traits::nominal_condition(puf)),
+          rng_(noise_seed) {}
+
+    /// Reprogram mode: the expected key is supplied per query.
+    Victim(const Puf& puf, std::uint64_t noise_seed)
+        : puf_(&puf), ambient_(Traits::nominal_condition(puf)), rng_(noise_seed) {}
+
+    /// Keyed mode at an explicit ambient temperature (temperature-aware
+    /// constructions regenerate at whatever temperature the environment has).
+    Victim(const Puf& puf, bits::BitVec app_key, double ambient_c, std::uint64_t noise_seed)
+        : puf_(&puf),
+          app_key_(std::move(app_key)),
+          ambient_{ambient_c, puf.array().params().v_ref_v},
+          rng_(noise_seed) {}
 
     /// One key regeneration with the supplied helper data; true = observable
     /// failure (wrong key or refusal). Fresh measurement noise every call.
+    /// Throws std::logic_error on a victim constructed without an app key
+    /// (reprogram mode must pass the expectation explicitly).
     bool regen_fails(const Helper& helper) {
-        ++queries_;
-        const auto rec = puf_->reconstruct(helper, rng_);
-        return !rec.ok || rec.key != app_key_;
+        return regen_fails(helper, app_key());
     }
 
-    std::int64_t queries() const { return queries_; }
-    const bits::BitVec& app_key() const { return app_key_; }
-
-private:
-    const Puf* puf_;
-    bits::BitVec app_key_;
-    rng::Xoshiro256pp rng_;
-    std::int64_t queries_ = 0;
-};
-
-/// Victim wrapper for constructions where the attacker reprograms the key:
-/// the observable compares the regenerated key against an attacker-chosen
-/// expectation.
-template <typename Puf, typename Helper>
-class ReprogramVictim {
-public:
-    ReprogramVictim(const Puf& puf, std::uint64_t noise_seed) : puf_(&puf), rng_(noise_seed) {}
-
+    /// Regeneration compared against an attacker-chosen expected key.
     bool regen_fails(const Helper& helper, const bits::BitVec& expected_key) {
-        ++queries_;
-        const auto rec = puf_->reconstruct(helper, rng_);
+        ledger_.charge(puf_->array().count());
+        const auto rec = Traits::reconstruct(*puf_, helper, ambient_, rng_);
         return !rec.ok || rec.key != expected_key;
     }
 
-    std::int64_t queries() const { return queries_; }
+    std::int64_t queries() const { return ledger_.queries; }
+    std::int64_t measurements() const { return ledger_.measurements; }
+    const QueryLedger& ledger() const { return ledger_; }
 
-private:
-    const Puf* puf_;
-    rng::Xoshiro256pp rng_;
-    std::int64_t queries_ = 0;
-};
-
-/// Victim for the temperature-aware construction, whose reconstruction takes
-/// the ambient temperature as an extra input.
-template <typename Puf, typename Helper>
-class TemperatureVictim {
-public:
-    TemperatureVictim(const Puf& puf, bits::BitVec app_key, double ambient_c,
-                      std::uint64_t noise_seed)
-        : puf_(&puf), app_key_(std::move(app_key)), ambient_c_(ambient_c), rng_(noise_seed) {}
-
-    bool regen_fails(const Helper& helper) {
-        ++queries_;
-        const auto rec = puf_->reconstruct(helper, ambient_c_, rng_);
-        return !rec.ok || rec.key != app_key_;
+    const bits::BitVec& app_key() const {
+        if (!app_key_) {
+            throw std::logic_error("keyed-mode access on a reprogram-mode victim");
+        }
+        return *app_key_;
     }
-
-    double ambient_c() const { return ambient_c_; }
-    std::int64_t queries() const { return queries_; }
-    const bits::BitVec& app_key() const { return app_key_; }
+    double ambient_c() const { return ambient_.temperature_c; }
+    const sim::Condition& ambient() const { return ambient_; }
 
 private:
     const Puf* puf_;
-    bits::BitVec app_key_;
-    double ambient_c_;
+    std::optional<bits::BitVec> app_key_;
+    sim::Condition ambient_;
     rng::Xoshiro256pp rng_;
-    std::int64_t queries_ = 0;
+    QueryLedger ledger_;
 };
 
 } // namespace ropuf::attack

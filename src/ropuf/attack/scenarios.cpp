@@ -1,0 +1,257 @@
+#include "ropuf/attack/scenarios.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "ropuf/attack/distiller_attack.hpp"
+#include "ropuf/attack/group_attack.hpp"
+#include "ropuf/attack/masking_attack.hpp"
+#include "ropuf/attack/seqpair_attack.hpp"
+#include "ropuf/attack/tempaware_attack.hpp"
+
+namespace ropuf::attack {
+
+namespace {
+
+using core::AttackReport;
+using core::ScenarioParams;
+
+/// Derived sub-seeds: chip manufacture, enrollment noise and victim noise
+/// must be independent streams of the one master seed.
+std::uint64_t sub_seed(const ScenarioParams& p, std::uint64_t stream) {
+    return p.seed * 0x9e3779b97f4a7c15ull + stream;
+}
+
+sim::ArrayGeometry geometry_or(const ScenarioParams& p, sim::ArrayGeometry fallback) {
+    if (p.cols > 0 && p.rows > 0) return {p.cols, p.rows};
+    return fallback;
+}
+
+sim::ProcessParams process_or(const ScenarioParams& p, sim::ProcessParams fallback) {
+    if (p.sigma_noise_mhz >= 0.0) fallback.sigma_noise_mhz = p.sigma_noise_mhz;
+    return fallback;
+}
+
+/// Quiet process matching the distiller/group test setups.
+sim::ProcessParams quiet_params() {
+    sim::ProcessParams p{};
+    p.sigma_noise_mhz = 0.02;
+    return p;
+}
+
+/// Tempco-rich process for the HOST'09 construction (crossovers must be
+/// common enough that cooperation is worth building).
+sim::ProcessParams crossover_rich_params() {
+    sim::ProcessParams p{};
+    p.tempco_sigma = 0.015;
+    return p;
+}
+
+/// Fills the fields every scenario reports identically.
+template <typename Vic>
+void fill_common(AttackReport& report, const Vic& victim, const bits::BitVec& truth,
+                 const bits::BitVec& recovered, bool resolved) {
+    report.key_bits = static_cast<int>(truth.size());
+    report.queries = victim.queries();
+    report.measurements = victim.measurements();
+    report.accuracy = core::bit_accuracy(recovered, truth);
+    report.key_recovered = resolved && recovered == truth;
+    report.complete = resolved;
+}
+
+AttackReport run_seqpair_swap(const ScenarioParams& p, helperdata::PairOrderPolicy policy) {
+    const sim::RoArray chip(geometry_or(p, {16, 8}), process_or(p, sim::ProcessParams{}),
+                            sub_seed(p, 1));
+    pairing::SeqPairingConfig dcfg;
+    dcfg.policy = policy;
+    const pairing::SeqPairingPuf puf(chip, dcfg);
+    rng::Xoshiro256pp rng(sub_seed(p, 2));
+    const auto enrollment = puf.enroll(rng);
+
+    SeqPairingAttack::Victim victim(puf, enrollment.key, sub_seed(p, 3));
+    SeqPairingAttack::Config cfg;
+    if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
+    const auto result = SeqPairingAttack::run(victim, enrollment.helper, puf.code(), cfg);
+
+    AttackReport report;
+    fill_common(report, victim, enrollment.key, result.recovered_key, result.resolved);
+    if (result.used_sorted_leak) report.notes = "key read via the Section VII-C storage leak";
+    return report;
+}
+
+AttackReport run_tempaware_substitution(const ScenarioParams& p) {
+    const sim::RoArray chip(geometry_or(p, {16, 16}), process_or(p, crossover_rich_params()),
+                            sub_seed(p, 1));
+    tempaware::TempAwareConfig dcfg;
+    dcfg.classification = {-20.0, 85.0, 0.2};
+    dcfg.enroll_samples = 64;
+    const tempaware::TempAwarePuf puf(chip, dcfg);
+    rng::Xoshiro256pp rng(sub_seed(p, 2));
+    const auto enrollment = puf.enroll(rng);
+
+    TempAwareAttack::Victim victim(puf, enrollment.key, p.ambient_c, sub_seed(p, 3));
+    TempAwareAttack::Config cfg;
+    if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
+    const auto result = TempAwareAttack::run(victim, enrollment.helper, puf.code(), cfg);
+
+    AttackReport report;
+    fill_common(report, victim, enrollment.key, result.recovered_key, result.resolved);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%zu coop / %zu good pairs, %zu untestable resolved",
+                  result.coop_pairs.size(), result.good_pairs.size(),
+                  result.skipped_pairs.size());
+    report.notes = buf;
+    return report;
+}
+
+AttackReport run_group(const ScenarioParams& p, GroupBasedAttack::Mode mode) {
+    const sim::RoArray chip(geometry_or(p, {10, 4}), process_or(p, quiet_params()),
+                            sub_seed(p, 1));
+    group::GroupPufConfig dcfg;
+    dcfg.delta_f_th = 0.15;
+    const group::GroupBasedPuf puf(chip, dcfg);
+    rng::Xoshiro256pp rng(sub_seed(p, 2));
+    const auto enrollment = puf.enroll(rng);
+
+    GroupBasedAttack::Victim victim(puf, sub_seed(p, 3));
+    GroupBasedAttack::Config cfg;
+    cfg.mode = mode;
+    if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
+    const auto result =
+        GroupBasedAttack::run(victim, enrollment.helper, chip.geometry(), puf.code(), cfg);
+
+    AttackReport report;
+    fill_common(report, victim, enrollment.key, result.recovered_key, result.complete);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%d comparator runs over %d groups", result.comparisons,
+                  enrollment.grouping.num_groups);
+    report.notes = buf;
+    return report;
+}
+
+AttackReport run_masked_chain_distiller(const ScenarioParams& p) {
+    const sim::RoArray chip(geometry_or(p, {20, 8}), process_or(p, quiet_params()),
+                            sub_seed(p, 1));
+    const pairing::MaskedChainPuf puf(chip, pairing::MaskedChainConfig{});
+    rng::Xoshiro256pp rng(sub_seed(p, 2));
+    const auto enrollment = puf.enroll(rng);
+
+    MaskedChainAttack::Victim victim(puf, sub_seed(p, 3));
+    MaskedChainAttack::Config cfg;
+    if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
+    const auto result = MaskedChainAttack::run(victim, enrollment.helper, puf, cfg);
+
+    AttackReport report;
+    fill_common(report, victim, enrollment.key, result.recovered_key, result.complete);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%d isolation surfaces", result.targets);
+    report.notes = buf;
+    return report;
+}
+
+AttackReport run_masked_chain_probe(const ScenarioParams& p) {
+    const sim::RoArray chip(geometry_or(p, {20, 8}), process_or(p, quiet_params()),
+                            sub_seed(p, 1));
+    const pairing::MaskedChainPuf puf(chip, pairing::MaskedChainConfig{});
+    rng::Xoshiro256pp rng(sub_seed(p, 2));
+    const auto enrollment = puf.enroll(rng);
+
+    SelectionSubstitutionProbe::Victim victim(puf, enrollment.key, sub_seed(p, 3));
+    SelectionSubstitutionProbe::Config cfg;
+    if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
+    const auto result = SelectionSubstitutionProbe::run(victim, enrollment.helper, puf, cfg);
+
+    // Deliberately key-free: the probe quantifies why selection substitution
+    // alone cannot recover the key (one unresolved bit per group remains).
+    AttackReport report;
+    report.key_bits = static_cast<int>(enrollment.key.size());
+    report.queries = victim.queries();
+    report.measurements = victim.measurements();
+    report.accuracy = 0.0;
+    report.key_recovered = false;
+    report.complete = result.groups.size() == enrollment.key.size();
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "negative result by design: %zu groups probed, %d key bits still hidden",
+                  result.groups.size(), result.residual_key_entropy_bits);
+    report.notes = buf;
+    return report;
+}
+
+AttackReport run_overlap_chain_distiller(const ScenarioParams& p) {
+    const sim::RoArray chip(geometry_or(p, {10, 4}), process_or(p, quiet_params()),
+                            sub_seed(p, 1));
+    const pairing::OverlapChainPuf puf(chip, pairing::OverlapChainConfig{});
+    rng::Xoshiro256pp rng(sub_seed(p, 2));
+    const auto enrollment = puf.enroll(rng);
+
+    OverlapChainAttack::Victim victim(puf, sub_seed(p, 3));
+    OverlapChainAttack::Config cfg;
+    if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
+    const auto result = OverlapChainAttack::run(victim, enrollment.helper, puf, cfg);
+
+    AttackReport report;
+    fill_common(report, victim, enrollment.key, result.recovered_key, result.complete);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%d probes, %d hypotheses, largest unknown set %d",
+                  result.probes, result.hypotheses, result.max_set_size);
+    report.notes = buf;
+    return report;
+}
+
+} // namespace
+
+void register_builtin_scenarios(core::ScenarioRegistry& registry) {
+    registry.add({"seqpair/swap", "seqpair", "pair-swap + ECC rewrite", "VI-A/Fig.5",
+                  "Swap stored pair order to test r_i = r_j, settle the final two "
+                  "candidates via rewritten ECC helper data.",
+                  [](const ScenarioParams& p) {
+                      return run_seqpair_swap(p, helperdata::PairOrderPolicy::Randomized);
+                  }});
+    registry.add({"seqpair/swap-sorted", "seqpair", "storage-order leak", "VII-C",
+                  "Same attack against a device whose enrollment stored pairs "
+                  "sorted by frequency: the key leaks with a handful of queries.",
+                  [](const ScenarioParams& p) {
+                      return run_seqpair_swap(p, helperdata::PairOrderPolicy::SortedByFrequency);
+                  }});
+    registry.add({"tempaware/substitution", "tempaware", "assistance substitution", "VI-B",
+                  "Widen a cooperating pair's crossover interval over the ambient "
+                  "temperature and substitute assistants/masks to read relations.",
+                  run_tempaware_substitution});
+    registry.add({"group/sortmerge", "group", "distiller injection + repartition", "VI-C/Fig.6a",
+                  "Remote residual comparator (steep plane + 2-RO repartition + "
+                  "reprogrammed key); merge-sorts every enrolled group.",
+                  [](const ScenarioParams& p) {
+                      return run_group(p, GroupBasedAttack::Mode::SortMerge);
+                  }});
+    registry.add({"group/exhaustive", "group", "all-pairs comparator", "VI-C (E13)",
+                  "Same comparator, exhaustive g(g-1)/2 pairwise bits per group "
+                  "(the query-cost ablation).",
+                  [](const ScenarioParams& p) {
+                      return run_group(p, GroupBasedAttack::Mode::ExhaustivePairs);
+                  }});
+    registry.add({"maskedchain/distiller", "maskedchain", "isolation surfaces", "VI-D/Fig.6b",
+                  "Quadratic isolation surface per selected pair forces every other "
+                  "bit; two hypotheses per key bit.",
+                  run_masked_chain_distiller});
+    registry.add({"maskedchain/probe", "maskedchain", "selection substitution", "VI-D (neg.)",
+                  "Re-points 1-out-of-k selections to recover intra-group relations "
+                  "only — demonstrates why this alone never recovers the key.",
+                  run_masked_chain_probe});
+    registry.add({"overlapchain/distiller", "overlapchain", "multi-bit hypotheses", "VI-D/Fig.6c",
+                  "Probe surfaces leave small undetermined bit sets; enumerate 2^u "
+                  "assignments with reprogrammed ECC redundancy.",
+                  run_overlap_chain_distiller});
+}
+
+core::ScenarioRegistry& default_registry() {
+    auto& registry = core::ScenarioRegistry::instance();
+    static const bool registered = [&registry] {
+        register_builtin_scenarios(registry);
+        return true;
+    }();
+    (void)registered;
+    return registry;
+}
+
+} // namespace ropuf::attack

@@ -1,0 +1,29 @@
+// Builtin attack scenarios — the registry view of paper Section VI.
+//
+// Each scenario binds one construction (through the unified device layer) to
+// one attack and a paper-matched parameter grid. Benches, examples and tests
+// enumerate the registry instead of hand-rolling enrollment/victim/attack
+// setup per experiment:
+//
+//   name                      construction   attack                  paper
+//   seqpair/swap              seqpair        pair-swap + ECC rewrite VI-A/Fig.5
+//   tempaware/substitution    tempaware      assistance substitution VI-B
+//   group/sortmerge           group          distiller + repartition VI-C/Fig.6a
+//   group/exhaustive          group          all-pairs comparator    VI-C (E13)
+//   maskedchain/distiller     maskedchain    isolation surfaces      VI-D/Fig.6b
+//   maskedchain/probe         maskedchain    selection substitution  VI-D (negative)
+//   overlapchain/distiller    overlapchain   multi-bit hypotheses    VI-D/Fig.6c
+#pragma once
+
+#include "ropuf/core/attack_engine.hpp"
+
+namespace ropuf::attack {
+
+/// Registers the builtin scenarios into `registry` (idempotent).
+void register_builtin_scenarios(core::ScenarioRegistry& registry);
+
+/// The process-wide registry with the builtins registered — the one-liner
+/// every consumer starts from.
+core::ScenarioRegistry& default_registry();
+
+} // namespace ropuf::attack

@@ -25,7 +25,7 @@ namespace ropuf::attack {
 
 class SeqPairingAttack {
 public:
-    using Victim = KeyedVictim<pairing::SeqPairingPuf, pairing::SeqPairingHelper>;
+    using Victim = attack::Victim<pairing::SeqPairingPuf>;
 
     struct Config {
         int majority_wins = 2;     ///< decisions per relation test

@@ -36,7 +36,7 @@ namespace ropuf::attack {
 
 class TempAwareAttack {
 public:
-    using Victim = TemperatureVictim<tempaware::TempAwarePuf, tempaware::TempAwareHelper>;
+    using Victim = attack::Victim<tempaware::TempAwarePuf>;
 
     struct Config {
         int majority_wins = 2;

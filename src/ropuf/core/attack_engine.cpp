@@ -1,0 +1,124 @@
+#include "ropuf/core/attack_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace ropuf::core {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+    for (auto& existing : scenarios_) {
+        if (existing.name == scenario.name) {
+            existing = std::move(scenario);
+            return;
+        }
+    }
+    scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+    for (const auto& s : scenarios_) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(scenarios_.size());
+    for (const auto& s : scenarios_) out.push_back(s.name);
+    return out;
+}
+
+AttackReport AttackEngine::run(std::string_view name, const ScenarioParams& params) const {
+    const Scenario* scenario = registry_->find(name);
+    if (scenario == nullptr) {
+        throw std::out_of_range("unknown attack scenario: " + std::string(name));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    AttackReport report = scenario->run(params);
+    const auto t1 = std::chrono::steady_clock::now();
+    report.scenario = scenario->name;
+    report.construction = scenario->construction;
+    report.attack = scenario->attack;
+    report.paper_ref = scenario->paper_ref;
+    report.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return report;
+}
+
+std::vector<AttackReport> AttackEngine::run_all(const ScenarioParams& params) const {
+    std::vector<AttackReport> out;
+    out.reserve(registry_->size());
+    for (const auto& scenario : registry_->scenarios()) {
+        out.push_back(run(scenario.name, params));
+    }
+    return out;
+}
+
+double bit_accuracy(const bits::BitVec& recovered, const bits::BitVec& truth) {
+    if (truth.empty()) return 0.0;
+    const std::size_t overlap = std::min(recovered.size(), truth.size());
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < overlap; ++i) {
+        if (recovered[i] == truth[i]) ++matches;
+    }
+    return static_cast<double>(matches) / static_cast<double>(truth.size());
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\') out.push_back('\\');
+        out.push_back(ch);
+    }
+}
+
+} // namespace
+
+std::string to_json(const AttackReport& r) {
+    char buf[256];
+    std::string out = "{\"scenario\":\"";
+    append_escaped(out, r.scenario);
+    out += "\",\"construction\":\"";
+    append_escaped(out, r.construction);
+    out += "\",\"attack\":\"";
+    append_escaped(out, r.attack);
+    out += "\",\"paper_ref\":\"";
+    append_escaped(out, r.paper_ref);
+    std::snprintf(buf, sizeof buf,
+                  "\",\"key_bits\":%d,\"queries\":%lld,\"measurements\":%lld,"
+                  "\"accuracy\":%.6f,\"key_recovered\":%s,\"complete\":%s,\"wall_ms\":%.3f",
+                  r.key_bits, static_cast<long long>(r.queries),
+                  static_cast<long long>(r.measurements), r.accuracy,
+                  r.key_recovered ? "true" : "false", r.complete ? "true" : "false", r.wall_ms);
+    out += buf;
+    out += ",\"notes\":\"";
+    append_escaped(out, r.notes);
+    out += "\"}";
+    return out;
+}
+
+std::string report_table_header() {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%-24s %-12s %8s %9s %9s %9s %9s %9s", "scenario", "ref",
+                  "key bits", "queries", "meas(k)", "accuracy", "full key", "wall ms");
+    return buf;
+}
+
+std::string report_table_row(const AttackReport& r) {
+    char buf[200];
+    std::snprintf(buf, sizeof buf, "%-24s %-12s %8d %9lld %9.1f %9.3f %9s %9.1f",
+                  r.scenario.c_str(), r.paper_ref.c_str(), r.key_bits,
+                  static_cast<long long>(r.queries),
+                  static_cast<double>(r.measurements) / 1000.0, r.accuracy,
+                  r.key_recovered ? "YES" : "no", r.wall_ms);
+    return buf;
+}
+
+} // namespace ropuf::core

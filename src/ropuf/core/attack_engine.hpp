@@ -1,0 +1,111 @@
+// Construction-agnostic attack engine.
+//
+// Every attack in the paper is, operationally, the same experiment: pick a
+// construction, enroll a victim device, hand the attacker the public helper
+// NVM and the failure oracle, and count queries until the key falls. The
+// ScenarioRegistry names each such experiment (construction x attack x
+// parameter grid) once; benches, examples and tests enumerate the registry
+// instead of hand-rolling the setup, and every run reports the same
+// AttackReport (queries, recovered-bit accuracy, wall time) so scenarios are
+// comparable across constructions — the paper's Table "attack cost" view as
+// an API.
+//
+// The registry itself is construction- and attack-agnostic: scenarios are
+// registered from the attack layer (ropuf/attack/scenarios.hpp), keeping the
+// dependency direction sim -> constructions -> core -> attacks intact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+
+namespace ropuf::core {
+
+/// Knobs every scenario understands. A default-constructed value reproduces
+/// the scenario's paper-matched setup; benches sweep individual fields.
+struct ScenarioParams {
+    std::uint64_t seed = 1;        ///< master seed (chip/enroll/victim derive from it)
+    int cols = 0;                  ///< 0 = scenario default geometry
+    int rows = 0;
+    double sigma_noise_mhz = -1.0; ///< < 0 = scenario default measurement noise
+    double ambient_c = 25.0;       ///< victim operating temperature
+    int majority_wins = 0;         ///< 0 = attack default decision redundancy
+};
+
+/// Uniform outcome of one scenario run.
+struct AttackReport {
+    std::string scenario;      ///< registry name (filled by the engine)
+    std::string construction;  ///< DeviceTraits kind
+    std::string attack;        ///< attack identifier
+    std::string paper_ref;     ///< paper section / figure
+    int key_bits = 0;          ///< enrolled key length
+    std::int64_t queries = 0;  ///< oracle queries spent
+    std::int64_t measurements = 0; ///< oscillator measurements (queries x cost)
+    double accuracy = 0.0;     ///< recovered-bit accuracy against the true key
+    bool key_recovered = false;///< exact full-key recovery
+    bool complete = false;     ///< the attack's own completion flag
+    double wall_ms = 0.0;      ///< wall-clock time of the run (filled by the engine)
+    std::string notes;         ///< scenario-specific remarks
+};
+
+/// One registered experiment.
+struct Scenario {
+    std::string name;         ///< "construction/attack", e.g. "seqpair/swap"
+    std::string construction; ///< DeviceTraits kind
+    std::string attack;
+    std::string paper_ref;
+    std::string description;
+    std::function<AttackReport(const ScenarioParams&)> run;
+};
+
+class ScenarioRegistry {
+public:
+    /// The process-wide registry. Starts empty; the attack layer's
+    /// ropuf::attack::default_registry() populates it with the builtins.
+    static ScenarioRegistry& instance();
+
+    /// Registers a scenario; replaces an existing one with the same name
+    /// (idempotent re-registration).
+    void add(Scenario scenario);
+
+    const Scenario* find(std::string_view name) const;
+    const std::vector<Scenario>& scenarios() const { return scenarios_; }
+    std::vector<std::string> names() const;
+    std::size_t size() const { return scenarios_.size(); }
+
+private:
+    std::vector<Scenario> scenarios_;
+};
+
+/// Runs registered scenarios and stamps the uniform report fields.
+class AttackEngine {
+public:
+    explicit AttackEngine(const ScenarioRegistry& registry) : registry_(&registry) {}
+
+    /// Runs one scenario by name; throws std::out_of_range for unknown names.
+    AttackReport run(std::string_view name, const ScenarioParams& params = {}) const;
+
+    /// Runs every registered scenario in registration order.
+    std::vector<AttackReport> run_all(const ScenarioParams& params = {}) const;
+
+private:
+    const ScenarioRegistry* registry_;
+};
+
+/// Fraction of `truth` bits the recovered key reproduces (position-wise;
+/// missing positions count as wrong). Empty truth yields 0.
+double bit_accuracy(const bits::BitVec& recovered, const bits::BitVec& truth);
+
+/// One-line JSON object for machine consumption (BENCH_*.json emitters).
+std::string to_json(const AttackReport& report);
+
+/// Fixed-width table rendering for benches and demos.
+std::string report_table_header();
+std::string report_table_row(const AttackReport& report);
+
+} // namespace ropuf::core

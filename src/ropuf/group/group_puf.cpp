@@ -66,6 +66,7 @@ GroupBasedPuf::Enrollment GroupBasedPuf::enroll(rng::Xoshiro256pp& rng) const {
 }
 
 GroupBasedPuf::Reconstruction GroupBasedPuf::reconstruct(const GroupPufHelper& helper,
+                                                         const sim::Condition& condition,
                                                          rng::Xoshiro256pp& rng) const {
     if (static_cast<int>(helper.group_of.size()) != array_->count()) return {};
     std::vector<std::vector<int>> members;
@@ -95,7 +96,7 @@ GroupBasedPuf::Reconstruction GroupBasedPuf::reconstruct(const GroupPufHelper& h
     }
     if (degree < 0) return {};
 
-    const auto freqs = array_->measure_all(config_.condition, rng);
+    const auto freqs = array_->measure_all(condition, rng);
     const distiller::PolySurface surface(degree, helper.beta);
     const auto resid = distiller::residuals(array_->geometry(), freqs, surface);
 

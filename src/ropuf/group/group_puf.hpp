@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ropuf/bits/bitvec.hpp"
+#include "ropuf/core/device.hpp"
 #include "ropuf/distiller/regression.hpp"
 #include "ropuf/ecc/block_ecc.hpp"
 #include "ropuf/group/compact.hpp"
@@ -69,7 +70,13 @@ public:
     /// Key regeneration with (possibly manipulated) helper data. Any
     /// structural inconsistency — non-dense groups, oversized groups, wrong
     /// parity length, invalid corrected codeword — fails safely.
-    Reconstruction reconstruct(const GroupPufHelper& helper, rng::Xoshiro256pp& rng) const;
+    Reconstruction reconstruct(const GroupPufHelper& helper, rng::Xoshiro256pp& rng) const {
+        return reconstruct(helper, config_.condition, rng);
+    }
+
+    /// Same, at an explicit operating condition (the environment's choice).
+    Reconstruction reconstruct(const GroupPufHelper& helper, const sim::Condition& condition,
+                               rng::Xoshiro256pp& rng) const;
 
     /// Total Kendall bits implied by a group assignment (the ECC input size).
     static int kendall_bits_of(const std::vector<std::vector<int>>& members);
@@ -98,3 +105,33 @@ private:
 };
 
 } // namespace ropuf::group
+
+// ---------------------------------------------------------------------------
+// Unified device-layer conformance (core::DeviceTraits)
+// ---------------------------------------------------------------------------
+namespace ropuf::core {
+
+template <>
+struct DeviceTraits<group::GroupBasedPuf> {
+    using Helper = group::GroupPufHelper;
+    static constexpr std::string_view kind = "group";
+
+    static std::pair<Helper, bits::BitVec> enroll(const group::GroupBasedPuf& puf,
+                                                  rng::Xoshiro256pp& rng) {
+        auto e = puf.enroll(rng);
+        return {std::move(e.helper), std::move(e.key)};
+    }
+    static ReconstructResult reconstruct(const group::GroupBasedPuf& puf, const Helper& helper,
+                                         const sim::Condition& condition,
+                                         rng::Xoshiro256pp& rng) {
+        const auto rec = puf.reconstruct(helper, condition, rng);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static helperdata::Nvm store(const Helper& helper) { return group::serialize(helper); }
+    static Helper parse(const helperdata::Nvm& nvm) { return group::parse_group_puf(nvm); }
+    static sim::Condition nominal_condition(const group::GroupBasedPuf& puf) {
+        return puf.config().condition;
+    }
+};
+
+} // namespace ropuf::core

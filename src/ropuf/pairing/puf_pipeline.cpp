@@ -60,6 +60,7 @@ SeqPairingPuf::Enrollment SeqPairingPuf::enroll(rng::Xoshiro256pp& rng) const {
 }
 
 KeyReconstruction SeqPairingPuf::reconstruct(const SeqPairingHelper& helper,
+                                             const sim::Condition& condition,
                                              rng::Xoshiro256pp& rng) const {
     if (!pairs_in_range(helper.pairs, array_->count())) return {};
     if (helper.ecc.response_bits != static_cast<int>(helper.pairs.size())) return {};
@@ -68,7 +69,7 @@ KeyReconstruction SeqPairingPuf::reconstruct(const SeqPairingHelper& helper,
         block_ecc.helper_bits(helper.ecc.response_bits)) {
         return {};
     }
-    const auto freqs = array_->measure_all(config_.condition, rng);
+    const auto freqs = array_->measure_all(condition, rng);
     const auto noisy = evaluate_pairs(helper.pairs, freqs);
     const auto rec = block_ecc.reconstruct(noisy, helper.ecc);
     return {rec.ok, rec.value, rec.corrected};
@@ -126,7 +127,8 @@ MaskedChainPuf::Enrollment MaskedChainPuf::enroll(rng::Xoshiro256pp& rng) const 
 }
 
 KeyReconstruction MaskedChainPuf::reconstruct(const MaskedChainHelper& helper,
-                                              rng::Xoshiro256pp& rng) const {
+                                             const sim::Condition& condition,
+                                             rng::Xoshiro256pp& rng) const {
     const int expected_coeffs = distiller::coefficient_count(config_.distiller_degree);
     if (static_cast<int>(helper.beta.size()) != expected_coeffs) return {};
     std::vector<helperdata::IndexPair> selected;
@@ -141,7 +143,7 @@ KeyReconstruction MaskedChainPuf::reconstruct(const MaskedChainHelper& helper,
         block_ecc.helper_bits(helper.ecc.response_bits)) {
         return {};
     }
-    const auto freqs = array_->measure_all(config_.condition, rng);
+    const auto freqs = array_->measure_all(condition, rng);
     const distiller::PolySurface surface(config_.distiller_degree, helper.beta);
     const auto resid = distiller::residuals(array_->geometry(), freqs, surface);
     const auto noisy = evaluate_pairs(selected, resid);
@@ -198,7 +200,8 @@ OverlapChainPuf::Enrollment OverlapChainPuf::enroll(rng::Xoshiro256pp& rng) cons
 }
 
 KeyReconstruction OverlapChainPuf::reconstruct(const OverlapChainHelper& helper,
-                                               rng::Xoshiro256pp& rng) const {
+                                             const sim::Condition& condition,
+                                             rng::Xoshiro256pp& rng) const {
     const int expected_coeffs = distiller::coefficient_count(config_.distiller_degree);
     if (static_cast<int>(helper.beta.size()) != expected_coeffs) return {};
     if (helper.ecc.response_bits != static_cast<int>(pairs_.size())) return {};
@@ -207,7 +210,7 @@ KeyReconstruction OverlapChainPuf::reconstruct(const OverlapChainHelper& helper,
         block_ecc.helper_bits(helper.ecc.response_bits)) {
         return {};
     }
-    const auto freqs = array_->measure_all(config_.condition, rng);
+    const auto freqs = array_->measure_all(condition, rng);
     const distiller::PolySurface surface(config_.distiller_degree, helper.beta);
     const auto resid = distiller::residuals(array_->geometry(), freqs, surface);
     const auto noisy = evaluate_pairs(pairs_, resid);

@@ -17,9 +17,11 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "ropuf/bits/bitvec.hpp"
+#include "ropuf/core/device.hpp"
 #include "ropuf/distiller/regression.hpp"
 #include "ropuf/ecc/block_ecc.hpp"
 #include "ropuf/helperdata/blob.hpp"
@@ -79,6 +81,12 @@ public:
     /// Key regeneration from one noisy array scan and the given helper data.
     /// Malformed helper data (bad indices, wrong parity length) fails safely.
     KeyReconstruction reconstruct(const SeqPairingHelper& helper,
+                                  rng::Xoshiro256pp& rng) const {
+        return reconstruct(helper, config_.condition, rng);
+    }
+
+    /// Same, at an explicit operating condition (the environment's choice).
+    KeyReconstruction reconstruct(const SeqPairingHelper& helper, const sim::Condition& condition,
                                   rng::Xoshiro256pp& rng) const;
 
     const sim::RoArray& array() const { return *array_; }
@@ -125,6 +133,10 @@ public:
 
     Enrollment enroll(rng::Xoshiro256pp& rng) const;
     KeyReconstruction reconstruct(const MaskedChainHelper& helper,
+                                  rng::Xoshiro256pp& rng) const {
+        return reconstruct(helper, config_.condition, rng);
+    }
+    KeyReconstruction reconstruct(const MaskedChainHelper& helper, const sim::Condition& condition,
                                   rng::Xoshiro256pp& rng) const;
 
     /// The fixed base pair set the masking selects from (disjoint chain).
@@ -172,6 +184,10 @@ public:
 
     Enrollment enroll(rng::Xoshiro256pp& rng) const;
     KeyReconstruction reconstruct(const OverlapChainHelper& helper,
+                                  rng::Xoshiro256pp& rng) const {
+        return reconstruct(helper, config_.condition, rng);
+    }
+    KeyReconstruction reconstruct(const OverlapChainHelper& helper, const sim::Condition& condition,
                                   rng::Xoshiro256pp& rng) const;
 
     /// The N-1 overlapping pairs; every one contributes a key bit.
@@ -188,3 +204,79 @@ private:
 };
 
 } // namespace ropuf::pairing
+
+// ---------------------------------------------------------------------------
+// Unified device-layer conformance (core::DeviceTraits)
+// ---------------------------------------------------------------------------
+namespace ropuf::core {
+
+template <>
+struct DeviceTraits<pairing::SeqPairingPuf> {
+    using Helper = pairing::SeqPairingHelper;
+    static constexpr std::string_view kind = "seqpair";
+
+    static std::pair<Helper, bits::BitVec> enroll(const pairing::SeqPairingPuf& puf,
+                                                  rng::Xoshiro256pp& rng) {
+        auto e = puf.enroll(rng);
+        return {std::move(e.helper), std::move(e.key)};
+    }
+    static ReconstructResult reconstruct(const pairing::SeqPairingPuf& puf, const Helper& helper,
+                                         const sim::Condition& condition,
+                                         rng::Xoshiro256pp& rng) {
+        const auto rec = puf.reconstruct(helper, condition, rng);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static helperdata::Nvm store(const Helper& helper) { return pairing::serialize(helper); }
+    static Helper parse(const helperdata::Nvm& nvm) { return pairing::parse_seq_pairing(nvm); }
+    static sim::Condition nominal_condition(const pairing::SeqPairingPuf& puf) {
+        return puf.config().condition;
+    }
+};
+
+template <>
+struct DeviceTraits<pairing::MaskedChainPuf> {
+    using Helper = pairing::MaskedChainHelper;
+    static constexpr std::string_view kind = "maskedchain";
+
+    static std::pair<Helper, bits::BitVec> enroll(const pairing::MaskedChainPuf& puf,
+                                                  rng::Xoshiro256pp& rng) {
+        auto e = puf.enroll(rng);
+        return {std::move(e.helper), std::move(e.key)};
+    }
+    static ReconstructResult reconstruct(const pairing::MaskedChainPuf& puf, const Helper& helper,
+                                         const sim::Condition& condition,
+                                         rng::Xoshiro256pp& rng) {
+        const auto rec = puf.reconstruct(helper, condition, rng);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static helperdata::Nvm store(const Helper& helper) { return pairing::serialize(helper); }
+    static Helper parse(const helperdata::Nvm& nvm) { return pairing::parse_masked_chain(nvm); }
+    static sim::Condition nominal_condition(const pairing::MaskedChainPuf& puf) {
+        return puf.config().condition;
+    }
+};
+
+template <>
+struct DeviceTraits<pairing::OverlapChainPuf> {
+    using Helper = pairing::OverlapChainHelper;
+    static constexpr std::string_view kind = "overlapchain";
+
+    static std::pair<Helper, bits::BitVec> enroll(const pairing::OverlapChainPuf& puf,
+                                                  rng::Xoshiro256pp& rng) {
+        auto e = puf.enroll(rng);
+        return {std::move(e.helper), std::move(e.key)};
+    }
+    static ReconstructResult reconstruct(const pairing::OverlapChainPuf& puf, const Helper& helper,
+                                         const sim::Condition& condition,
+                                         rng::Xoshiro256pp& rng) {
+        const auto rec = puf.reconstruct(helper, condition, rng);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static helperdata::Nvm store(const Helper& helper) { return pairing::serialize(helper); }
+    static Helper parse(const helperdata::Nvm& nvm) { return pairing::parse_overlap_chain(nvm); }
+    static sim::Condition nominal_condition(const pairing::OverlapChainPuf& puf) {
+        return puf.config().condition;
+    }
+};
+
+} // namespace ropuf::core

@@ -49,9 +49,42 @@ double RoArray::measure(int i, const Condition& c, rng::Xoshiro256pp& rng) const
     return f;
 }
 
+const std::vector<double>& RoArray::baseline(const Condition& c) const {
+    for (const auto& entry : baseline_cache_) {
+        if (entry.condition == c) return entry.freqs;
+    }
+    std::vector<double> freqs(static_cast<std::size_t>(count()));
+    for (int i = 0; i < count(); ++i) {
+        freqs[static_cast<std::size_t>(i)] = true_frequency(i, c);
+    }
+    if (baseline_cache_.size() < kBaselineCacheCap) {
+        baseline_cache_.push_back({c, std::move(freqs)});
+        return baseline_cache_.back().freqs;
+    }
+    auto& slot = baseline_cache_[baseline_evict_next_];
+    baseline_evict_next_ = (baseline_evict_next_ + 1) % kBaselineCacheCap;
+    slot = {c, std::move(freqs)};
+    return slot.freqs;
+}
+
+void RoArray::measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
+                               std::vector<double>& out) const {
+    const auto& base = baseline(c);
+    out.resize(base.size());
+    if (params_.quantize_counters) {
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            out[i] = quantize(base[i] + rng.gaussian(0.0, params_.sigma_noise_mhz), rng);
+        }
+    } else {
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            out[i] = base[i] + rng.gaussian(0.0, params_.sigma_noise_mhz);
+        }
+    }
+}
+
 std::vector<double> RoArray::measure_all(const Condition& c, rng::Xoshiro256pp& rng) const {
-    std::vector<double> out(static_cast<std::size_t>(count()));
-    for (int i = 0; i < count(); ++i) out[static_cast<std::size_t>(i)] = measure(i, c, rng);
+    std::vector<double> out;
+    measure_all_into(c, rng, out);
     return out;
 }
 
@@ -59,10 +92,10 @@ std::vector<double> RoArray::enroll_frequencies(const Condition& c, int samples,
                                                 rng::Xoshiro256pp& rng) const {
     assert(samples >= 1);
     std::vector<double> acc(static_cast<std::size_t>(count()), 0.0);
+    std::vector<double> scan;
     for (int s = 0; s < samples; ++s) {
-        for (int i = 0; i < count(); ++i) {
-            acc[static_cast<std::size_t>(i)] += measure(i, c, rng);
-        }
+        measure_all_into(c, rng, scan);
+        for (std::size_t i = 0; i < scan.size(); ++i) acc[i] += scan[i];
     }
     for (auto& f : acc) f /= samples;
     return acc;

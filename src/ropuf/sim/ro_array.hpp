@@ -31,6 +31,8 @@ namespace ropuf::sim {
 struct Condition {
     double temperature_c = 25.0;
     double voltage_v = 1.20;
+
+    constexpr bool operator==(const Condition&) const = default;
 };
 
 /// Statistical parameters of the array. Defaults are laptop-scale numbers in
@@ -77,6 +79,19 @@ public:
     /// One noisy measurement of every RO (a full array scan).
     std::vector<double> measure_all(const Condition& c, rng::Xoshiro256pp& rng) const;
 
+    /// Batched scan into a caller-owned buffer (resized to count()). This is
+    /// the attack engine's hot path: thousands of queries at a handful of
+    /// operating points. The noise-free per-RO baseline of a condition is
+    /// computed once and cached, so every scan is baseline + fresh Gaussian
+    /// noise instead of re-deriving systematic/tempco/voltage terms per RO.
+    void measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
+                          std::vector<double>& out) const;
+
+    /// The cached noise-free frequency vector of a condition (one entry per
+    /// RO). The reference stays valid until the cache evicts the condition —
+    /// copy it out for long-term use. Not thread-safe (per-array cache).
+    const std::vector<double>& baseline(const Condition& c) const;
+
     /// Enrollment-quality measurement: averages `samples` scans, the standard
     /// way enrollment suppresses noise.
     std::vector<double> enroll_frequencies(const Condition& c, int samples,
@@ -99,6 +114,16 @@ private:
     ProcessParams params_;
     std::vector<double> random_;
     std::vector<double> tempco_;
+
+    /// Per-condition baseline cache (bounded; round-robin eviction). Mutable:
+    /// the cache is an observable-free memoization of const computations.
+    struct BaselineEntry {
+        Condition condition;
+        std::vector<double> freqs;
+    };
+    static constexpr std::size_t kBaselineCacheCap = 16;
+    mutable std::vector<BaselineEntry> baseline_cache_;
+    mutable std::size_t baseline_evict_next_ = 0;
 };
 
 } // namespace ropuf::sim

@@ -108,14 +108,20 @@ std::uint8_t TempAwarePuf::direct_bit(const std::vector<double>& freqs,
 TempAwarePuf::Reconstruction TempAwarePuf::reconstruct(const TempAwareHelper& helper,
                                                        double temperature_c,
                                                        rng::Xoshiro256pp& rng) const {
+    return reconstruct(helper, sim::Condition{temperature_c, array_->params().v_ref_v}, rng);
+}
+
+TempAwarePuf::Reconstruction TempAwarePuf::reconstruct(const TempAwareHelper& helper,
+                                                       const sim::Condition& condition,
+                                                       rng::Xoshiro256pp& rng) const {
+    const double temperature_c = condition.temperature_c;
     const int n_pairs = static_cast<int>(helper.pairs.size());
     if (static_cast<int>(helper.records.size()) != n_pairs) return {};
     for (const auto& [a, b] : helper.pairs) {
         if (a < 0 || a >= array_->count() || b < 0 || b >= array_->count()) return {};
     }
 
-    const sim::Condition cond{temperature_c, array_->params().v_ref_v};
-    const auto freqs = array_->measure_all(cond, rng);
+    const auto freqs = array_->measure_all(condition, rng);
 
     bits::BitVec response;
     for (int p = 0; p < n_pairs; ++p) {

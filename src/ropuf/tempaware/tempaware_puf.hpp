@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ropuf/bits/bitvec.hpp"
+#include "ropuf/core/device.hpp"
 #include "ropuf/ecc/block_ecc.hpp"
 #include "ropuf/helperdata/blob.hpp"
 #include "ropuf/pairing/neighbor_chain.hpp"
@@ -88,9 +89,13 @@ public:
         int corrected = 0;
     };
 
-    /// Key regeneration at ambient temperature `temperature_c` with the given
-    /// (possibly manipulated) helper data.
+    /// Key regeneration at ambient temperature `temperature_c` (nominal
+    /// supply voltage) with the given (possibly manipulated) helper data.
     Reconstruction reconstruct(const TempAwareHelper& helper, double temperature_c,
+                               rng::Xoshiro256pp& rng) const;
+
+    /// Same, at a full operating condition (temperature and supply voltage).
+    Reconstruction reconstruct(const TempAwareHelper& helper, const sim::Condition& condition,
                                rng::Xoshiro256pp& rng) const;
 
     /// Key-bit position of pair `pair_index` given a helper's records
@@ -119,3 +124,35 @@ private:
 };
 
 } // namespace ropuf::tempaware
+
+// ---------------------------------------------------------------------------
+// Unified device-layer conformance (core::DeviceTraits). The ambient
+// temperature this construction needs rides in on sim::Condition — the same
+// operating-point channel every other construction already accepts.
+// ---------------------------------------------------------------------------
+namespace ropuf::core {
+
+template <>
+struct DeviceTraits<tempaware::TempAwarePuf> {
+    using Helper = tempaware::TempAwareHelper;
+    static constexpr std::string_view kind = "tempaware";
+
+    static std::pair<Helper, bits::BitVec> enroll(const tempaware::TempAwarePuf& puf,
+                                                  rng::Xoshiro256pp& rng) {
+        auto e = puf.enroll(rng);
+        return {std::move(e.helper), std::move(e.key)};
+    }
+    static ReconstructResult reconstruct(const tempaware::TempAwarePuf& puf, const Helper& helper,
+                                         const sim::Condition& condition,
+                                         rng::Xoshiro256pp& rng) {
+        const auto rec = puf.reconstruct(helper, condition, rng);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static helperdata::Nvm store(const Helper& helper) { return tempaware::serialize(helper); }
+    static Helper parse(const helperdata::Nvm& nvm) { return tempaware::parse_temp_aware(nvm); }
+    static sim::Condition nominal_condition(const tempaware::TempAwarePuf& puf) {
+        return {puf.array().params().t_ref_c, puf.array().params().v_ref_v};
+    }
+};
+
+} // namespace ropuf::core

@@ -136,28 +136,28 @@ TEST(Calibration, AdaptiveOffsetReportsOvershoot) {
     EXPECT_EQ(result.offset, 2);
 }
 
-TEST(Oracle, KeyedVictimCountsQueriesAndComparesKeys) {
+TEST(Oracle, KeyedModeCountsQueriesAndComparesKeys) {
     const ropuf::sim::RoArray arr({16, 8}, ropuf::sim::ProcessParams{}, 271);
     const ropuf::pairing::SeqPairingPuf puf(arr, ropuf::pairing::SeqPairingConfig{});
     Xoshiro256pp rng(272);
     const auto enrollment = puf.enroll(rng);
-    KeyedVictim<ropuf::pairing::SeqPairingPuf, ropuf::pairing::SeqPairingHelper> victim(
-        puf, enrollment.key, 273);
+    Victim<ropuf::pairing::SeqPairingPuf> victim(puf, enrollment.key, 273);
     EXPECT_FALSE(victim.regen_fails(enrollment.helper));
     auto tampered = enrollment.helper;
     std::swap(tampered.pairs[0], tampered.pairs[1]); // may or may not fail...
     tampered.ecc.parity = bits::complement(tampered.ecc.parity); // ...this must
     EXPECT_TRUE(victim.regen_fails(tampered));
     EXPECT_EQ(victim.queries(), 2);
+    // Shared accounting: measurements follow the declared per-query cost.
+    EXPECT_EQ(victim.measurements(), 2 * arr.count());
 }
 
-TEST(Oracle, ReprogramVictimComparesAttackerKey) {
+TEST(Oracle, ReprogramModeComparesAttackerKey) {
     const ropuf::sim::RoArray arr({16, 8}, ropuf::sim::ProcessParams{}, 274);
     const ropuf::pairing::SeqPairingPuf puf(arr, ropuf::pairing::SeqPairingConfig{});
     Xoshiro256pp rng(275);
     const auto enrollment = puf.enroll(rng);
-    ReprogramVictim<ropuf::pairing::SeqPairingPuf, ropuf::pairing::SeqPairingHelper> victim(
-        puf, 276);
+    Victim<ropuf::pairing::SeqPairingPuf> victim(puf, 276);
     EXPECT_FALSE(victim.regen_fails(enrollment.helper, enrollment.key));
     EXPECT_TRUE(victim.regen_fails(enrollment.helper, bits::complement(enrollment.key)));
 }
