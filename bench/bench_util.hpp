@@ -8,6 +8,47 @@
 
 namespace benchutil {
 
+/// True when the library and bench were compiled with NDEBUG (assertions
+/// off, the only configuration whose timings mean anything).
+inline constexpr bool optimized_build() {
+#ifdef NDEBUG
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// Build type of OUR code (this TU's NDEBUG). Deliberately named
+/// ropuf_build_type in JSON contexts: google-benchmark already emits a
+/// "library_build_type" key describing how libbenchmark itself was
+/// compiled, which is not the figure-of-merit here.
+inline const char* ropuf_build_type() { return optimized_build() ? "release" : "debug"; }
+
+/// Loud stderr warning for timing runs of unoptimized binaries. Returns
+/// true when the warning fired, so callers can also mark their output.
+inline bool warn_if_debug_build(const char* bench_name) {
+    if (optimized_build()) return false;
+    std::fprintf(stderr,
+                 "*** WARNING [%s]: benchmark binary built WITHOUT NDEBUG "
+                 "(debug build). Timings are unreliable; rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release before recording figures. ***\n",
+                 bench_name);
+    return true;
+}
+
+/// JSON context fields every BENCH_*.json emitter should include: the build
+/// type, and an explicit machine-readable warning when it is a debug build.
+inline std::string json_build_context() {
+    std::string out = "\"ropuf_build_type\":\"";
+    out += ropuf_build_type();
+    out += '"';
+    if (!optimized_build()) {
+        out += ",\"warning\":\"DEBUG BUILD - timings unreliable, rebuild with "
+               "CMAKE_BUILD_TYPE=Release\"";
+    }
+    return out;
+}
+
 inline void header(const std::string& experiment, const std::string& paper_ref,
                    const std::string& claim) {
     std::printf("==================================================================\n");

@@ -9,12 +9,15 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "ropuf/attack/scenarios.hpp"
 #include "ropuf/attack/seqpair_attack.hpp"
+#include "ropuf/core/campaign.hpp"
 #include "ropuf/distiller/regression.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
 #include "ropuf/group/group_puf.hpp"
 #include "ropuf/hash/sha256.hpp"
+#include "ropuf/rng/gaussian.hpp"
 
 namespace {
 
@@ -142,6 +145,54 @@ void BM_RoArrayBatchedScan(benchmark::State& state) {
 }
 BENCHMARK(BM_RoArrayBatchedScan)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_GaussianPolar(benchmark::State& state) {
+    // The pre-campaign scalar path: Marsaglia polar with pair caching.
+    rng::Xoshiro256pp rng(16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.gaussian());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianPolar);
+
+void BM_GaussianZiggurat(benchmark::State& state) {
+    rng::Xoshiro256pp rng(17);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng::gaussian_zig(rng));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianZiggurat);
+
+void BM_GaussianFillBlock(benchmark::State& state) {
+    // The measurement hot path's noise block: fill a scan-sized buffer.
+    rng::Xoshiro256pp rng(18);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> block(n);
+    for (auto _ : state) {
+        rng::fill_gaussian(rng, 0.0, 0.05, block.data(), n);
+        benchmark::DoNotOptimize(block.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GaussianFillBlock)->Arg(128)->Arg(2048);
+
+void BM_CampaignSeqpair(benchmark::State& state) {
+    // Small campaign per iteration; workers swept to expose scaling in the
+    // micro JSON (bench_campaign does the full-size study).
+    const core::CampaignRunner runner(attack::default_registry());
+    core::CampaignConfig config;
+    config.trials = 8;
+    config.workers = static_cast<int>(state.range(0));
+    config.keep_reports = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runner.run("seqpair/swap", config));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * config.trials);
+}
+BENCHMARK(BM_CampaignSeqpair)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_Scenario(benchmark::State& state, const char* name) {
     const core::AttackEngine engine(attack::default_registry());
     core::ScenarioParams params;
@@ -173,6 +224,15 @@ int main(int argc, char** argv) {
     int args_count = static_cast<int>(args.size());
     benchmark::Initialize(&args_count, args.data());
     if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    // Stamp the build type into the JSON context; a debug build additionally
+    // gets a machine-readable warning and a loud stderr banner, so a
+    // methodology slip (recording perf figures from -O0 binaries) is visible
+    // in both the artifact and the log.
+    benchmark::AddCustomContext("ropuf_build_type", benchutil::ropuf_build_type());
+    if (benchutil::warn_if_debug_build("bench_micro")) {
+        benchmark::AddCustomContext(
+            "warning", "DEBUG BUILD - timings unreliable, rebuild with Release");
+    }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

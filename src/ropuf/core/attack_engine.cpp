@@ -35,20 +35,24 @@ std::vector<std::string> ScenarioRegistry::names() const {
     return out;
 }
 
+AttackReport run_scenario(const Scenario& scenario, const ScenarioParams& params) {
+    const auto t0 = std::chrono::steady_clock::now();
+    AttackReport report = scenario.run(params);
+    const auto t1 = std::chrono::steady_clock::now();
+    report.scenario = scenario.name;
+    report.construction = scenario.construction;
+    report.attack = scenario.attack;
+    report.paper_ref = scenario.paper_ref;
+    report.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return report;
+}
+
 AttackReport AttackEngine::run(std::string_view name, const ScenarioParams& params) const {
     const Scenario* scenario = registry_->find(name);
     if (scenario == nullptr) {
         throw std::out_of_range("unknown attack scenario: " + std::string(name));
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    AttackReport report = scenario->run(params);
-    const auto t1 = std::chrono::steady_clock::now();
-    report.scenario = scenario->name;
-    report.construction = scenario->construction;
-    report.attack = scenario->attack;
-    report.paper_ref = scenario->paper_ref;
-    report.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-    return report;
+    return run_scenario(*scenario, params);
 }
 
 std::vector<AttackReport> AttackEngine::run_all(const ScenarioParams& params) const {
@@ -70,27 +74,39 @@ double bit_accuracy(const bits::BitVec& recovered, const bits::BitVec& truth) {
     return static_cast<double>(matches) / static_cast<double>(truth.size());
 }
 
-namespace {
-
-void append_escaped(std::string& out, const std::string& s) {
+void append_json_escaped(std::string& out, std::string_view s) {
     for (char ch : s) {
-        if (ch == '"' || ch == '\\') out.push_back('\\');
-        out.push_back(ch);
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(ch)));
+                    out += buf;
+                } else {
+                    out.push_back(ch);
+                }
+        }
     }
 }
-
-} // namespace
 
 std::string to_json(const AttackReport& r) {
     char buf[256];
     std::string out = "{\"scenario\":\"";
-    append_escaped(out, r.scenario);
+    append_json_escaped(out, r.scenario);
     out += "\",\"construction\":\"";
-    append_escaped(out, r.construction);
+    append_json_escaped(out, r.construction);
     out += "\",\"attack\":\"";
-    append_escaped(out, r.attack);
+    append_json_escaped(out, r.attack);
     out += "\",\"paper_ref\":\"";
-    append_escaped(out, r.paper_ref);
+    append_json_escaped(out, r.paper_ref);
     std::snprintf(buf, sizeof buf,
                   "\",\"key_bits\":%d,\"queries\":%lld,\"measurements\":%lld,"
                   "\"accuracy\":%.6f,\"key_recovered\":%s,\"complete\":%s,\"wall_ms\":%.3f",
@@ -99,7 +115,7 @@ std::string to_json(const AttackReport& r) {
                   r.key_recovered ? "true" : "false", r.complete ? "true" : "false", r.wall_ms);
     out += buf;
     out += ",\"notes\":\"";
-    append_escaped(out, r.notes);
+    append_json_escaped(out, r.notes);
     out += "\"}";
     return out;
 }

@@ -97,9 +97,18 @@ private:
     const ScenarioRegistry* registry_;
 };
 
+/// Runs one resolved scenario and stamps the uniform report fields
+/// (identity + wall time). Shared by AttackEngine and CampaignRunner; safe
+/// to call concurrently — scenarios hold no shared mutable state.
+AttackReport run_scenario(const Scenario& scenario, const ScenarioParams& params);
+
 /// Fraction of `truth` bits the recovered key reproduces (position-wise;
 /// missing positions count as wrong). Empty truth yields 0.
 double bit_accuracy(const bits::BitVec& recovered, const bits::BitVec& truth);
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes and
+/// control characters). Shared by every BENCH_*.json emitter.
+void append_json_escaped(std::string& out, std::string_view s);
 
 /// One-line JSON object for machine consumption (BENCH_*.json emitters).
 std::string to_json(const AttackReport& report);

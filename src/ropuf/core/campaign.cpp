@@ -1,0 +1,192 @@
+#include "ropuf/core/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace ropuf::core {
+
+std::vector<std::uint64_t> CampaignRunner::trial_seeds(std::uint64_t master_seed, int trials) {
+    rng::Xoshiro256pp master(master_seed);
+    std::vector<std::uint64_t> seeds(static_cast<std::size_t>(std::max(trials, 0)));
+    for (auto& seed : seeds) {
+        rng::Xoshiro256pp stream = master.split();
+        seed = stream.next();
+    }
+    return seeds;
+}
+
+CampaignSummary CampaignRunner::run(std::string_view scenario_name,
+                                    const CampaignConfig& config) const {
+    const Scenario* scenario = registry_->find(scenario_name);
+    if (scenario == nullptr) {
+        throw std::out_of_range("unknown attack scenario: " + std::string(scenario_name));
+    }
+    const int trials = std::max(config.trials, 0);
+    int workers = config.workers;
+    if (workers <= 0) {
+        workers = static_cast<int>(std::thread::hardware_concurrency());
+        if (workers <= 0) workers = 1;
+    }
+    workers = std::min(workers, std::max(trials, 1));
+
+    // Seed schedule first, sequentially, so trial t's randomness does not
+    // depend on which worker claims it.
+    const std::vector<std::uint64_t> seeds = trial_seeds(config.master_seed, trials);
+    std::vector<AttackReport> reports(static_cast<std::size_t>(trials));
+
+    std::atomic<int> next_trial{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto worker_loop = [&] {
+        for (;;) {
+            const int t = next_trial.fetch_add(1, std::memory_order_relaxed);
+            if (t >= trials) return;
+            try {
+                ScenarioParams params = config.base;
+                params.seed = seeds[static_cast<std::size_t>(t)];
+                reports[static_cast<std::size_t>(t)] = run_scenario(*scenario, params);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (workers <= 1) {
+        worker_loop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
+        for (auto& thread : pool) thread.join();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (first_error) std::rethrow_exception(first_error);
+
+    CampaignSummary summary;
+    summary.scenario = std::string(scenario_name);
+    summary.trials = trials;
+    summary.workers = workers;
+    summary.master_seed = config.master_seed;
+    summary.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    std::vector<double> queries;
+    std::vector<double> measurements;
+    queries.reserve(reports.size());
+    measurements.reserve(reports.size());
+    for (const auto& report : reports) {
+        if (report.key_recovered) ++summary.key_recovered_count;
+        summary.mean_accuracy += report.accuracy;
+        summary.trial_wall_ms_sum += report.wall_ms;
+        summary.total_measurements += report.measurements;
+        queries.push_back(static_cast<double>(report.queries));
+        measurements.push_back(static_cast<double>(report.measurements));
+    }
+    if (trials > 0) {
+        summary.success_rate =
+            static_cast<double>(summary.key_recovered_count) / static_cast<double>(trials);
+        summary.mean_accuracy /= static_cast<double>(trials);
+    }
+    summary.queries = summarize_metric(queries);
+    summary.measurements = summarize_metric(measurements);
+    if (summary.wall_ms > 0.0) {
+        summary.measurements_per_s =
+            static_cast<double>(summary.total_measurements) / (summary.wall_ms / 1000.0);
+    }
+    if (config.keep_reports) summary.reports = std::move(reports);
+    return summary;
+}
+
+MetricSummary summarize_metric(const std::vector<double>& values) {
+    MetricSummary stat;
+    if (values.empty()) return stat;
+    const auto n = static_cast<double>(values.size());
+    double sum = 0.0;
+    stat.min = values.front();
+    stat.max = values.front();
+    for (double v : values) {
+        sum += v;
+        stat.min = std::min(stat.min, v);
+        stat.max = std::max(stat.max, v);
+    }
+    stat.mean = sum / n;
+    double ss = 0.0;
+    for (double v : values) ss += (v - stat.mean) * (v - stat.mean);
+    stat.stddev = std::sqrt(ss / n);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.95 * static_cast<double>(sorted.size())));
+    stat.p95 = sorted[std::max<std::size_t>(rank, 1) - 1];
+    return stat;
+}
+
+namespace {
+
+void append_metric(std::string& out, const char* name, const MetricSummary& m) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"mean\":%.3f,\"stddev\":%.3f,\"min\":%.0f,\"max\":%.0f,"
+                  "\"p95\":%.0f}",
+                  name, m.mean, m.stddev, m.min, m.max, m.p95);
+    out += buf;
+}
+
+} // namespace
+
+std::string to_json(const CampaignSummary& s, bool include_reports) {
+    std::string out = "{\"scenario\":\"";
+    append_json_escaped(out, s.scenario);
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "\",\"trials\":%d,\"workers\":%d,\"master_seed\":%llu,"
+                  "\"key_recovered_count\":%d,\"success_rate\":%.4f,"
+                  "\"mean_accuracy\":%.6f,\"total_measurements\":%lld,"
+                  "\"wall_ms\":%.3f,\"trial_wall_ms_sum\":%.3f,"
+                  "\"measurements_per_s\":%.0f,",
+                  s.trials, s.workers, static_cast<unsigned long long>(s.master_seed),
+                  s.key_recovered_count, s.success_rate, s.mean_accuracy,
+                  static_cast<long long>(s.total_measurements), s.wall_ms,
+                  s.trial_wall_ms_sum, s.measurements_per_s);
+    out += buf;
+    append_metric(out, "queries", s.queries);
+    out += ',';
+    append_metric(out, "measurements", s.measurements);
+    if (include_reports) {
+        out += ",\"reports\":[";
+        for (std::size_t i = 0; i < s.reports.size(); ++i) {
+            if (i > 0) out += ',';
+            out += to_json(s.reports[i]);
+        }
+        out += ']';
+    }
+    out += '}';
+    return out;
+}
+
+std::string campaign_table_header() {
+    char buf[200];
+    std::snprintf(buf, sizeof buf, "%-24s %7s %7s %8s %10s %10s %10s %12s", "scenario", "trials",
+                  "workers", "success", "queries", "q-p95", "wall ms", "meas/s");
+    return buf;
+}
+
+std::string campaign_table_row(const CampaignSummary& s) {
+    char buf[240];
+    std::snprintf(buf, sizeof buf, "%-24s %7d %7d %8.3f %10.1f %10.0f %10.1f %12.3e",
+                  s.scenario.c_str(), s.trials, s.workers, s.success_rate, s.queries.mean,
+                  s.queries.p95, s.wall_ms, s.measurements_per_s);
+    return buf;
+}
+
+} // namespace ropuf::core

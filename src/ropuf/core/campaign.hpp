@@ -1,0 +1,101 @@
+// Parallel Monte-Carlo campaign runner.
+//
+// The paper's attack-cost claims are statistical: queries per recovered key
+// bit, success probability, measurement budget — all distributions over a
+// population of independently manufactured chips, not properties of one
+// device. A campaign runs one registered scenario across N trials, each
+// trial a fresh chip / enrollment / victim derived from its own seed, and
+// aggregates the per-trial AttackReports into a CampaignSummary.
+//
+// Reproducibility contract: per-trial seeds are derived from the master
+// seed via rng::Xoshiro256pp::split() — a sequential walk of jump()-spaced
+// streams computed *before* any worker starts. Trial t therefore sees the
+// same seed whether the campaign runs on 1 worker or 64, and every
+// aggregate is folded in trial order, so campaign results are bitwise
+// identical for a fixed master seed regardless of worker count (wall-clock
+// fields excepted, as they measure the host, not the experiment).
+//
+// Independence caveat: ScenarioParams::seed is 64 bits, so each trial keeps
+// only the first word of its split() stream and re-expands it through
+// splitmix64. Trials are distinct/independent with overwhelming probability
+// (64-bit birthday bound), not disjoint-by-construction the way the full
+// 2^128-spaced streams are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ropuf/core/attack_engine.hpp"
+
+namespace ropuf::core {
+
+/// Knobs of one campaign.
+struct CampaignConfig {
+    int trials = 100;             ///< independent chips to manufacture
+    int workers = 0;              ///< worker threads; 0 = hardware_concurrency
+    std::uint64_t master_seed = 1;///< root of the per-trial seed streams
+    ScenarioParams base;          ///< shared scenario knobs (seed is overridden per trial)
+    bool keep_reports = true;     ///< retain the per-trial reports in the summary
+};
+
+/// Order-stable aggregate of one per-trial metric.
+struct MetricSummary {
+    double mean = 0.0;
+    double stddev = 0.0;   ///< population standard deviation
+    double min = 0.0;
+    double max = 0.0;
+    double p95 = 0.0;      ///< nearest-rank 95th percentile
+};
+
+/// Aggregated outcome of a campaign.
+struct CampaignSummary {
+    std::string scenario;
+    int trials = 0;
+    int workers = 0;               ///< workers actually used
+    std::uint64_t master_seed = 0;
+    int key_recovered_count = 0;   ///< trials with exact full-key recovery
+    double success_rate = 0.0;     ///< key_recovered_count / trials
+    double mean_accuracy = 0.0;    ///< mean recovered-bit accuracy
+    MetricSummary queries;         ///< oracle queries per trial
+    MetricSummary measurements;    ///< oscillator measurements per trial
+    std::int64_t total_measurements = 0;
+    double wall_ms = 0.0;          ///< whole-campaign wall clock
+    double trial_wall_ms_sum = 0.0;///< summed per-trial wall clock (CPU-side work)
+    double measurements_per_s = 0.0; ///< total_measurements / campaign wall time
+    std::vector<AttackReport> reports; ///< per-trial, in trial order (may be empty)
+};
+
+/// Runs registered scenarios over trial populations on a worker pool.
+class CampaignRunner {
+public:
+    explicit CampaignRunner(const ScenarioRegistry& registry) : registry_(&registry) {}
+
+    /// The per-trial seed schedule for a master seed: trial t's seed is the
+    /// first output of the t-th split() stream. Exposed so tests and
+    /// external drivers can reproduce single trials of a campaign.
+    static std::vector<std::uint64_t> trial_seeds(std::uint64_t master_seed, int trials);
+
+    /// Runs `trials` independent instances of one scenario; throws
+    /// std::out_of_range for unknown names. Worker exceptions are collected
+    /// and the first one is rethrown after the pool drains.
+    CampaignSummary run(std::string_view scenario_name,
+                        const CampaignConfig& config = {}) const;
+
+private:
+    const ScenarioRegistry* registry_;
+};
+
+/// Order-stable aggregation helper (mean/stddev/min/max/p95 over `values`
+/// as given; p95 by nearest rank on a sorted copy).
+MetricSummary summarize_metric(const std::vector<double>& values);
+
+/// One-line JSON object (without the per-trial reports unless included).
+std::string to_json(const CampaignSummary& summary, bool include_reports = false);
+
+/// Fixed-width table rendering for benches and demos.
+std::string campaign_table_header();
+std::string campaign_table_row(const CampaignSummary& summary);
+
+} // namespace ropuf::core

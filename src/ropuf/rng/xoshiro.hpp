@@ -52,12 +52,21 @@ public:
     /// Seeds the full 256-bit state from one word via splitmix64.
     explicit Xoshiro256pp(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept { reseed(seed); }
 
+    /// Restores a generator from a raw 256-bit state (checkpointing, tests).
+    /// The all-zero state is invalid for xoshiro and is remapped via reseed.
+    explicit Xoshiro256pp(const std::array<std::uint64_t, 4>& state) noexcept : s_(state) {
+        if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) reseed(0);
+    }
+
     /// Re-seeds in place; the generator restarts its sequence.
     void reseed(std::uint64_t seed) noexcept {
         SplitMix64 sm(seed);
         for (auto& w : s_) w = sm.next();
         cached_gaussian_valid_ = false;
     }
+
+    /// The raw 256-bit state (checkpointing, tests).
+    const std::array<std::uint64_t, 4>& state() const noexcept { return s_; }
 
     static constexpr result_type min() noexcept { return 0; }
     static constexpr result_type max() noexcept { return std::numeric_limits<result_type>::max(); }
@@ -79,6 +88,11 @@ public:
 
     /// Uniform double in [0, 1) with 53 random mantissa bits.
     double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in (0, 1] — safe as a log() argument.
+    double uniform_positive_unit() noexcept {
+        return static_cast<double>((next() >> 11) + 1) * 0x1.0p-53;
+    }
 
     /// Uniform double in [lo, hi).
     double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
@@ -124,9 +138,58 @@ public:
     /// Normal sample with the given mean and standard deviation.
     double gaussian(double mean, double sd) noexcept { return mean + sd * gaussian(); }
 
+    /// Advances the generator by exactly 2^128 steps of next() (Blackman &
+    /// Vigna's jump polynomial). Two generators whose states differ by one
+    /// jump produce non-overlapping subsequences of 2^128 outputs each —
+    /// the basis for cheap independent per-thread/per-trial streams.
+    void jump() noexcept {
+        constexpr std::array<std::uint64_t, 4> kJump = {
+            0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+        polynomial_advance(kJump);
+    }
+
+    /// Advances by 2^192 steps (the long-jump polynomial): spaces out whole
+    /// families of jump()-derived streams, e.g. one family per campaign.
+    void long_jump() noexcept {
+        constexpr std::array<std::uint64_t, 4> kLongJump = {
+            0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+            0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+        polynomial_advance(kLongJump);
+    }
+
+    /// Splittable-stream derivation: returns a generator at the current
+    /// state and advances *this by one jump(). Successive split() calls
+    /// therefore hand out streams spaced 2^128 apart — statistically
+    /// independent and guaranteed non-overlapping, regardless of how many
+    /// values each consumer draws (up to 2^128).
+    Xoshiro256pp split() noexcept {
+        Xoshiro256pp child = *this;
+        child.cached_gaussian_valid_ = false;
+        jump();
+        return child;
+    }
+
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
         return (x << k) | (x >> (64 - k));
+    }
+
+    /// Shared implementation of jump()/long_jump(): the new state is the
+    /// GF(2) linear combination of the states reached over the next 256
+    /// steps, selected by the polynomial's bits.
+    void polynomial_advance(const std::array<std::uint64_t, 4>& poly) noexcept {
+        std::array<std::uint64_t, 4> acc{};
+        for (std::uint64_t word : poly) {
+            for (int bit = 0; bit < 64; ++bit) {
+                if (word & (1ULL << bit)) {
+                    for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+                }
+                next();
+            }
+        }
+        s_ = acc;
+        cached_gaussian_valid_ = false;
     }
 
     std::array<std::uint64_t, 4> s_{};

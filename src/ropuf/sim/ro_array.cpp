@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "ropuf/rng/gaussian.hpp"
+
 namespace ropuf::sim {
 
 RoArray::RoArray(const ArrayGeometry& geometry, const ProcessParams& params, std::uint64_t seed)
@@ -15,6 +17,11 @@ RoArray::RoArray(const ArrayGeometry& geometry, const ProcessParams& params, std
     for (std::size_t i = 0; i < n; ++i) {
         random_[i] = manufacture.gaussian(0.0, params_.sigma_random_mhz);
         tempco_[i] = manufacture.gaussian(params_.tempco_mean, params_.tempco_sigma);
+    }
+    static_mhz_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        static_mhz_[i] =
+            params_.f_nominal_mhz + systematic_component(static_cast<int>(i)) + random_[i];
     }
 }
 
@@ -29,8 +36,7 @@ double RoArray::systematic_component(int i) const {
 
 double RoArray::true_frequency(int i, const Condition& c) const {
     assert(i >= 0 && i < count());
-    return params_.f_nominal_mhz + systematic_component(i) +
-           random_[static_cast<std::size_t>(i)] +
+    return static_mhz_[static_cast<std::size_t>(i)] +
            tempco_[static_cast<std::size_t>(i)] * (c.temperature_c - params_.t_ref_c) +
            params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
 }
@@ -49,36 +55,36 @@ double RoArray::measure(int i, const Condition& c, rng::Xoshiro256pp& rng) const
     return f;
 }
 
-const std::vector<double>& RoArray::baseline(const Condition& c) const {
-    for (const auto& entry : baseline_cache_) {
-        if (entry.condition == c) return entry.freqs;
-    }
-    std::vector<double> freqs(static_cast<std::size_t>(count()));
-    for (int i = 0; i < count(); ++i) {
-        freqs[static_cast<std::size_t>(i)] = true_frequency(i, c);
-    }
-    if (baseline_cache_.size() < kBaselineCacheCap) {
-        baseline_cache_.push_back({c, std::move(freqs)});
-        return baseline_cache_.back().freqs;
-    }
-    auto& slot = baseline_cache_[baseline_evict_next_];
-    baseline_evict_next_ = (baseline_evict_next_ + 1) % kBaselineCacheCap;
-    slot = {c, std::move(freqs)};
-    return slot.freqs;
+void RoArray::baseline_into(const Condition& c, std::vector<double>& out) const {
+    const std::size_t n = static_mhz_.size();
+    out.resize(n);
+    const double dt = c.temperature_c - params_.t_ref_c;
+    const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
+    const double* stat = static_mhz_.data();
+    const double* tc = tempco_.data();
+    for (std::size_t i = 0; i < n; ++i) out[i] = stat[i] + tc[i] * dt + dv;
+}
+
+std::vector<double> RoArray::baseline(const Condition& c) const {
+    std::vector<double> out;
+    baseline_into(c, out);
+    return out;
 }
 
 void RoArray::measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
                                std::vector<double>& out) const {
-    const auto& base = baseline(c);
-    out.resize(base.size());
+    const std::size_t n = static_mhz_.size();
+    // The noise block first (serial RNG dependency chain), then one
+    // vectorizable affine pass folding in the condition terms.
+    rng::fill_gaussian(rng, 0.0, params_.sigma_noise_mhz, out, n);
+    const double dt = c.temperature_c - params_.t_ref_c;
+    const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
+    const double* stat = static_mhz_.data();
+    const double* tc = tempco_.data();
+    double* o = out.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] += stat[i] + tc[i] * dt + dv;
     if (params_.quantize_counters) {
-        for (std::size_t i = 0; i < base.size(); ++i) {
-            out[i] = quantize(base[i] + rng.gaussian(0.0, params_.sigma_noise_mhz), rng);
-        }
-    } else {
-        for (std::size_t i = 0; i < base.size(); ++i) {
-            out[i] = base[i] + rng.gaussian(0.0, params_.sigma_noise_mhz);
-        }
+        for (std::size_t i = 0; i < n; ++i) o[i] = quantize(o[i], rng);
     }
 }
 

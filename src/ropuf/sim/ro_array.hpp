@@ -62,6 +62,11 @@ struct ProcessParams {
 /// variation, systematic surface, tempcos) are drawn once from the seed and
 /// frozen. `measure*` adds fresh measurement noise from a caller-provided
 /// RNG, so repeated measurements fluctuate the way silicon does.
+///
+/// Thread-safety: an RoArray is immutable after construction — every method
+/// is const and touches no hidden mutable state, so one chip instance can be
+/// scanned concurrently from any number of threads as long as each thread
+/// supplies its own RNG (campaign workers hold per-trial generators).
 class RoArray {
 public:
     RoArray(const ArrayGeometry& geometry, const ProcessParams& params, std::uint64_t seed);
@@ -81,16 +86,19 @@ public:
 
     /// Batched scan into a caller-owned buffer (resized to count()). This is
     /// the attack engine's hot path: thousands of queries at a handful of
-    /// operating points. The noise-free per-RO baseline of a condition is
-    /// computed once and cached, so every scan is baseline + fresh Gaussian
-    /// noise instead of re-deriving systematic/tempco/voltage terms per RO.
+    /// operating points. The static per-RO component (nominal + systematic +
+    /// random) is frozen at manufacture, so a scan is one vectorizable pass
+    /// of static + tempco*dT + vco*dV plus a ziggurat noise block — no
+    /// per-condition cache, no shared mutable state.
     void measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
                           std::vector<double>& out) const;
 
-    /// The cached noise-free frequency vector of a condition (one entry per
-    /// RO). The reference stays valid until the cache evicts the condition —
-    /// copy it out for long-term use. Not thread-safe (per-array cache).
-    const std::vector<double>& baseline(const Condition& c) const;
+    /// Noise-free frequency vector of a condition written into a
+    /// caller-owned buffer (resized to count()). Thread-safe.
+    void baseline_into(const Condition& c, std::vector<double>& out) const;
+
+    /// Noise-free frequency vector of a condition, by value.
+    std::vector<double> baseline(const Condition& c) const;
 
     /// Enrollment-quality measurement: averages `samples` scans, the standard
     /// way enrollment suppresses noise.
@@ -114,16 +122,9 @@ private:
     ProcessParams params_;
     std::vector<double> random_;
     std::vector<double> tempco_;
-
-    /// Per-condition baseline cache (bounded; round-robin eviction). Mutable:
-    /// the cache is an observable-free memoization of const computations.
-    struct BaselineEntry {
-        Condition condition;
-        std::vector<double> freqs;
-    };
-    static constexpr std::size_t kBaselineCacheCap = 16;
-    mutable std::vector<BaselineEntry> baseline_cache_;
-    mutable std::size_t baseline_evict_next_ = 0;
+    /// Condition-independent part of every RO's frequency, frozen at
+    /// manufacture: f_nominal + systematic(x_i, y_i) + random_i.
+    std::vector<double> static_mhz_;
 };
 
 } // namespace ropuf::sim

@@ -191,6 +191,34 @@ TEST(AttackEngine, ReportSerializesToJson) {
     EXPECT_NE(json.find("\"queries\":"), std::string::npos);
 }
 
+// Regression: notes containing quotes, backslashes or control characters
+// must serialize to valid JSON string escapes, never raw bytes.
+TEST(AttackEngine, ReportJsonEscapesNotes) {
+    core::AttackReport report;
+    report.scenario = "esc/\"quoted\"";
+    report.notes = "a \"b\" c\\d\nline2\ttab\x01" "end";
+    const auto json = core::to_json(report);
+    EXPECT_NE(json.find("\"scenario\":\"esc/\\\"quoted\\\"\""), std::string::npos);
+    EXPECT_NE(json.find("a \\\"b\\\" c\\\\d\\nline2\\ttab\\u0001end"), std::string::npos);
+    // No raw control characters may survive into the serialized form.
+    for (char ch : json) EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+    // Quotes must be balanced once escapes are accounted for.
+    int quotes = 0;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(AttackEngine, JsonEscapeHelperHandlesEdgeCases) {
+    std::string out;
+    core::append_json_escaped(out, "plain");
+    EXPECT_EQ(out, "plain");
+    out.clear();
+    core::append_json_escaped(out, "\\\"\n\r\t\b\f\x1f");
+    EXPECT_EQ(out, "\\\\\\\"\\n\\r\\t\\b\\f\\u001f");
+}
+
 // ---------------------------------------------------------------------------
 // Query-accounting parity: the generic Victim must count exactly what the
 // seed's per-construction wrappers counted — one query per regeneration,

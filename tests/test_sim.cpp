@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "ropuf/sim/geometry.hpp"
 #include "ropuf/sim/ro_array.hpp"
@@ -193,6 +195,51 @@ TEST(RoArray, QuantizationCanYieldExactTies) {
         ties += arr.measure(0, Condition{}, rng) == arr.measure(1, Condition{}, rng);
     }
     EXPECT_GT(ties, 150);
+}
+
+TEST(RoArray, BaselineMatchesTrueFrequenciesPerCondition) {
+    const ArrayGeometry g{8, 4};
+    const RoArray arr(g, ProcessParams{}, 22);
+    for (const Condition c : {Condition{25.0, 1.20}, Condition{85.0, 1.10}}) {
+        const auto base = arr.baseline(c);
+        ASSERT_EQ(static_cast<int>(base.size()), g.count());
+        for (int i = 0; i < g.count(); ++i) {
+            EXPECT_DOUBLE_EQ(base[static_cast<std::size_t>(i)], arr.true_frequency(i, c));
+        }
+        std::vector<double> into;
+        arr.baseline_into(c, into);
+        EXPECT_EQ(into, base);
+    }
+}
+
+TEST(RoArray, ConcurrentScansOfOneChipAreIndependent) {
+    // The post-refactor contract: one immutable chip, many threads, each
+    // with its own RNG — every thread's scans equal its single-threaded run.
+    const ArrayGeometry g{16, 8};
+    const RoArray arr(g, ProcessParams{}, 23);
+    constexpr int kThreads = 4;
+    constexpr int kScans = 50;
+    std::vector<std::vector<double>> got(kThreads);
+    {
+        std::vector<std::thread> pool;
+        for (int t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&, t] {
+                Xoshiro256pp rng(100 + static_cast<std::uint64_t>(t));
+                std::vector<double> scan;
+                for (int s = 0; s < kScans; ++s) {
+                    arr.measure_all_into(Condition{}, rng, scan);
+                }
+                got[static_cast<std::size_t>(t)] = scan;
+            });
+        }
+        for (auto& th : pool) th.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        Xoshiro256pp rng(100 + static_cast<std::uint64_t>(t));
+        std::vector<double> scan;
+        for (int s = 0; s < kScans; ++s) arr.measure_all_into(Condition{}, rng, scan);
+        EXPECT_EQ(got[static_cast<std::size_t>(t)], scan);
+    }
 }
 
 TEST(RoArray, MeasureAllMatchesIndividualStatistics) {

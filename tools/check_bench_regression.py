@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for the CI perf trajectory.
+
+Compares items_per_second of selected benchmarks between a committed
+baseline BENCH_micro.json and a freshly recorded one, and fails when the
+geometric mean drops by more than the allowed fraction.
+
+Also refuses to compare against figures recorded from a debug build (the
+methodology bug this guard exists to prevent): a baseline or current file
+whose context carries library_build_type "debug" is an error unless
+--allow-debug is given.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_micro.baseline.json \
+      --current BENCH_micro.json --benchmark BM_RoArrayBatchedScan \
+      --max-drop 0.30
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path, allow_debug):
+    with open(path) as f:
+        data = json.load(f)
+    context = data.get("context", {})
+    # ropuf_build_type is our own NDEBUG stamp; fall back to google-
+    # benchmark's library_build_type for files recorded before it existed.
+    build_type = context.get(
+        "ropuf_build_type", context.get("library_build_type", "unknown")
+    )
+    if build_type == "debug" and not allow_debug:
+        sys.exit(
+            f"ERROR: {path} was recorded from a debug build "
+            f"(context build type == 'debug'); its figures are "
+            "meaningless. Re-record with CMAKE_BUILD_TYPE=Release or pass "
+            "--allow-debug."
+        )
+    return data
+
+
+def throughputs(data, prefix):
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if name.startswith(prefix) and "items_per_second" in bench:
+            out[name] = float(bench["items_per_second"])
+    return out
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--benchmark", default="BM_RoArrayBatchedScan",
+                        help="benchmark name prefix to compare")
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="maximum allowed fractional throughput drop")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="permit figures recorded from debug builds")
+    args = parser.parse_args()
+
+    base = throughputs(load(args.baseline, args.allow_debug), args.benchmark)
+    curr = throughputs(load(args.current, args.allow_debug), args.benchmark)
+    common = sorted(set(base) & set(curr))
+    if not common:
+        sys.exit(
+            f"ERROR: no common '{args.benchmark}*' benchmarks with "
+            f"items_per_second between {args.baseline} and {args.current}"
+        )
+
+    print(f"{'benchmark':<36} {'baseline':>14} {'current':>14} {'ratio':>8}")
+    for name in common:
+        ratio = curr[name] / base[name]
+        print(f"{name:<36} {base[name]:>12.3e} {curr[name]:>12.3e} {ratio:>8.3f}")
+
+    ratio = geomean([curr[n] / base[n] for n in common])
+    floor = 1.0 - args.max_drop
+    print(f"\ngeometric-mean throughput ratio: {ratio:.3f} (floor {floor:.2f})")
+    if ratio < floor:
+        sys.exit(
+            f"FAIL: {args.benchmark} throughput dropped more than "
+            f"{args.max_drop:.0%} versus the committed baseline"
+        )
+    print("OK: within regression budget")
+
+
+if __name__ == "__main__":
+    main()
