@@ -13,6 +13,7 @@
 //   maskedchain/distiller     maskedchain    isolation surfaces      VI-D/Fig.6b
 //   maskedchain/probe         maskedchain    selection substitution  VI-D (negative)
 //   overlapchain/distiller    overlapchain   multi-bit hypotheses    VI-D/Fig.6c
+//   fuzzy/reference           fuzzy          manipulation probe      VII/Fig.7 (neg.)
 #pragma once
 
 #include "ropuf/core/attack_engine.hpp"

@@ -12,6 +12,13 @@ ScenarioRegistry& ScenarioRegistry::instance() {
 }
 
 void ScenarioRegistry::add(Scenario scenario) {
+    if (find(scenario.name) != nullptr) {
+        throw std::invalid_argument("scenario already registered: " + scenario.name);
+    }
+    scenarios_.push_back(std::move(scenario));
+}
+
+void ScenarioRegistry::add_or_replace(Scenario scenario) {
     for (auto& existing : scenarios_) {
         if (existing.name == scenario.name) {
             existing = std::move(scenario);

@@ -35,6 +35,8 @@ struct ScenarioParams {
     double sigma_noise_mhz = -1.0; ///< < 0 = scenario default measurement noise
     double ambient_c = 25.0;       ///< victim operating temperature
     int majority_wins = 0;         ///< 0 = attack default decision redundancy
+    int ecc_m = 0;                 ///< 0 = construction default BCH field degree (n = 2^m - 1)
+    int ecc_t = 0;                 ///< 0 = construction default corrected errors per block
 };
 
 /// Uniform outcome of one scenario run.
@@ -69,9 +71,15 @@ public:
     /// ropuf::attack::default_registry() populates it with the builtins.
     static ScenarioRegistry& instance();
 
-    /// Registers a scenario; replaces an existing one with the same name
-    /// (idempotent re-registration).
+    /// Registers a new scenario; throws std::invalid_argument when a
+    /// scenario with the same name already exists. Silent duplicates used to
+    /// be replaced, which masked double-registration bugs — intentional
+    /// re-registration goes through add_or_replace.
     void add(Scenario scenario);
+
+    /// Registers a scenario, replacing an existing one with the same name
+    /// (idempotent re-registration).
+    void add_or_replace(Scenario scenario);
 
     const Scenario* find(std::string_view name) const;
     const std::vector<Scenario>& scenarios() const { return scenarios_; }

@@ -23,6 +23,11 @@ std::vector<std::uint64_t> CampaignRunner::trial_seeds(std::uint64_t master_seed
     return seeds;
 }
 
+std::uint64_t CampaignRunner::job_seed(std::uint64_t root, int index) {
+    const auto seeds = trial_seeds(root, index + 1);
+    return seeds.back();
+}
+
 CampaignSummary CampaignRunner::run(std::string_view scenario_name,
                                     const CampaignConfig& config) const {
     const Scenario* scenario = registry_->find(scenario_name);
@@ -110,6 +115,14 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
 MetricSummary summarize_metric(const std::vector<double>& values) {
     MetricSummary stat;
     if (values.empty()) return stat;
+    if (values.size() == 1) {
+        // One-trial campaigns are legitimate (spec smoke points, golden
+        // tests); every order statistic collapses to the single sample and
+        // the spread is zero by definition — no divisions by (n - 1), no
+        // rank arithmetic that could index past the end.
+        stat.mean = stat.min = stat.max = stat.p95 = values.front();
+        return stat;
+    }
     const auto n = static_cast<double>(values.size());
     double sum = 0.0;
     stat.min = values.front();
@@ -125,9 +138,13 @@ MetricSummary summarize_metric(const std::vector<double>& values) {
     stat.stddev = std::sqrt(ss / n);
     std::vector<double> sorted = values;
     std::sort(sorted.begin(), sorted.end());
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(0.95 * static_cast<double>(sorted.size())));
-    stat.p95 = sorted[std::max<std::size_t>(rank, 1) - 1];
+    // Nearest-rank p95, clamped to [1, n] so the index below stays in range
+    // for every n >= 1.
+    const auto rank = std::min<std::size_t>(
+        sorted.size(),
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(sorted.size())))));
+    stat.p95 = sorted[rank - 1];
     return stat;
 }
 

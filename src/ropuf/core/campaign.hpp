@@ -77,6 +77,13 @@ public:
     /// external drivers can reproduce single trials of a campaign.
     static std::vector<std::uint64_t> trial_seeds(std::uint64_t master_seed, int trials);
 
+    /// Per-job seeding hook for external drivers (the xp::Planner): the
+    /// campaign master seed of job `index` under root seed `root` is the
+    /// first output of the index-th split() stream of Xoshiro256pp(root) —
+    /// the same schedule trial_seeds walks, so job seeds are stable under
+    /// resume and independent across job indices.
+    static std::uint64_t job_seed(std::uint64_t root, int index);
+
     /// Runs `trials` independent instances of one scenario; throws
     /// std::out_of_range for unknown names. Worker exceptions are collected
     /// and the first one is rethrown after the pool drains.

@@ -1,0 +1,42 @@
+#include "ropuf/xp/executor.hpp"
+
+#include "ropuf/core/campaign.hpp"
+
+namespace ropuf::xp {
+
+RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
+                      const std::set<std::string>& skip, ResultWriter& writer,
+                      const RunOptions& options) {
+    const core::CampaignRunner runner(registry);
+    RunStats stats;
+    stats.total = static_cast<int>(plan.jobs.size());
+    for (const Job& job : plan.jobs) {
+        if (skip.count(job.id) != 0) {
+            ++stats.skipped;
+            continue;
+        }
+        if (options.max_jobs >= 0 && stats.executed >= options.max_jobs) break;
+
+        core::CampaignConfig config;
+        config.trials = job.trials;
+        config.workers = options.workers;
+        config.master_seed = job.campaign_seed;
+        config.base = job.params;
+        config.keep_reports = false; // records carry aggregates, not trials
+
+        const core::CampaignSummary summary = runner.run(job.scenario, config);
+        writer.append(make_record(plan, job, summary));
+        ++stats.executed;
+        if (options.progress != nullptr) {
+            std::fprintf(options.progress,
+                         "[%d/%d] %s %-24s trials=%-4d success=%.3f queries=%.1f (%.0f ms)\n",
+                         job.index + 1, stats.total, job.id.c_str(), job.scenario.c_str(),
+                         job.trials, summary.success_rate, summary.queries.mean,
+                         summary.wall_ms);
+            std::fflush(options.progress);
+        }
+    }
+    return stats;
+}
+
+} // namespace ropuf::xp

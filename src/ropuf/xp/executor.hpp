@@ -1,0 +1,41 @@
+// Plan execution: jobs -> CampaignRunner -> ResultWriter.
+//
+// The executor walks a Plan in index order, skips every job ID already in
+// the skip set (resume), runs the rest as Monte-Carlo campaigns on the
+// worker pool, and appends one JSONL record per finished job. Per-job
+// results depend only on (spec, job index): trials derive their seeds from
+// the job's campaign_seed, never from which jobs ran before it — so an
+// interrupted run plus a resume produces the same records as one
+// uninterrupted run.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "ropuf/xp/planner.hpp"
+#include "ropuf/xp/result_store.hpp"
+
+namespace ropuf::xp {
+
+struct RunOptions {
+    int workers = 0;       ///< campaign worker threads; 0 = hardware_concurrency
+    int max_jobs = -1;     ///< stop after executing this many jobs (< 0 = all);
+                           ///< deterministically emulates an interrupted run
+    std::FILE* progress = nullptr; ///< per-job progress lines (nullptr = silent)
+};
+
+struct RunStats {
+    int total = 0;    ///< jobs in the plan
+    int skipped = 0;  ///< already present in the skip set
+    int executed = 0; ///< run and appended this invocation
+};
+
+/// Runs every plan job whose ID is not in `skip`, appending records to
+/// `writer`. Scenario lookups go through `registry` (jobs were validated
+/// against it at plan time).
+RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
+                      const std::set<std::string>& skip, ResultWriter& writer,
+                      const RunOptions& options = {});
+
+} // namespace ropuf::xp

@@ -1,0 +1,309 @@
+#include "ropuf/xp/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace ropuf::xp {
+
+bool JsonValue::as_bool() const {
+    if (type_ != Type::Bool) throw std::logic_error("JSON value is not a bool");
+    return bool_;
+}
+
+double JsonValue::as_number() const {
+    if (type_ != Type::Number) throw std::logic_error("JSON value is not a number");
+    return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+    if (type_ != Type::String) throw std::logic_error("JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+    if (type_ != Type::Array) throw std::logic_error("JSON value is not an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+    if (type_ != Type::Object) throw std::logic_error("JSON value is not an object");
+    return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    if (type_ != Type::Object) return nullptr;
+    const auto it = object_.find(std::string(key));
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->type_ == Type::Number) ? v->number_ : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key, const std::string& fallback) const {
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->type_ == Type::String) ? v->string_ : fallback;
+}
+
+std::uint64_t JsonValue::u64_or(std::string_view key, std::uint64_t fallback) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr || v->type_ != Type::Number) return fallback;
+    if (!v->string_.empty() && v->string_[0] != '-') {
+        char* end = nullptr;
+        errno = 0;
+        const std::uint64_t exact = std::strtoull(v->string_.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && errno == 0) return exact;
+    }
+    // Range-checked double fallback (e.g. "1e20" literals): casting an
+    // out-of-range double is undefined behavior, so reject instead.
+    if (v->number_ >= 0.0 && v->number_ < 18446744073709551616.0) {
+        return static_cast<std::uint64_t>(v->number_);
+    }
+    return fallback;
+}
+
+std::int64_t JsonValue::i64_or(std::string_view key, std::int64_t fallback) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr || v->type_ != Type::Number) return fallback;
+    if (!v->string_.empty()) {
+        char* end = nullptr;
+        errno = 0;
+        const std::int64_t exact = std::strtoll(v->string_.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && errno == 0) return exact;
+    }
+    if (v->number_ >= -9223372036854775808.0 && v->number_ < 9223372036854775808.0) {
+        return static_cast<std::int64_t>(v->number_);
+    }
+    return fallback;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue JsonValue::make_number(double n, std::string literal) {
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.number_ = n;
+    v.string_ = std::move(literal);
+    return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+    JsonValue v;
+    v.type_ = Type::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+    JsonValue v;
+    v.type_ = Type::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members) {
+    JsonValue v;
+    v.type_ = Type::Object;
+    v.object_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const { throw JsonError(what, pos_); }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool consume_literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return JsonValue::make_string(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return JsonValue::make_bool(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return JsonValue::make_bool(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return JsonValue::make_null();
+            default: return parse_number();
+        }
+    }
+
+    JsonValue parse_object() {
+        ++pos_; // '{'
+        std::map<std::string, JsonValue> members;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::make_object(std::move(members));
+        }
+        for (;;) {
+            skip_ws();
+            if (peek() != '"') fail("expected object key string");
+            std::string key = parse_string();
+            skip_ws();
+            if (peek() != ':') fail("expected ':' after object key");
+            ++pos_;
+            if (members.count(key) != 0) fail("duplicate object key '" + key + "'");
+            members[std::move(key)] = parse_value();
+            skip_ws();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return JsonValue::make_object(std::move(members));
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parse_array() {
+        ++pos_; // '['
+        std::vector<JsonValue> items;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::make_array(std::move(items));
+        }
+        for (;;) {
+            items.push_back(parse_value());
+            skip_ws();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return JsonValue::make_array(std::move(items));
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        ++pos_; // opening quote
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'u': append_unicode_escape(out); break;
+                default: fail("unknown escape sequence");
+            }
+        }
+    }
+
+    void append_unicode_escape(std::string& out) {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("bad \\u escape digit");
+        }
+        // UTF-8 encode the BMP code point. Our own emitters only ever escape
+        // control characters, but foreign files may carry more.
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+        std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') fail("bad number");
+        // The literal rides along so integer consumers can re-parse it at
+        // full 64-bit precision.
+        return JsonValue::make_number(value, std::move(token));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+} // namespace ropuf::xp

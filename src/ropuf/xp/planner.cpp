@@ -1,0 +1,110 @@
+#include "ropuf/xp/planner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "ropuf/core/campaign.hpp"
+
+namespace ropuf::xp {
+
+std::vector<std::string> resolve_scenarios(const SweepSpec& spec,
+                                           const core::ScenarioRegistry& registry) {
+    std::vector<std::string> out;
+    const auto push_unique = [&out](const std::string& name) {
+        if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+    };
+    if (spec.all_scenarios) {
+        for (const auto& scenario : registry.scenarios()) push_unique(scenario.name);
+        return out;
+    }
+    for (const auto& name : spec.scenarios) {
+        if (registry.find(name) == nullptr) {
+            throw SpecError("unknown scenario '" + name + "'");
+        }
+        push_unique(name);
+    }
+    for (const auto& kind : spec.constructions) {
+        bool matched = false;
+        for (const auto& scenario : registry.scenarios()) {
+            if (scenario.construction == kind) {
+                push_unique(scenario.name);
+                matched = true;
+            }
+        }
+        if (!matched) throw SpecError("unknown construction '" + kind + "'");
+    }
+    return out;
+}
+
+Plan plan_spec(const SweepSpec& spec, const core::ScenarioRegistry& registry) {
+    Plan plan;
+    plan.spec_name = spec.name;
+
+    const auto scenarios = resolve_scenarios(spec, registry);
+    if (scenarios.empty()) throw SpecError("spec expands to zero jobs: no scenarios resolved");
+
+    // Content-address the *resolved* grid: `scenarios = all` (and
+    // construction selectors) expand against the live registry, so the same
+    // spec text plans a different grid once a new scenario is registered.
+    // Hashing the resolved list keeps the job-index -> grid-point mapping a
+    // pure function of the hash — a resume against a grown registry sees a
+    // new hash and re-runs, instead of silently mapping old job IDs onto
+    // different points.
+    SweepSpec resolved = spec;
+    resolved.all_scenarios = false;
+    resolved.scenarios = scenarios;
+    resolved.constructions.clear();
+    plan.hash = spec_hash(resolved);
+
+    // Fixed nesting order — the job-index contract documented in the header.
+    for (const auto& scenario : scenarios) {
+        for (const auto& [cols, rows] : spec.geometry) {
+            for (const double sigma : spec.sigma_noise_mhz) {
+                for (const double ambient : spec.ambient_c) {
+                    for (const int majority : spec.majority_wins) {
+                        for (const auto& [ecc_m, ecc_t] : spec.ecc) {
+                            for (const int trials : spec.trials) {
+                                for (const std::uint64_t root : spec.master_seed) {
+                                    Job job;
+                                    job.index = static_cast<int>(plan.jobs.size());
+                                    job.scenario = scenario;
+                                    job.params.cols = cols;
+                                    job.params.rows = rows;
+                                    job.params.sigma_noise_mhz = sigma;
+                                    job.params.ambient_c = ambient;
+                                    job.params.majority_wins = majority;
+                                    job.params.ecc_m = ecc_m;
+                                    job.params.ecc_t = ecc_t;
+                                    job.trials = trials;
+                                    job.root_seed = root;
+                                    char buf[32];
+                                    std::snprintf(buf, sizeof buf, "-%05d", job.index);
+                                    job.id = plan.hash + buf;
+                                    plan.jobs.push_back(std::move(job));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Derive the campaign seeds in one split()-stream walk per distinct
+    // root: job i's seed is the first output of the i-th stream of
+    // Xoshiro256pp(root), exactly CampaignRunner::job_seed(root, i).
+    std::map<std::uint64_t, std::vector<std::uint64_t>> streams;
+    for (const std::uint64_t root : spec.master_seed) {
+        if (!streams.count(root)) {
+            streams[root] = core::CampaignRunner::trial_seeds(
+                root, static_cast<int>(plan.jobs.size()));
+        }
+    }
+    for (auto& job : plan.jobs) {
+        job.campaign_seed = streams[job.root_seed][static_cast<std::size_t>(job.index)];
+    }
+    return plan;
+}
+
+} // namespace ropuf::xp

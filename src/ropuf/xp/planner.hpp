@@ -1,0 +1,64 @@
+// Spec expansion: SweepSpec -> deterministic list of campaign jobs.
+//
+// A job is one point of the spec's cartesian grid: a registered scenario
+// plus fully resolved ScenarioParams, a trial count, and a campaign master
+// seed. Expansion order is fixed (scenario outermost, then geometry, sigma,
+// ambient, majority_wins, ecc, trials, master_seed innermost), so a spec
+// always expands to the same jobs in the same order, and job `index` is a
+// stable identity.
+//
+// Job IDs are `<spec_hash>-<index%05d>`: content-addressed by the spec and
+// positional within it. The campaign master seed of job i is
+// core::CampaignRunner::job_seed(root, i) — the first output of the i-th
+// split() stream of Xoshiro256pp(root), where root is the point's
+// master_seed axis value. Reruns, resumes and partial runs of the same spec
+// therefore execute bitwise-identical campaigns per job ID.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ropuf/core/attack_engine.hpp"
+#include "ropuf/xp/sweep_spec.hpp"
+
+namespace ropuf::core {
+class ScenarioRegistry;
+}
+
+namespace ropuf::xp {
+
+/// One expanded grid point.
+struct Job {
+    std::string id;              ///< "<spec_hash>-<index%05d>"
+    int index = 0;               ///< position in expansion order
+    std::string scenario;        ///< registry name
+    core::ScenarioParams params; ///< resolved knobs (seed overridden per trial)
+    int trials = 0;
+    std::uint64_t root_seed = 0;     ///< the point's master_seed axis value
+    std::uint64_t campaign_seed = 0; ///< derived per-job campaign master seed
+};
+
+/// The full expansion of one spec.
+struct Plan {
+    std::string spec_name;
+    /// spec_hash of the spec with its scenario selectors *resolved* — for
+    /// explicit scenario lists this equals spec_hash(spec); for `all` or
+    /// construction selectors it additionally pins the registry's answer,
+    /// so job IDs can never be reinterpreted after the registry grows.
+    std::string hash;
+    std::vector<Job> jobs;
+};
+
+/// Resolves the spec's scenario selectors against `registry` (explicit
+/// names first in spec order, then every scenario whose construction is
+/// listed, deduplicated; `all` = full registry in registration order) and
+/// expands the grid. Throws SpecError on unknown scenario/construction
+/// names or when the spec expands to zero jobs.
+Plan plan_spec(const SweepSpec& spec, const core::ScenarioRegistry& registry);
+
+/// The scenario resolution step alone (shared with `ropuf list`/dry runs).
+std::vector<std::string> resolve_scenarios(const SweepSpec& spec,
+                                           const core::ScenarioRegistry& registry);
+
+} // namespace ropuf::xp

@@ -1,0 +1,298 @@
+#include "ropuf/xp/result_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "ropuf/xp/json.hpp"
+
+namespace ropuf::xp {
+
+namespace {
+
+constexpr std::string_view kTimingKey = ",\"timing\":";
+
+void append_number(std::string& out, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+}
+
+void append_metric(std::string& out, const char* name, const core::MetricSummary& m) {
+    out += '"';
+    out += name;
+    out += "\":{\"mean\":";
+    append_number(out, m.mean);
+    out += ",\"stddev\":";
+    append_number(out, m.stddev);
+    out += ",\"min\":";
+    append_number(out, m.min);
+    out += ",\"max\":";
+    append_number(out, m.max);
+    out += ",\"p95\":";
+    append_number(out, m.p95);
+    out += '}';
+}
+
+core::MetricSummary metric_from(const JsonValue& parent, std::string_view key) {
+    core::MetricSummary m;
+    const JsonValue* obj = parent.find(key);
+    if (obj == nullptr || !obj->is_object()) return m;
+    m.mean = obj->number_or("mean", 0.0);
+    m.stddev = obj->number_or("stddev", 0.0);
+    m.min = obj->number_or("min", 0.0);
+    m.max = obj->number_or("max", 0.0);
+    m.p95 = obj->number_or("p95", 0.0);
+    return m;
+}
+
+} // namespace
+
+JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSummary& summary) {
+    JobRecord record;
+    record.spec_name = plan.spec_name;
+    record.spec_hash = plan.hash;
+    record.job_id = job.id;
+    record.index = job.index;
+    record.scenario = job.scenario;
+    record.params = job.params;
+    record.trials = job.trials;
+    record.root_seed = job.root_seed;
+    record.campaign_seed = job.campaign_seed;
+    record.key_recovered_count = summary.key_recovered_count;
+    record.success_rate = summary.success_rate;
+    record.mean_accuracy = summary.mean_accuracy;
+    record.total_measurements = summary.total_measurements;
+    record.queries = summary.queries;
+    record.measurements = summary.measurements;
+    record.workers = summary.workers;
+    record.wall_ms = summary.wall_ms;
+    record.trial_wall_ms_sum = summary.trial_wall_ms_sum;
+    record.measurements_per_s = summary.measurements_per_s;
+    return record;
+}
+
+std::string to_jsonl(const JobRecord& r) {
+    std::string out = "{\"v\":1,\"spec\":\"";
+    core::append_json_escaped(out, r.spec_name);
+    out += "\",\"spec_hash\":\"";
+    core::append_json_escaped(out, r.spec_hash);
+    out += "\",\"job\":\"";
+    core::append_json_escaped(out, r.job_id);
+    out += "\",\"index\":" + std::to_string(r.index);
+    out += ",\"scenario\":\"";
+    core::append_json_escaped(out, r.scenario);
+    out += "\",\"point\":{\"cols\":" + std::to_string(r.params.cols);
+    out += ",\"rows\":" + std::to_string(r.params.rows);
+    out += ",\"sigma_noise_mhz\":";
+    append_number(out, r.params.sigma_noise_mhz);
+    out += ",\"ambient_c\":";
+    append_number(out, r.params.ambient_c);
+    out += ",\"majority_wins\":" + std::to_string(r.params.majority_wins);
+    out += ",\"ecc_m\":" + std::to_string(r.params.ecc_m);
+    out += ",\"ecc_t\":" + std::to_string(r.params.ecc_t);
+    out += ",\"trials\":" + std::to_string(r.trials);
+    out += ",\"root_seed\":" + std::to_string(r.root_seed);
+    out += ",\"campaign_seed\":" + std::to_string(r.campaign_seed);
+    out += "},\"result\":{\"key_recovered_count\":" + std::to_string(r.key_recovered_count);
+    out += ",\"success_rate\":";
+    append_number(out, r.success_rate);
+    out += ",\"mean_accuracy\":";
+    append_number(out, r.mean_accuracy);
+    out += ",\"total_measurements\":" + std::to_string(r.total_measurements);
+    out += ',';
+    append_metric(out, "queries", r.queries);
+    out += ',';
+    append_metric(out, "measurements", r.measurements);
+    out += '}';
+    // Host-bound fields last, in one key, so deterministic_prefix() can
+    // split records without parsing.
+    out += kTimingKey;
+    out += "{\"workers\":" + std::to_string(r.workers);
+    out += ",\"wall_ms\":";
+    append_number(out, r.wall_ms);
+    out += ",\"trial_wall_ms_sum\":";
+    append_number(out, r.trial_wall_ms_sum);
+    out += ",\"measurements_per_s\":";
+    append_number(out, r.measurements_per_s);
+    out += "}}";
+    return out;
+}
+
+std::string_view deterministic_prefix(std::string_view line) {
+    const std::size_t pos = line.rfind(kTimingKey);
+    return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+JobRecord parse_record(std::string_view line) {
+    const JsonValue doc = parse_json(line);
+    if (!doc.is_object()) throw std::logic_error("record line is not a JSON object");
+    JobRecord r;
+    r.spec_name = doc.string_or("spec", "");
+    r.spec_hash = doc.string_or("spec_hash", "");
+    r.job_id = doc.string_or("job", "");
+    r.index = static_cast<int>(doc.number_or("index", 0));
+    r.scenario = doc.string_or("scenario", "");
+    if (r.job_id.empty() || r.scenario.empty()) {
+        throw std::logic_error("record line is missing its identity fields");
+    }
+    if (const JsonValue* point = doc.find("point"); point != nullptr && point->is_object()) {
+        r.params.cols = static_cast<int>(point->number_or("cols", 0));
+        r.params.rows = static_cast<int>(point->number_or("rows", 0));
+        r.params.sigma_noise_mhz = point->number_or("sigma_noise_mhz", -1.0);
+        r.params.ambient_c = point->number_or("ambient_c", 25.0);
+        r.params.majority_wins = static_cast<int>(point->number_or("majority_wins", 0));
+        r.params.ecc_m = static_cast<int>(point->number_or("ecc_m", 0));
+        r.params.ecc_t = static_cast<int>(point->number_or("ecc_t", 0));
+        r.trials = static_cast<int>(point->number_or("trials", 0));
+        // Seeds are full 64-bit values: the double path would corrupt them
+        // above 2^53, so read them through the exact-literal accessors.
+        r.root_seed = point->u64_or("root_seed", 0);
+        r.campaign_seed = point->u64_or("campaign_seed", 0);
+    }
+    if (const JsonValue* result = doc.find("result"); result != nullptr && result->is_object()) {
+        r.key_recovered_count = static_cast<int>(result->number_or("key_recovered_count", 0));
+        r.success_rate = result->number_or("success_rate", 0.0);
+        r.mean_accuracy = result->number_or("mean_accuracy", 0.0);
+        r.total_measurements = result->i64_or("total_measurements", 0);
+        r.queries = metric_from(*result, "queries");
+        r.measurements = metric_from(*result, "measurements");
+    }
+    if (const JsonValue* timing = doc.find("timing"); timing != nullptr && timing->is_object()) {
+        r.workers = static_cast<int>(timing->number_or("workers", 0));
+        r.wall_ms = timing->number_or("wall_ms", 0.0);
+        r.trial_wall_ms_sum = timing->number_or("trial_wall_ms_sum", 0.0);
+        r.measurements_per_s = timing->number_or("measurements_per_s", 0.0);
+    }
+    return r;
+}
+
+std::vector<JobRecord> read_results(const std::string& path, int* torn_lines) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw SpecError("cannot read results file: " + path);
+    std::vector<JobRecord> records;
+    int torn = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        try {
+            records.push_back(parse_record(line));
+        } catch (const std::exception&) {
+            ++torn; // a crash's torn tail (or foreign garbage): skip, count
+        }
+    }
+    if (torn_lines != nullptr) *torn_lines = torn;
+    return records;
+}
+
+std::set<std::string> completed_job_ids(const std::string& path, std::string_view spec_hash) {
+    std::set<std::string> ids;
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return ids; // fresh run: nothing to skip
+    probe.close();
+    for (const auto& record : read_results(path)) {
+        if (record.spec_hash == spec_hash) ids.insert(record.job_id);
+    }
+    return ids;
+}
+
+ResultWriter::ResultWriter(const std::string& path, bool truncate) : path_(path) {
+    // A crash can leave an unterminated torn line at EOF; appending straight
+    // onto it would merge the next record into the fragment and silently
+    // destroy it. Terminate the tail first so the fragment stays its own
+    // (skipped, re-run) torn line.
+    bool needs_newline = false;
+    if (!truncate) {
+        if (std::FILE* probe = std::fopen(path.c_str(), "rb"); probe != nullptr) {
+            if (std::fseek(probe, -1, SEEK_END) == 0) {
+                needs_newline = std::fgetc(probe) != '\n';
+            }
+            std::fclose(probe);
+        }
+    }
+    file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file_ == nullptr) throw SpecError("cannot open results file for writing: " + path);
+    if (needs_newline && (std::fputc('\n', file_) == EOF || std::fflush(file_) != 0)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SpecError("write failed for results file: " + path);
+    }
+}
+
+ResultWriter::~ResultWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultWriter::append(const JobRecord& record) {
+    const std::string line = to_jsonl(record) + "\n";
+    // One durable line per job is the crash-safety unit — a short write or
+    // failed flush (ENOSPC, I/O error) must surface, not count as done.
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+        throw SpecError("write failed for results file: " + path_);
+    }
+}
+
+std::string render_report(const std::vector<JobRecord>& records) {
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%-24s %-26s %7s %8s %10s %10s %10s\n", "scenario", "point",
+                  "trials", "success", "queries", "q-p95", "accuracy");
+    out += buf;
+    for (const auto& r : records) {
+        std::string point;
+        if (r.params.cols > 0 && r.params.rows > 0) {
+            point += std::to_string(r.params.cols) + "x" + std::to_string(r.params.rows) + " ";
+        }
+        if (r.params.sigma_noise_mhz >= 0.0) {
+            std::snprintf(buf, sizeof buf, "s=%.3g ", r.params.sigma_noise_mhz);
+            point += buf;
+        }
+        if (r.params.ambient_c != 25.0) {
+            std::snprintf(buf, sizeof buf, "T=%.3g ", r.params.ambient_c);
+            point += buf;
+        }
+        if (r.params.majority_wins > 0) point += "mw=" + std::to_string(r.params.majority_wins) + " ";
+        if (r.params.ecc_m > 0) {
+            point += "bch(" + std::to_string(r.params.ecc_m) + "," +
+                     std::to_string(r.params.ecc_t) + ") ";
+        }
+        point += "seed=" + std::to_string(r.root_seed);
+        std::snprintf(buf, sizeof buf, "%-24s %-26s %7d %8.3f %10.1f %10.0f %10.3f\n",
+                      r.scenario.c_str(), point.c_str(), r.trials, r.success_rate,
+                      r.queries.mean, r.queries.p95, r.mean_accuracy);
+        out += buf;
+    }
+
+    // Per-scenario rollup: trial-weighted success and mean queries across
+    // every point of the scenario.
+    struct Rollup {
+        int points = 0;
+        long long trials = 0;
+        double recovered = 0.0;
+        double query_sum = 0.0;
+    };
+    std::map<std::string, Rollup> rollups;
+    for (const auto& r : records) {
+        Rollup& roll = rollups[r.scenario];
+        ++roll.points;
+        roll.trials += r.trials;
+        roll.recovered += static_cast<double>(r.key_recovered_count);
+        roll.query_sum += r.queries.mean * static_cast<double>(r.trials);
+    }
+    out += '\n';
+    std::snprintf(buf, sizeof buf, "%-24s %7s %8s %10s %12s\n", "scenario (rollup)", "points",
+                  "trials", "success", "mean q");
+    out += buf;
+    for (const auto& [name, roll] : rollups) {
+        const double trials = std::max(1.0, static_cast<double>(roll.trials));
+        std::snprintf(buf, sizeof buf, "%-24s %7d %8lld %10.3f %12.1f\n", name.c_str(),
+                      roll.points, roll.trials, roll.recovered / trials,
+                      roll.query_sum / trials);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace ropuf::xp

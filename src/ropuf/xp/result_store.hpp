@@ -1,0 +1,105 @@
+// Append-only JSONL result store.
+//
+// One line per completed campaign job. Each record carries three parts:
+//
+//   identity   — spec name, spec hash, job ID, job index, scenario;
+//   point      — the fully resolved grid point (geometry, sigma, ambient,
+//                majority_wins, ecc, trials, root/campaign seeds);
+//   result     — the deterministic CampaignSummary aggregates.
+//
+// All of the above is bitwise-reproducible from the spec alone. Host-bound
+// measurements (wall clock, workers used, throughput) are isolated in one
+// trailing "timing" key so readers — and the golden-file tests — can
+// compare records by their deterministic prefix.
+//
+// Crash safety: the writer appends one flushed line per record, so a killed
+// run loses at most its in-flight job; the reader skips unparseable lines
+// (the torn tail of a crash) instead of failing, and resume re-runs exactly
+// the job IDs not yet present.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ropuf/core/campaign.hpp"
+#include "ropuf/xp/planner.hpp"
+
+namespace ropuf::xp {
+
+/// One JSONL record: a job identity plus its campaign outcome.
+struct JobRecord {
+    // identity
+    std::string spec_name;
+    std::string spec_hash;
+    std::string job_id;
+    int index = 0;
+    std::string scenario;
+    // point
+    core::ScenarioParams params;
+    int trials = 0;
+    std::uint64_t root_seed = 0;
+    std::uint64_t campaign_seed = 0;
+    // result (deterministic)
+    int key_recovered_count = 0;
+    double success_rate = 0.0;
+    double mean_accuracy = 0.0;
+    std::int64_t total_measurements = 0;
+    core::MetricSummary queries;
+    core::MetricSummary measurements;
+    // timing (host-bound, non-deterministic)
+    int workers = 0;
+    double wall_ms = 0.0;
+    double trial_wall_ms_sum = 0.0;
+    double measurements_per_s = 0.0;
+};
+
+/// Builds the record for one finished job.
+JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSummary& summary);
+
+/// One-line JSON serialization; "timing" is always the final key.
+std::string to_jsonl(const JobRecord& record);
+
+/// The record line up to (excluding) its ",\"timing\":" suffix — the
+/// deterministic comparison unit. Lines without a timing key are returned
+/// whole.
+std::string_view deterministic_prefix(std::string_view line);
+
+/// Parses one JSONL line; throws JsonError/std::logic_error on malformed
+/// input (readers that must tolerate torn lines catch per line).
+JobRecord parse_record(std::string_view line);
+
+/// Every parseable record of a results file, in file order. Unparseable
+/// lines are counted into `*torn_lines` (crash tails), never fatal.
+/// Throws SpecError when the file cannot be opened.
+std::vector<JobRecord> read_results(const std::string& path, int* torn_lines = nullptr);
+
+/// The job IDs already completed for `spec_hash` — the resume skip set.
+/// A missing file is an empty set (fresh run), not an error.
+std::set<std::string> completed_job_ids(const std::string& path, std::string_view spec_hash);
+
+/// Append-only writer: one flushed line per record.
+class ResultWriter {
+public:
+    /// Opens for append (`truncate` = start fresh); throws SpecError on
+    /// failure.
+    explicit ResultWriter(const std::string& path, bool truncate = false);
+    ~ResultWriter();
+    ResultWriter(const ResultWriter&) = delete;
+    ResultWriter& operator=(const ResultWriter&) = delete;
+
+    void append(const JobRecord& record);
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+};
+
+/// Fixed-width per-record table plus a per-scenario rollup — the
+/// `ropuf report` view.
+std::string render_report(const std::vector<JobRecord>& records);
+
+} // namespace ropuf::xp

@@ -1,0 +1,86 @@
+// Declarative sweep specifications.
+//
+// A spec describes a parameter grid over registered attack scenarios — the
+// experiment a bench/fig*.cpp binary used to hard-code, as data. The format
+// is a dependency-free `key = value` text file (or the same keys as a JSON
+// object), with list and range expansion on every axis:
+//
+//   # attack cost vs measurement noise (paper Fig. 5 regime)
+//   name        = fig5_failure_pdf
+//   scenarios   = seqpair/swap, seqpair/swap-sorted
+//   sigma_noise_mhz = 0.05:0.35:0.05        # range start:stop:step, inclusive
+//   geometry    = 16x8
+//   trials      = 200
+//   master_seed = 42
+//
+// Axes: scenarios/constructions (which experiments), geometry (CxR tokens),
+// sigma_noise_mhz, ambient_c, majority_wins, ecc (bch(m,t) tokens), trials,
+// master_seed. A missing axis holds exactly its scenario-default sentinel,
+// so every spec expands to the full cartesian product of its axes.
+//
+// Specs are content-addressed: canonical_text() renders the *expanded* axes
+// in a fixed key order (so `0.5:1.5:0.5` and `0.5, 1.0, 1.5` are the same
+// spec), and spec_hash() is the FNV-1a 64 of that text. Job IDs, result
+// records and resume all key off this hash.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ropuf::xp {
+
+/// Parse/validation failure; carries the 1-based spec line when known
+/// (0 for file-level and JSON-input errors).
+class SpecError : public std::runtime_error {
+public:
+    SpecError(const std::string& what, int line = 0)
+        : std::runtime_error(line > 0 ? "spec line " + std::to_string(line) + ": " + what
+                                      : what),
+          line_(line) {}
+    int line() const { return line_; }
+
+private:
+    int line_;
+};
+
+/// A parsed sweep specification. Every axis is non-empty: parse_spec fills
+/// untouched axes with the single scenario-default sentinel value.
+struct SweepSpec {
+    std::string name;
+
+    bool all_scenarios = false;             ///< `scenarios = all`
+    std::vector<std::string> scenarios;     ///< explicit registry names
+    std::vector<std::string> constructions; ///< select every scenario of these kinds
+
+    std::vector<std::pair<int, int>> geometry{{0, 0}}; ///< (cols, rows); 0x0 = default
+    std::vector<double> sigma_noise_mhz{-1.0};         ///< < 0 = scenario default
+    std::vector<double> ambient_c{25.0};
+    std::vector<int> majority_wins{0};
+    std::vector<std::pair<int, int>> ecc{{0, 0}};      ///< (m, t); 0 = default
+    std::vector<int> trials{100};
+    std::vector<std::uint64_t> master_seed{1};
+};
+
+/// Parses spec text. Input starting with '{' is treated as a JSON object
+/// with the same keys (values: scalars, axis strings, or arrays); anything
+/// else as the line-based format. Throws SpecError on malformed ranges,
+/// unknown keys, duplicate keys, or empty axes.
+SweepSpec parse_spec(std::string_view text);
+
+/// Reads and parses a spec file; throws SpecError when unreadable.
+SweepSpec load_spec_file(const std::string& path);
+
+/// Fixed-order rendering of the expanded spec; the hashing preimage.
+std::string canonical_text(const SweepSpec& spec);
+
+/// 16-hex-digit FNV-1a 64 content hash of canonical_text().
+std::string spec_hash(const SweepSpec& spec);
+
+/// FNV-1a 64-bit hash (exposed for tests and job-ID derivation).
+std::uint64_t fnv1a64(std::string_view s);
+
+} // namespace ropuf::xp

@@ -132,6 +132,46 @@ TEST(ScenarioRegistry, RegistrationIsIdempotent) {
     EXPECT_EQ(registry.size(), before);
 }
 
+// Regression: add() used to silently replace an existing scenario, masking
+// double-registration bugs. Duplicates must throw; intentional replacement
+// goes through add_or_replace.
+TEST(ScenarioRegistry, DuplicateAddThrows) {
+    core::ScenarioRegistry registry;
+    const auto make = [](const char* notes) {
+        return core::Scenario{"dup/name", "seqpair", "test", "none", notes,
+                              [](const core::ScenarioParams&) { return core::AttackReport{}; }};
+    };
+    registry.add(make("first"));
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_THROW(registry.add(make("second")), std::invalid_argument);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.find("dup/name")->description, "first");
+    // add_or_replace is the sanctioned idempotent path.
+    registry.add_or_replace(make("third"));
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.find("dup/name")->description, "third");
+}
+
+// The uniform ECC knob reaches the construction. The attacks themselves are
+// ECC-transparent (they rewrite the redundancy), so the directly observable
+// handle is the reference fuzzy extractor: under heavy noise its honest-
+// helper reliability (reported in notes) tracks the BCH correction budget.
+TEST(AttackEngine, EccKnobReachesTheConstruction) {
+    core::AttackEngine engine(attack::default_registry());
+    core::ScenarioParams weak;
+    weak.sigma_noise_mhz = 0.35;
+    weak.ecc_m = 6;
+    weak.ecc_t = 1;
+    core::ScenarioParams strong = weak;
+    strong.ecc_t = 7;
+    const auto w = engine.run("fuzzy/reference", weak);
+    const auto s = engine.run("fuzzy/reference", strong);
+    EXPECT_NE(w.notes, s.notes) << "bch(6,1) vs bch(6,7) must change honest reliability";
+    // Both stay negative results: manipulation never recovers the key.
+    EXPECT_FALSE(w.key_recovered);
+    EXPECT_FALSE(s.key_recovered);
+}
+
 TEST(AttackEngine, UnknownScenarioThrows) {
     core::AttackEngine engine(attack::default_registry());
     EXPECT_THROW((void)engine.run("no/such"), std::out_of_range);

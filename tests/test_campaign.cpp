@@ -186,6 +186,46 @@ TEST(Campaign, JsonIsWellFormed) {
     EXPECT_EQ(json.back(), '}');
 }
 
+// Regression: one-trial campaigns (spec smoke points, golden tests) must
+// produce well-defined statistics — zero spread, every order statistic equal
+// to the single sample — and never divide by zero or index past the end.
+TEST(Campaign, SingleTrialStatisticsAreWellDefined) {
+    const CampaignRunner runner(ropuf::attack::default_registry());
+    CampaignConfig config;
+    config.trials = 1;
+    config.workers = 1;
+    config.master_seed = 77;
+    const auto summary = runner.run("seqpair/swap", config);
+    ASSERT_EQ(summary.trials, 1);
+    ASSERT_EQ(summary.reports.size(), 1u);
+    const double q = static_cast<double>(summary.reports[0].queries);
+    EXPECT_DOUBLE_EQ(summary.queries.mean, q);
+    EXPECT_DOUBLE_EQ(summary.queries.min, q);
+    EXPECT_DOUBLE_EQ(summary.queries.max, q);
+    EXPECT_DOUBLE_EQ(summary.queries.p95, q);
+    EXPECT_DOUBLE_EQ(summary.queries.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(summary.measurements.stddev, 0.0);
+    EXPECT_EQ(summary.success_rate, summary.reports[0].key_recovered ? 1.0 : 0.0);
+    // And the JSON emitter must not choke on the degenerate summary.
+    const auto json = ropuf::core::to_json(summary, true);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Campaign, ZeroTrialsYieldEmptyButFiniteSummary) {
+    const CampaignRunner runner(ropuf::attack::default_registry());
+    CampaignConfig config;
+    config.trials = 0;
+    config.workers = 1;
+    const auto summary = runner.run("seqpair/swap", config);
+    EXPECT_EQ(summary.trials, 0);
+    EXPECT_TRUE(summary.reports.empty());
+    EXPECT_DOUBLE_EQ(summary.success_rate, 0.0);
+    EXPECT_DOUBLE_EQ(summary.mean_accuracy, 0.0);
+    EXPECT_DOUBLE_EQ(summary.queries.mean, 0.0);
+    EXPECT_DOUBLE_EQ(summary.queries.p95, 0.0);
+}
+
 TEST(SummarizeMetric, KnownValues) {
     const std::vector<double> values = {4.0, 1.0, 3.0, 2.0};
     const MetricSummary m = summarize_metric(values);

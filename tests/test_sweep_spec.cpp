@@ -1,0 +1,307 @@
+// Sweep-spec parsing: list/range expansion, default sentinels, malformed
+// input rejection, text/JSON input parity, canonical-form round trips and
+// spec-hash stability, and planner expansion against the live registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ropuf/attack/scenarios.hpp"
+#include "ropuf/core/campaign.hpp"
+#include "ropuf/xp/planner.hpp"
+#include "ropuf/xp/sweep_spec.hpp"
+
+namespace {
+
+using namespace ropuf;
+using xp::parse_spec;
+using xp::plan_spec;
+using xp::SpecError;
+using xp::SweepSpec;
+
+// ---------------------------------------------------------------------------
+// Parsing and expansion
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, ParsesListsRangesCommentsAndDefaults) {
+    const SweepSpec spec = parse_spec(
+        "# attack cost vs noise\n"
+        "name = demo\n"
+        "scenarios = seqpair/swap, group/sortmerge   # inline comment\n"
+        "sigma_noise_mhz = 0.5:1.5:0.5\n"
+        "geometry = 16x8, 24x12\n"
+        "trials = 5\n");
+    EXPECT_EQ(spec.name, "demo");
+    EXPECT_EQ(spec.scenarios, (std::vector<std::string>{"seqpair/swap", "group/sortmerge"}));
+    EXPECT_EQ(spec.sigma_noise_mhz, (std::vector<double>{0.5, 1.0, 1.5}));
+    EXPECT_EQ(spec.geometry, (std::vector<std::pair<int, int>>{{16, 8}, {24, 12}}));
+    EXPECT_EQ(spec.trials, std::vector<int>{5});
+    // Untouched axes hold exactly their default sentinel.
+    EXPECT_EQ(spec.ambient_c, std::vector<double>{25.0});
+    EXPECT_EQ(spec.majority_wins, std::vector<int>{0});
+    EXPECT_EQ(spec.ecc, (std::vector<std::pair<int, int>>{{0, 0}}));
+    EXPECT_EQ(spec.master_seed, std::vector<std::uint64_t>{1});
+    EXPECT_FALSE(spec.all_scenarios);
+}
+
+TEST(SweepSpec, IntAndSeedRangesAreInclusive) {
+    const SweepSpec spec = parse_spec(
+        "name = r\n"
+        "scenarios = all\n"
+        "majority_wins = 1:7:2\n"
+        "master_seed = 10:30:10\n");
+    EXPECT_EQ(spec.majority_wins, (std::vector<int>{1, 3, 5, 7}));
+    EXPECT_EQ(spec.master_seed, (std::vector<std::uint64_t>{10, 20, 30}));
+    EXPECT_TRUE(spec.all_scenarios);
+}
+
+TEST(SweepSpec, SeedRangeStepPastStopStopsAtStop) {
+    const SweepSpec spec = parse_spec(
+        "name = r\nscenarios = all\nmaster_seed = 5:8:10\n");
+    EXPECT_EQ(spec.master_seed, std::vector<std::uint64_t>{5});
+}
+
+TEST(SweepSpec, EccTokensKeepTheirInnerComma) {
+    const SweepSpec spec = parse_spec(
+        "name = e\nscenarios = all\necc = bch(6,3), bch(7,5)\n");
+    EXPECT_EQ(spec.ecc, (std::vector<std::pair<int, int>>{{6, 3}, {7, 5}}));
+}
+
+TEST(SweepSpec, JsonInputMatchesTextInput) {
+    const SweepSpec text = parse_spec(
+        "name = parity\n"
+        "scenarios = seqpair/swap\n"
+        "sigma_noise_mhz = 0.5:1.5:0.5\n"
+        "trials = 7\n");
+    const SweepSpec json = parse_spec(
+        R"({"name":"parity","scenarios":"seqpair/swap",)"
+        R"("sigma_noise_mhz":"0.5:1.5:0.5","trials":7})");
+    EXPECT_EQ(xp::canonical_text(text), xp::canonical_text(json));
+    EXPECT_EQ(xp::spec_hash(text), xp::spec_hash(json));
+}
+
+TEST(SweepSpec, JsonArrayValuesExpand) {
+    const SweepSpec spec = parse_spec(
+        R"({"name":"arr","scenarios":["seqpair/swap","group/sortmerge"],)"
+        R"("sigma_noise_mhz":[0.5,1.5]})");
+    EXPECT_EQ(spec.scenarios, (std::vector<std::string>{"seqpair/swap", "group/sortmerge"}));
+    EXPECT_EQ(spec.sigma_noise_mhz, (std::vector<double>{0.5, 1.5}));
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, RejectsMalformedRanges) {
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nsigma_noise_mhz=1:2\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nsigma_noise_mhz=1:2:0.5:9\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nsigma_noise_mhz=1:2:0\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nsigma_noise_mhz=2:1:0.5\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ntrials=5:1:1\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nmaster_seed=9:3:1\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nsigma_noise_mhz=abc\n"), SpecError);
+}
+
+TEST(SweepSpec, RejectsUnknownAndDuplicateKeys) {
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nnosuchkey=1\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nname=y\nscenarios=all\n"), SpecError);
+    // The JSON input path must enforce the same duplicate-key contract.
+    EXPECT_THROW(parse_spec(R"({"name":"x","scenarios":"all","trials":5,"trials":9})"),
+                 SpecError);
+    try {
+        parse_spec("name=x\nscenarios=all\nnosuchkey=1\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError& e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("nosuchkey"), std::string::npos);
+    }
+}
+
+TEST(SweepSpec, RejectsEmptyGridsAndMissingSelectors) {
+    // Empty axis value.
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ntrials=\n"), SpecError);
+    // Only separators: the axis expands to zero values.
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ntrials=,\n"), SpecError);
+    // No experiment selector at all.
+    EXPECT_THROW(parse_spec("name=x\ntrials=3\n"), SpecError);
+    // Missing name.
+    EXPECT_THROW(parse_spec("scenarios=all\n"), SpecError);
+    // Whole-file garbage.
+    EXPECT_THROW(parse_spec("name x\n"), SpecError);
+}
+
+TEST(SweepSpec, RejectsBadGeometryEccAndValues) {
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ngeometry=16\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ngeometry=0x8\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ngeometry=16x8x2\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\necc=rs(6,3)\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\necc=bch(6)\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\necc=bch(1,3)\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ntrials=0\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\nmajority_wins=-1\n"), SpecError);
+    // Out-of-int values must error, never wrap through the narrowing cast
+    // (4294967297 would silently become trials = 1).
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ntrials=4294967297\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=x\nscenarios=all\ngeometry=4294967297x8\n"), SpecError);
+    EXPECT_THROW(parse_spec("name=bad name!\nscenarios=all\n"), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical form & hashing
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, RangeAndListSpellingsHashIdentically) {
+    const SweepSpec ranged = parse_spec(
+        "name=h\nscenarios=seqpair/swap\nsigma_noise_mhz=0.5:1.5:0.5\n");
+    const SweepSpec listed = parse_spec(
+        "name=h\nscenarios=seqpair/swap\nsigma_noise_mhz=0.5, 1.0, 1.5\n");
+    EXPECT_EQ(xp::spec_hash(ranged), xp::spec_hash(listed));
+}
+
+TEST(SweepSpec, CanonicalTextRoundTrips) {
+    const SweepSpec spec = parse_spec(
+        "name = rt\n"
+        "scenarios = seqpair/swap, fuzzy/reference\n"
+        "geometry = 16x8\n"
+        "sigma_noise_mhz = 0.25, 0.5\n"
+        "ambient_c = -20:85:52.5\n"
+        "majority_wins = 3\n"
+        "ecc = bch(6,3)\n"
+        "trials = 2\n"
+        "master_seed = 5, 6\n");
+    const std::string canon = xp::canonical_text(spec);
+    const SweepSpec reparsed = parse_spec(canon);
+    EXPECT_EQ(xp::canonical_text(reparsed), canon);
+    EXPECT_EQ(xp::spec_hash(reparsed), xp::spec_hash(spec));
+}
+
+TEST(SweepSpec, HashIsStableAcrossFormattingAndSensitiveToContent) {
+    const SweepSpec a = parse_spec("name=s\nscenarios=seqpair/swap\ntrials=7\n");
+    const SweepSpec b = parse_spec("# hi\nname  =  s\n\nscenarios=seqpair/swap\ntrials = 7\n");
+    const SweepSpec c = parse_spec("name=s\nscenarios=seqpair/swap\ntrials=8\n");
+    EXPECT_EQ(xp::spec_hash(a), xp::spec_hash(b));
+    EXPECT_NE(xp::spec_hash(a), xp::spec_hash(c));
+    EXPECT_EQ(xp::spec_hash(a).size(), 16u);
+}
+
+TEST(SweepSpec, Fnv1aMatchesKnownVector) {
+    // Standard FNV-1a 64 test vectors.
+    EXPECT_EQ(xp::fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(xp::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+// ---------------------------------------------------------------------------
+// Planner expansion
+// ---------------------------------------------------------------------------
+
+TEST(Planner, ExpandsTheFullCartesianGridInFixedOrder) {
+    const SweepSpec spec = parse_spec(
+        "name = grid\n"
+        "scenarios = seqpair/swap, group/sortmerge\n"
+        "sigma_noise_mhz = 0.02, 0.05\n"
+        "trials = 2, 3\n");
+    const xp::Plan plan = plan_spec(spec, attack::default_registry());
+    ASSERT_EQ(plan.jobs.size(), 8u); // 2 scenarios x 2 sigma x 2 trials
+    EXPECT_EQ(plan.hash, xp::spec_hash(spec));
+    // Scenario is the outermost axis; master_seed/trials are innermost.
+    EXPECT_EQ(plan.jobs[0].scenario, "seqpair/swap");
+    EXPECT_EQ(plan.jobs[3].scenario, "seqpair/swap");
+    EXPECT_EQ(plan.jobs[4].scenario, "group/sortmerge");
+    EXPECT_EQ(plan.jobs[0].trials, 2);
+    EXPECT_EQ(plan.jobs[1].trials, 3);
+    EXPECT_DOUBLE_EQ(plan.jobs[0].params.sigma_noise_mhz, 0.02);
+    EXPECT_DOUBLE_EQ(plan.jobs[2].params.sigma_noise_mhz, 0.05);
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        EXPECT_EQ(plan.jobs[i].index, static_cast<int>(i));
+        EXPECT_EQ(plan.jobs[i].id, plan.hash + "-0000" + std::to_string(i));
+    }
+}
+
+TEST(Planner, JobSeedsFollowTheSplitStreamSchedule) {
+    const SweepSpec spec = parse_spec(
+        "name = seeds\nscenarios = seqpair/swap\nsigma_noise_mhz = 0.02,0.05,0.08\n"
+        "master_seed = 9\n");
+    const xp::Plan plan = plan_spec(spec, attack::default_registry());
+    ASSERT_EQ(plan.jobs.size(), 3u);
+    for (const auto& job : plan.jobs) {
+        EXPECT_EQ(job.root_seed, 9u);
+        EXPECT_EQ(job.campaign_seed, core::CampaignRunner::job_seed(9, job.index));
+    }
+    // Distinct jobs get distinct campaign seeds.
+    EXPECT_NE(plan.jobs[0].campaign_seed, plan.jobs[1].campaign_seed);
+    EXPECT_NE(plan.jobs[1].campaign_seed, plan.jobs[2].campaign_seed);
+}
+
+TEST(Planner, ResolvesConstructionsAndRejectsUnknownNames) {
+    const auto& registry = attack::default_registry();
+    const SweepSpec by_kind = parse_spec("name=k\nconstructions=group\ntrials=1\n");
+    const auto names = xp::resolve_scenarios(by_kind, registry);
+    EXPECT_NE(std::find(names.begin(), names.end(), "group/sortmerge"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "group/exhaustive"), names.end());
+    EXPECT_EQ(names.size(), 2u);
+
+    EXPECT_THROW(
+        plan_spec(parse_spec("name=u\nscenarios=no/such\n"), registry), SpecError);
+    EXPECT_THROW(
+        plan_spec(parse_spec("name=u\nconstructions=nosuch\n"), registry), SpecError);
+}
+
+TEST(Planner, AllSelectsEveryRegisteredScenario) {
+    const auto& registry = attack::default_registry();
+    const SweepSpec spec = parse_spec("name=a\nscenarios=all\ntrials=1\n");
+    const xp::Plan plan = plan_spec(spec, registry);
+    EXPECT_EQ(plan.jobs.size(), registry.size());
+}
+
+// The plan hash must pin the *resolved* grid: `scenarios = all` against a
+// grown registry is a different experiment, so its job IDs must not collide
+// with records from the old registry.
+TEST(Planner, HashCapturesResolvedScenarioSelectors) {
+    const auto& registry = attack::default_registry();
+    const SweepSpec all = parse_spec("name=a\nscenarios=all\ntrials=1\n");
+    const xp::Plan all_plan = plan_spec(all, registry);
+    // The literal text hash ignores the registry; the plan hash must not.
+    EXPECT_NE(all_plan.hash, xp::spec_hash(all));
+    // It equals the hash of the same spec with the scenario list spelled out.
+    std::string explicit_text = "name=a\nscenarios=";
+    const auto resolved = xp::resolve_scenarios(all, registry);
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        if (i > 0) explicit_text += ',';
+        explicit_text += resolved[i];
+    }
+    explicit_text += "\ntrials=1\n";
+    const xp::Plan explicit_plan = plan_spec(parse_spec(explicit_text), registry);
+    EXPECT_EQ(all_plan.hash, explicit_plan.hash);
+    // For explicit scenario lists, plan hash == literal spec hash.
+    const SweepSpec listed = parse_spec("name=a\nscenarios=seqpair/swap\ntrials=1\n");
+    EXPECT_EQ(plan_spec(listed, registry).hash, xp::spec_hash(listed));
+}
+
+// ---------------------------------------------------------------------------
+// The committed spec files must stay parseable and plannable.
+// ---------------------------------------------------------------------------
+
+TEST(Specs, CommittedSpecFilesParseAndPlan) {
+    const auto& registry = attack::default_registry();
+    const struct {
+        const char* file;
+        std::size_t jobs;
+    } expected[] = {
+        {"fig1_array_size.spec", 4},
+        {"fig5_failure_pdf.spec", 12},
+        {"fig7_fuzzy.spec", 6},
+        {"paper_all.spec", registry.size()},
+        {"smoke.spec", 4},
+    };
+    for (const auto& e : expected) {
+        const std::string path = std::string(ROPUF_SOURCE_DIR) + "/specs/" + e.file;
+        const SweepSpec spec = xp::load_spec_file(path);
+        const xp::Plan plan = plan_spec(spec, registry);
+        EXPECT_EQ(plan.jobs.size(), e.jobs) << e.file;
+    }
+}
+
+TEST(Specs, MissingFileThrows) {
+    EXPECT_THROW(xp::load_spec_file("/nonexistent/nope.spec"), SpecError);
+}
+
+} // namespace

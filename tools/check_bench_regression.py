@@ -2,8 +2,15 @@
 """Benchmark regression guard for the CI perf trajectory.
 
 Compares items_per_second of selected benchmarks between a committed
-baseline BENCH_micro.json and a freshly recorded one, and fails when the
-geometric mean drops by more than the allowed fraction.
+baseline and a freshly recorded one, and fails when the geometric mean
+drops by more than the allowed fraction.
+
+Understands two file formats:
+  * google-benchmark JSON (BENCH_micro.json): entries under "benchmarks"
+    with an items_per_second counter;
+  * the campaign runner's own JSON (BENCH_campaign.json): entries under
+    "campaigns", ingested as synthetic benchmarks named
+    campaign/<scenario>/w<workers> with measurements_per_s as throughput.
 
 Also refuses to compare against figures recorded from a debug build (the
 methodology bug this guard exists to prevent): a baseline or current file
@@ -47,9 +54,16 @@ def throughputs(data, prefix):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench.get("name", "")
-        if name.startswith(prefix) and "items_per_second" in bench:
+        if "items_per_second" in bench:
             out[name] = float(bench["items_per_second"])
-    return out
+    for campaign in data.get("campaigns", []):
+        name = (
+            f"campaign/{campaign.get('scenario', '?')}"
+            f"/w{campaign.get('workers', 0)}"
+        )
+        if "measurements_per_s" in campaign:
+            out[name] = float(campaign["measurements_per_s"])
+    return {name: v for name, v in out.items() if name.startswith(prefix)}
 
 
 def geomean(values):

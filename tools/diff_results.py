@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare two ropuf results JSONL files by their deterministic content.
+
+The record schema isolates host-bound measurements in one "timing" key;
+everything else is a pure function of (spec, job index). This tool drops
+the timing key from every record, keys records by job ID, and fails when
+the two files disagree — the CI proof that an interrupted run plus
+`ropuf resume` equals one uninterrupted run.
+
+Usage:
+  diff_results.py a.jsonl b.jsonl [--expect-count N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    records = {}
+    torn = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                torn += 1  # a crash's torn tail: the reader contract skips it
+                continue
+            record.pop("timing", None)
+            records[record.get("job", f"?{len(records)}")] = json.dumps(
+                record, sort_keys=True
+            )
+    if torn:
+        print(f"note: {path}: skipped {torn} unparseable line(s)")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("a")
+    parser.add_argument("b")
+    parser.add_argument("--expect-count", type=int, default=None,
+                        help="additionally require exactly this many records")
+    args = parser.parse_args()
+
+    a = load(args.a)
+    b = load(args.b)
+
+    failures = []
+    for job in sorted(set(a) | set(b)):
+        if job not in a:
+            failures.append(f"{job}: only in {args.b}")
+        elif job not in b:
+            failures.append(f"{job}: only in {args.a}")
+        elif a[job] != b[job]:
+            failures.append(f"{job}: deterministic content differs")
+    if args.expect_count is not None and len(a) != args.expect_count:
+        failures.append(f"{args.a}: {len(a)} records, expected {args.expect_count}")
+
+    if failures:
+        print("\n".join(failures))
+        sys.exit(f"FAIL: {len(failures)} discrepancy(ies) between {args.a} and {args.b}")
+    print(f"OK: {len(a)} records, deterministic content identical")
+
+
+if __name__ == "__main__":
+    main()

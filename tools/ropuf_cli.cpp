@@ -1,0 +1,251 @@
+// ropuf — the experiment CLI: reproduce the paper in one run.
+//
+//   ropuf list                         registered scenarios & constructions
+//   ropuf plan <spec>                  expand a spec without running it
+//   ropuf run <spec> [options]         run every job, write results JSONL
+//   ropuf resume <spec> <results>      run exactly the missing job IDs
+//   ropuf report <results>             aggregate a results file into tables
+//
+// run/resume options:
+//   -o <file>        results path (default: <spec name>.jsonl)
+//   --workers <n>    campaign worker threads (0 = hardware concurrency)
+//   --max-jobs <n>   stop after executing n jobs (interruption testing)
+//   --quiet          suppress per-job progress lines
+//
+// `run` refuses an existing results file (use `resume`, or a new -o path):
+// results are append-only and content-addressed by the spec hash, so
+// silently mixing two runs in one file is never what anyone wants.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ropuf/attack/scenarios.hpp"
+#include "ropuf/xp/executor.hpp"
+#include "ropuf/xp/planner.hpp"
+#include "ropuf/xp/result_store.hpp"
+#include "ropuf/xp/sweep_spec.hpp"
+
+namespace {
+
+using namespace ropuf;
+
+int usage(std::FILE* out) {
+    std::fputs(
+        "usage: ropuf <command> [args]\n"
+        "\n"
+        "  list                       registered scenarios & constructions\n"
+        "  plan <spec>                expand a spec into its job table\n"
+        "  run <spec> [options]       run a spec, writing one JSONL record per job\n"
+        "  resume <spec> <results>    complete the job IDs missing from <results>\n"
+        "  report <results>           render summary tables from a results file\n"
+        "\n"
+        "run/resume options:\n"
+        "  -o <file>       results path (run only; default <spec name>.jsonl)\n"
+        "  --workers <n>   campaign worker threads (0 = hardware concurrency)\n"
+        "  --max-jobs <n>  stop after executing n jobs\n"
+        "  --quiet         suppress per-job progress\n",
+        out);
+    return out == stderr ? 2 : 0;
+}
+
+struct CliOptions {
+    std::string output;
+    int workers = 0;
+    int max_jobs = -1;
+    bool quiet = false;
+};
+
+/// Whole-token integer parse: "abc" and "3x" must be errors, never a
+/// silent 0 (a zero --max-jobs would make the run a no-op that exits 0).
+bool parse_int_arg(const std::string& token, const char* what, int* out) {
+    char* end = nullptr;
+    const long v = std::strtol(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0' || v < 0 || v > 1 << 20) {
+        std::fprintf(stderr, "ropuf: %s expects a non-negative integer, got '%s'\n", what,
+                     token.c_str());
+        return false;
+    }
+    *out = static_cast<int>(v);
+    return true;
+}
+
+bool parse_options(const std::vector<std::string>& args, std::size_t start, CliOptions& opts) {
+    for (std::size_t i = start; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const auto next = [&](const char* what) -> const std::string* {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "ropuf: %s expects a value\n", what);
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (arg == "-o") {
+            const std::string* v = next("-o");
+            if (v == nullptr) return false;
+            opts.output = *v;
+        } else if (arg == "--workers") {
+            const std::string* v = next("--workers");
+            if (v == nullptr || !parse_int_arg(*v, "--workers", &opts.workers)) return false;
+        } else if (arg == "--max-jobs") {
+            const std::string* v = next("--max-jobs");
+            if (v == nullptr || !parse_int_arg(*v, "--max-jobs", &opts.max_jobs)) return false;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            std::fprintf(stderr, "ropuf: unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int cmd_list() {
+    const auto& registry = attack::default_registry();
+    std::printf("%-26s %-13s %-16s %s\n", "scenario", "construction", "paper", "attack");
+    for (const auto& s : registry.scenarios()) {
+        std::printf("%-26s %-13s %-16s %s\n", s.name.c_str(), s.construction.c_str(),
+                    s.paper_ref.c_str(), s.attack.c_str());
+    }
+    std::printf("\n%zu scenarios. Sweep axes: geometry, sigma_noise_mhz, ambient_c,\n",
+                registry.size());
+    std::puts("majority_wins, ecc, trials, master_seed. See specs/*.spec for examples.");
+    return 0;
+}
+
+int cmd_plan(const std::string& spec_path) {
+    const xp::SweepSpec spec = xp::load_spec_file(spec_path);
+    const xp::Plan plan = xp::plan_spec(spec, attack::default_registry());
+    std::printf("spec %s  hash %s  %zu jobs\n\n", plan.spec_name.c_str(), plan.hash.c_str(),
+                plan.jobs.size());
+    std::printf("%-22s %-24s %6s %6s %8s %8s %6s %12s\n", "job", "scenario", "geom", "sigma",
+                "ambient", "ecc", "trials", "campaign_seed");
+    for (const auto& job : plan.jobs) {
+        char geom[16] = "dflt";
+        if (job.params.cols > 0) {
+            std::snprintf(geom, sizeof geom, "%dx%d", job.params.cols, job.params.rows);
+        }
+        char sigma[16] = "dflt";
+        if (job.params.sigma_noise_mhz >= 0.0) {
+            std::snprintf(sigma, sizeof sigma, "%.3g", job.params.sigma_noise_mhz);
+        }
+        char ecc[16] = "dflt";
+        if (job.params.ecc_m > 0) {
+            std::snprintf(ecc, sizeof ecc, "%d,%d", job.params.ecc_m, job.params.ecc_t);
+        }
+        std::printf("%-22s %-24s %6s %6s %8.3g %8s %6d %12llu\n", job.id.c_str(),
+                    job.scenario.c_str(), geom, sigma, job.params.ambient_c, ecc, job.trials,
+                    static_cast<unsigned long long>(job.campaign_seed));
+    }
+    return 0;
+}
+
+std::string default_output(const xp::SweepSpec& spec) { return spec.name + ".jsonl"; }
+
+bool file_exists(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+}
+
+int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
+                  const CliOptions& opts, bool resume, const std::string& results_path) {
+    const xp::Plan plan = xp::plan_spec(spec, attack::default_registry());
+
+    std::set<std::string> skip;
+    if (resume) {
+        skip = xp::completed_job_ids(results_path, plan.hash);
+    } else if (file_exists(results_path)) {
+        std::fprintf(stderr,
+                     "ropuf: %s already exists — use 'ropuf resume %s %s' to complete it, or "
+                     "a fresh -o path\n",
+                     results_path.c_str(), spec_path.c_str(), results_path.c_str());
+        return 1;
+    }
+
+    xp::ResultWriter writer(results_path, /*truncate=*/false);
+    xp::RunOptions run_opts;
+    run_opts.workers = opts.workers;
+    run_opts.max_jobs = opts.max_jobs;
+    run_opts.progress = opts.quiet ? nullptr : stdout;
+
+    std::printf("spec %s  hash %s  %zu jobs -> %s%s\n", plan.spec_name.c_str(),
+                plan.hash.c_str(), plan.jobs.size(), results_path.c_str(),
+                resume ? " (resume)" : "");
+    if (resume && !skip.empty()) {
+        std::printf("resume: %zu job(s) already complete, skipping\n", skip.size());
+    }
+    const xp::RunStats stats = xp::execute_plan(plan, attack::default_registry(), skip, writer,
+                                                run_opts);
+    std::printf("done: %d executed, %d skipped, %d total\n", stats.executed, stats.skipped,
+                stats.total);
+    if (stats.executed + stats.skipped < stats.total) {
+        std::printf("note: %d job(s) remain — rerun 'ropuf resume %s %s'\n",
+                    stats.total - stats.executed - stats.skipped, spec_path.c_str(),
+                    results_path.c_str());
+    }
+    return 0;
+}
+
+int cmd_report(const std::string& results_path) {
+    int torn = 0;
+    const auto records = xp::read_results(results_path, &torn);
+    if (torn > 0) {
+        std::fprintf(stderr, "warning: skipped %d unparseable line(s) (torn crash tail?)\n",
+                     torn);
+    }
+    if (records.empty()) {
+        std::fprintf(stderr, "ropuf: no records in %s\n", results_path.c_str());
+        return 1;
+    }
+    std::printf("%s", xp::render_report(records).c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) return usage(stderr);
+    const std::string& command = args[0];
+    try {
+        if (command == "help" || command == "--help" || command == "-h") return usage(stdout);
+        if (command == "list") return cmd_list();
+        if (command == "plan") {
+            if (args.size() != 2) return usage(stderr);
+            return cmd_plan(args[1]);
+        }
+        if (command == "run") {
+            if (args.size() < 2) return usage(stderr);
+            CliOptions opts;
+            if (!parse_options(args, 2, opts)) return 2;
+            const xp::SweepSpec spec = xp::load_spec_file(args[1]);
+            const std::string out = opts.output.empty() ? default_output(spec) : opts.output;
+            return run_or_resume(spec, args[1], opts, /*resume=*/false, out);
+        }
+        if (command == "resume") {
+            if (args.size() < 3) return usage(stderr);
+            CliOptions opts;
+            if (!parse_options(args, 3, opts)) return 2;
+            if (!opts.output.empty()) {
+                std::fprintf(stderr,
+                             "ropuf: resume writes to its positional results file; -o is not "
+                             "accepted\n");
+                return 2;
+            }
+            return run_or_resume(xp::load_spec_file(args[1]), args[1], opts, /*resume=*/true,
+                                 args[2]);
+        }
+        if (command == "report") {
+            if (args.size() != 2) return usage(stderr);
+            return cmd_report(args[1]);
+        }
+        std::fprintf(stderr, "ropuf: unknown command '%s'\n", command.c_str());
+        return usage(stderr);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ropuf: %s\n", e.what());
+        return 1;
+    }
+}
