@@ -145,6 +145,45 @@ void BM_RoArrayBatchedScan(benchmark::State& state) {
 }
 BENCHMARK(BM_RoArrayBatchedScan)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_RoArrayMeasureBatch(benchmark::State& state) {
+    // measure_batch_into amortizes `range` scans into one noise block + one
+    // condition sweep (bit-identical to that many measure_all_into calls).
+    const int scans = static_cast<int>(state.range(0));
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 14);
+    rng::Xoshiro256pp rng(15);
+    std::vector<double> buffer;
+    for (auto _ : state) {
+        chip.measure_batch_into(sim::Condition{}, scans, rng, buffer);
+        benchmark::DoNotOptimize(buffer.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * scans *
+                            chip.count());
+}
+BENCHMARK(BM_RoArrayMeasureBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_OracleBatchedProbes(benchmark::State& state) {
+    // The oracle's amortized hot path: one AnyOracle batch of `range`
+    // identical raw-NVM probes against a seqpair victim. Arg(1) is the
+    // sequential baseline; larger batches amortize parse work and the whole
+    // batch's noise block through measure_batch_into. Items = probes, so
+    // throughput compares directly across batch sizes.
+    const int batch_size = static_cast<int>(state.range(0));
+    const sim::RoArray chip({16, 8}, sim::ProcessParams{}, 11);
+    const pairing::SeqPairingPuf puf(chip, pairing::SeqPairingConfig{});
+    rng::Xoshiro256pp rng(12);
+    const auto enrollment = puf.enroll(rng);
+    attack::Victim<pairing::SeqPairingPuf> victim(puf, enrollment.key, 13);
+    auto oracle = attack::make_oracle(victim);
+    const std::vector<core::Probe> batch(
+        static_cast<std::size_t>(batch_size),
+        attack::make_probe<pairing::SeqPairingPuf>(enrollment.helper));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oracle.evaluate(batch));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch_size);
+}
+BENCHMARK(BM_OracleBatchedProbes)->Arg(1)->Arg(8)->Arg(32);
+
 void BM_GaussianPolar(benchmark::State& state) {
     // The pre-campaign scalar path: Marsaglia polar with pair caching.
     rng::Xoshiro256pp rng(16);

@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
     if (argc > 1) {
         const std::string name = argv[1];
         if (registry.find(name) == nullptr) {
-            std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+            std::fprintf(stderr, "%s\n",
+                         ropuf::core::unknown_name_message("scenario", name, registry.names())
+                             .c_str());
             return 1;
         }
         reports.push_back(engine.run(name, params));

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <set>
+#include <utility>
 
 #include "ropuf/attack/calibration.hpp"
 #include "ropuf/attack/distinguisher.hpp"
@@ -66,66 +68,82 @@ distiller::PolySurface MaskedChainAttack::isolation_surface(const sim::ArrayGeom
     return s;
 }
 
-MaskedChainAttack::Result MaskedChainAttack::run(Victim& victim,
-                                                 const pairing::MaskedChainHelper& pristine,
-                                                 const pairing::MaskedChainPuf& puf,
-                                                 const Config& config) {
-    Result out;
-    const std::int64_t base_queries = victim.queries();
-    const auto& base_pairs = puf.base_pairs();
-    const auto selected = pairing::select_pairs(base_pairs, pristine.masking);
-    const int m = static_cast<int>(selected.size());
-    const ecc::BlockEcc block_ecc(puf.code());
-    const int t = puf.code().t();
+MaskedChainSession::MaskedChainSession(const pairing::MaskedChainPuf& puf,
+                                       pairing::MaskedChainHelper pristine,
+                                       MaskedChainAttack::Config config)
+    : puf_(&puf), pristine_(std::move(pristine)), config_(config) {
+    start(body());
+}
 
-    bits::BitVec key(static_cast<std::size_t>(m), 0);
+std::string MaskedChainSession::notes() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%d isolation surfaces", out_.targets);
+    return buf;
+}
+
+SessionBody MaskedChainSession::body() {
+    using Puf = pairing::MaskedChainPuf;
+    const auto& base_pairs = puf_->base_pairs();
+    const auto selected = pairing::select_pairs(base_pairs, pristine_.masking);
+    const int m = static_cast<int>(selected.size());
+    const ecc::BlockEcc block_ecc(puf_->code());
+    const int t = puf_->code().t();
+
+    key_ = bits::BitVec(static_cast<std::size_t>(m), 0);
     bool complete = true;
 
     for (int g = 0; g < m; ++g) {
         const auto target = selected[static_cast<std::size_t>(g)];
-        const auto surface =
-            isolation_surface(puf.array().geometry(), target.first, target.second,
-                              config.steep_amp);
-        const auto grid = surface.evaluate_grid(puf.array().geometry());
-        const auto beta_attack = subtract_surface(pristine.beta, surface);
+        const auto surface = MaskedChainAttack::isolation_surface(
+            puf_->array().geometry(), target.first, target.second, config_.steep_amp);
+        const auto grid = surface.evaluate_grid(puf_->array().geometry());
+        const auto beta_attack = subtract_surface(pristine_.beta, surface);
 
         // Expected bits: every other selected pair is forced by the surface.
         bits::BitVec expected(static_cast<std::size_t>(m), 0);
         for (int g2 = 0; g2 < m; ++g2) {
             if (g2 == g) continue;
             const double d = pair_delta(grid, selected[static_cast<std::size_t>(g2)]);
-            assert(std::abs(d) > config.steep_amp * 0.05 && "non-target pair must be forced");
+            assert(std::abs(d) > config_.steep_amp * 0.05 && "non-target pair must be forced");
             expected[static_cast<std::size_t>(g2)] = d > 0 ? 1 : 0;
         }
 
         const int block = block_of_position(block_ecc, g);
         bool decided = false;
-        for (int attempt = 0; attempt < config.max_retries && !decided; ++attempt) {
+        for (int attempt = 0; attempt < config_.max_retries && !decided; ++attempt) {
             for (int h = 0; h < 2 && !decided; ++h) {
                 expected[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(h);
                 // The inverted string is the ECC reference: a correct
                 // hypothesis decodes to it (t corrections), an incorrect one
                 // overflows — so the oracle compares against the inversion.
                 const auto inverted = invert_for_parity(expected, block_ecc, block, t, {g});
-                pairing::MaskedChainHelper helper = pristine;
+                pairing::MaskedChainHelper helper = pristine_;
                 helper.beta = beta_attack;
                 helper.ecc = block_ecc.enroll(inverted);
-                const auto probe = any_pass_probe(
-                    [&] { return victim.regen_fails(helper, inverted); },
-                    config.majority_wins);
-                if (!probe.failed) {
-                    key[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(h);
+                const bool failed = co_await any_pass(make_probe<Puf>(helper, inverted),
+                                                      config_.majority_wins);
+                if (!failed) {
+                    key_[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(h);
                     decided = true;
                 }
             }
         }
         complete = complete && decided;
-        ++out.targets;
+        ++out_.targets;
     }
-    out.recovered_key = key;
-    out.complete = complete;
-    out.queries = victim.queries() - base_queries;
-    return out;
+    out_.recovered_key = key_;
+    out_.complete = complete;
+    out_.queries = probes_answered();
+}
+
+MaskedChainAttack::Result MaskedChainAttack::run(Victim& victim,
+                                                 const pairing::MaskedChainHelper& pristine,
+                                                 const pairing::MaskedChainPuf& puf,
+                                                 const Config& config) {
+    MaskedChainSession session(puf, pristine, config);
+    auto oracle = make_oracle(victim);
+    run_to_completion(session, oracle);
+    return session.result();
 }
 
 // ---------------------------------------------------------------------------
@@ -146,23 +164,43 @@ std::vector<distiller::PolySurface> OverlapChainAttack::probe_surfaces(
     return probes;
 }
 
-OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
-                                                   const pairing::OverlapChainHelper& pristine,
-                                                   const pairing::OverlapChainPuf& puf,
-                                                   const Config& config) {
-    Result out;
-    const std::int64_t base_queries = victim.queries();
-    const auto& pairs = puf.pairs();
+OverlapChainSession::OverlapChainSession(const pairing::OverlapChainPuf& puf,
+                                         pairing::OverlapChainHelper pristine,
+                                         OverlapChainAttack::Config config)
+    : puf_(&puf), pristine_(std::move(pristine)), config_(config) {
+    start(body());
+}
+
+bits::BitVec OverlapChainSession::partial_key() const {
+    bits::BitVec key(known_.size(), 0);
+    for (std::size_t i = 0; i < known_.size(); ++i) {
+        if (known_[i]) key[i] = *known_[i];
+    }
+    return key;
+}
+
+std::string OverlapChainSession::notes() const {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%d probes, %d hypotheses, largest unknown set %d",
+                  out_.probes, out_.hypotheses, out_.max_set_size);
+    return buf;
+}
+
+SessionBody OverlapChainSession::body() {
+    using Puf = pairing::OverlapChainPuf;
+    const auto& pairs = puf_->pairs();
     const int m = static_cast<int>(pairs.size());
-    const ecc::BlockEcc block_ecc(puf.code());
-    const int t = puf.code().t();
-    const auto& geometry = puf.array().geometry();
+    const ecc::BlockEcc block_ecc(puf_->code());
+    const int t = puf_->code().t();
+    const auto& geometry = puf_->array().geometry();
 
-    std::vector<std::optional<std::uint8_t>> known(static_cast<std::size_t>(m));
+    known_.assign(static_cast<std::size_t>(m), std::nullopt);
+    auto& known = known_;
 
-    for (const auto& surface : probe_surfaces(geometry, config.steep_amp)) {
+    for (const auto& surface :
+         OverlapChainAttack::probe_surfaces(geometry, config_.steep_amp)) {
         const auto grid = surface.evaluate_grid(geometry);
-        const double margin = config.steep_amp * 0.25;
+        const double margin = config_.steep_amp * 0.25;
 
         // Classify every response bit under this surface.
         std::vector<int> unknown;       // undetermined and not yet recovered
@@ -182,11 +220,11 @@ OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
             }
         }
         if (unknown.empty()) continue;
-        if (static_cast<int>(unknown.size()) > config.max_unknown) continue;
-        ++out.probes;
-        out.max_set_size = std::max(out.max_set_size, static_cast<int>(unknown.size()));
+        if (static_cast<int>(unknown.size()) > config_.max_unknown) continue;
+        ++out_.probes;
+        out_.max_set_size = std::max(out_.max_set_size, static_cast<int>(unknown.size()));
 
-        const auto beta_attack = subtract_surface(pristine.beta, surface);
+        const auto beta_attack = subtract_surface(pristine_.beta, surface);
         // Blocks containing any undetermined bit get the t-bit injection.
         std::set<int> hot_blocks;
         for (int i : unknown_all) hot_blocks.insert(block_of_position(block_ecc, i));
@@ -201,7 +239,7 @@ OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
         // averaged value of each metastable bit with the highest likelihood.
         std::vector<int> passes(static_cast<std::size_t>(1) << unknown.size(), 0);
         bool decided = false;
-        for (int attempt = 0; attempt < config.max_retries && !decided; ++attempt) {
+        for (int attempt = 0; attempt < config_.max_retries && !decided; ++attempt) {
             for (std::uint64_t assign = 0; assign < (1ULL << unknown.size()) && !decided;
                  ++assign) {
                 for (std::size_t bit = 0; bit < unknown.size(); ++bit) {
@@ -212,12 +250,13 @@ OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
                 for (int blk : hot_blocks) {
                     inverted = invert_for_parity(inverted, block_ecc, blk, t, keep);
                 }
-                pairing::OverlapChainHelper helper = pristine;
+                pairing::OverlapChainHelper helper = pristine_;
                 helper.beta = beta_attack;
                 helper.ecc = block_ecc.enroll(inverted);
-                ++out.hypotheses;
+                ++out_.hypotheses;
                 // The device corrects toward the inverted reference.
-                if (!victim.regen_fails(helper, inverted)) {
+                const bool failed = co_await ask(make_probe<Puf>(helper, inverted));
+                if (!failed) {
                     if (++passes[assign] >= 2) decided = true; // two passes: committed
                 }
             }
@@ -247,10 +286,19 @@ OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
             complete = false;
         }
     }
-    out.recovered_key = key;
-    out.complete = complete;
-    out.queries = victim.queries() - base_queries;
-    return out;
+    out_.recovered_key = key;
+    out_.complete = complete;
+    out_.queries = probes_answered();
+}
+
+OverlapChainAttack::Result OverlapChainAttack::run(Victim& victim,
+                                                   const pairing::OverlapChainHelper& pristine,
+                                                   const pairing::OverlapChainPuf& puf,
+                                                   const Config& config) {
+    OverlapChainSession session(puf, pristine, config);
+    auto oracle = make_oracle(victim);
+    run_to_completion(session, oracle);
+    return session.result();
 }
 
 } // namespace ropuf::attack

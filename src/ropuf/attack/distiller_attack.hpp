@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "ropuf/attack/oracle.hpp"
+#include "ropuf/attack/session.hpp"
 #include "ropuf/distiller/poly_surface.hpp"
 #include "ropuf/pairing/puf_pipeline.hpp"
 
@@ -67,6 +68,31 @@ public:
                                                     int w, double steep_amp);
 };
 
+/// The Fig. 6b attack as a propose/observe session: one isolation surface
+/// per selected pair, two hypotheses per key bit, reprogrammed-key probes.
+/// `puf` is the attacker's public design view and must outlive the session.
+class MaskedChainSession final : public CoroSession {
+public:
+    MaskedChainSession(const pairing::MaskedChainPuf& puf, pairing::MaskedChainHelper pristine,
+                       MaskedChainAttack::Config config = {});
+
+    /// Valid once done().
+    const MaskedChainAttack::Result& result() const { return out_; }
+
+    bits::BitVec partial_key() const override { return key_; }
+    bool resolved() const override { return out_.complete; }
+    std::string notes() const override;
+
+private:
+    SessionBody body();
+
+    const pairing::MaskedChainPuf* puf_;
+    pairing::MaskedChainHelper pristine_;
+    MaskedChainAttack::Config config_;
+    bits::BitVec key_; ///< bits decided so far (undecided read 0)
+    MaskedChainAttack::Result out_;
+};
+
 // ---------------------------------------------------------------------------
 // Fig. 6c: distiller + overlapping chain
 // ---------------------------------------------------------------------------
@@ -104,6 +130,32 @@ public:
     /// Fig. 6c bench.
     static std::vector<distiller::PolySurface> probe_surfaces(const sim::ArrayGeometry& geometry,
                                                               double steep_amp);
+};
+
+/// The Fig. 6c attack as a propose/observe session: per-surface multi-bit
+/// hypothesis enumeration with reprogrammed ECC redundancy. `puf` is the
+/// attacker's public design view and must outlive the session.
+class OverlapChainSession final : public CoroSession {
+public:
+    OverlapChainSession(const pairing::OverlapChainPuf& puf,
+                        pairing::OverlapChainHelper pristine,
+                        OverlapChainAttack::Config config = {});
+
+    /// Valid once done().
+    const OverlapChainAttack::Result& result() const { return out_; }
+
+    bits::BitVec partial_key() const override;
+    bool resolved() const override { return out_.complete; }
+    std::string notes() const override;
+
+private:
+    SessionBody body();
+
+    const pairing::OverlapChainPuf* puf_;
+    pairing::OverlapChainHelper pristine_;
+    OverlapChainAttack::Config config_;
+    std::vector<std::optional<std::uint8_t>> known_; ///< bits recovered so far
+    OverlapChainAttack::Result out_;
 };
 
 } // namespace ropuf::attack

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <numeric>
+#include <utility>
 
 #include "ropuf/attack/calibration.hpp"
 #include "ropuf/attack/distinguisher.hpp"
@@ -175,12 +177,62 @@ std::optional<bool> GroupBasedAttack::compare_residuals(Victim& victim,
     return std::nullopt;
 }
 
-GroupBasedAttack::Result GroupBasedAttack::run(Victim& victim, const GroupPufHelper& pristine,
-                                               const sim::ArrayGeometry& geometry,
-                                               const ecc::BchCode& code, const Config& config) {
-    Result out;
-    const std::int64_t base_queries = victim.queries();
-    const auto members = group::members_from_assignment(pristine.group_of);
+GroupSession::GroupSession(GroupPufHelper pristine, sim::ArrayGeometry geometry,
+                           ecc::BchCode code, GroupBasedAttack::Config config)
+    : pristine_(std::move(pristine)),
+      geometry_(geometry),
+      code_(std::move(code)),
+      config_(config) {
+    start(body());
+}
+
+bits::BitVec GroupSession::partial_key() const {
+    return out_.recovered_key.empty() ? partial_ : out_.recovered_key;
+}
+
+std::string GroupSession::notes() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%d comparator runs over %d groups", out_.comparisons,
+                  groups_total_);
+    return buf;
+}
+
+Sub<std::optional<bool>> GroupSession::compare(int a, int b) {
+    using Puf = group::GroupBasedPuf;
+    const int lo = std::min(a, b);
+    const int hi = std::max(a, b);
+    const auto instance = GroupBasedAttack::build_comparison(pristine_, geometry_, code_, lo,
+                                                             hi, config_.steep_amp);
+    for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+        for (int h = 0; h < 2; ++h) {
+            ++out_.comparisons;
+            const bool failed =
+                co_await any_pass(make_probe<Puf>(instance.helper[h], instance.expected_key[h]),
+                                  config_.majority_wins);
+            if (!failed) {
+                // h = 1 means residual(hi) > residual(lo).
+                const bool hi_greater = h == 1;
+                co_return (a == hi) == hi_greater;
+            }
+        }
+    }
+    co_return std::nullopt;
+}
+
+Sub<bool> GroupSession::cmp_labels(int la, int lb, const std::vector<int>& labels,
+                                   bool& group_ok) {
+    const auto res = co_await compare(labels[static_cast<std::size_t>(la)],
+                                      labels[static_cast<std::size_t>(lb)]);
+    if (!res) {
+        group_ok = false;
+        co_return la < lb; // arbitrary but consistent fallback
+    }
+    co_return *res; // residual(la) > residual(lb): la ranks first
+}
+
+SessionBody GroupSession::body() {
+    const auto members = group::members_from_assignment(pristine_.group_of);
+    groups_total_ = static_cast<int>(members.size());
 
     bool all_resolved = true;
     bits::BitVec key;
@@ -195,19 +247,7 @@ GroupBasedAttack::Result GroupBasedAttack::run(Victim& victim, const GroupPufHel
         std::iota(order.begin(), order.end(), 0);
         bool group_ok = true;
 
-        auto cmp = [&](int la, int lb) {
-            const auto res = compare_residuals(victim, pristine, geometry, code,
-                                               labels[static_cast<std::size_t>(la)],
-                                               labels[static_cast<std::size_t>(lb)], config,
-                                               &out.comparisons);
-            if (!res) {
-                group_ok = false;
-                return la < lb; // arbitrary but consistent fallback
-            }
-            return *res; // residual(la) > residual(lb): la ranks first
-        };
-
-        if (config.mode == Mode::SortMerge) {
+        if (config_.mode == GroupBasedAttack::Mode::SortMerge) {
             // Hand-rolled bottom-up merge sort: each comparator call costs
             // oracle queries and may (rarely) be inconsistent under noise, so
             // we avoid std::sort's strict-weak-ordering requirements.
@@ -220,7 +260,9 @@ GroupBasedAttack::Result GroupBasedAttack::run(Victim& victim, const GroupPufHel
                     std::size_t j = mid;
                     std::size_t o = lo;
                     while (i < mid && j < hi_end) {
-                        buffer[o++] = cmp(order[j], order[i]) ? order[j++] : order[i++];
+                        const bool take_j = co_await cmp_labels(order[j], order[i], labels,
+                                                                group_ok);
+                        buffer[o++] = take_j ? order[j++] : order[i++];
                     }
                     while (i < mid) buffer[o++] = order[i++];
                     while (j < hi_end) buffer[o++] = order[j++];
@@ -234,10 +276,8 @@ GroupBasedAttack::Result GroupBasedAttack::run(Victim& victim, const GroupPufHel
             std::vector<int> wins(static_cast<std::size_t>(g), 0);
             for (int i = 0; i < g && group_ok; ++i) {
                 for (int j = i + 1; j < g && group_ok; ++j) {
-                    const auto res = compare_residuals(victim, pristine, geometry, code,
-                                                       labels[static_cast<std::size_t>(i)],
-                                                       labels[static_cast<std::size_t>(j)],
-                                                       config, &out.comparisons);
+                    const auto res = co_await compare(labels[static_cast<std::size_t>(i)],
+                                                      labels[static_cast<std::size_t>(j)]);
                     if (!res) {
                         group_ok = false;
                         break;
@@ -256,11 +296,20 @@ GroupBasedAttack::Result GroupBasedAttack::run(Victim& victim, const GroupPufHel
         all_resolved = all_resolved && group_ok;
         const auto packed = group::compact_encode(order);
         key.insert(key.end(), packed.begin(), packed.end());
+        partial_ = key;
     }
-    out.recovered_key = key;
-    out.complete = all_resolved;
-    out.queries = victim.queries() - base_queries;
-    return out;
+    out_.recovered_key = key;
+    out_.complete = all_resolved;
+    out_.queries = probes_answered();
+}
+
+GroupBasedAttack::Result GroupBasedAttack::run(Victim& victim, const GroupPufHelper& pristine,
+                                               const sim::ArrayGeometry& geometry,
+                                               const ecc::BchCode& code, const Config& config) {
+    GroupSession session(pristine, geometry, code, config);
+    auto oracle = make_oracle(victim);
+    run_to_completion(session, oracle);
+    return session.result();
 }
 
 } // namespace ropuf::attack

@@ -31,6 +31,7 @@
 #include <optional>
 
 #include "ropuf/attack/oracle.hpp"
+#include "ropuf/attack/session.hpp"
 #include "ropuf/group/group_puf.hpp"
 
 namespace ropuf::attack {
@@ -59,6 +60,7 @@ public:
         int comparisons = 0;        ///< comparator invocations
     };
 
+    /// One-shot convenience over GroupSession + run_to_completion.
     static Result run(Victim& victim, const group::GroupPufHelper& pristine,
                       const sim::ArrayGeometry& geometry, const ecc::BchCode& code,
                       const Config& config);
@@ -90,6 +92,38 @@ public:
                                                  const sim::ArrayGeometry& geometry,
                                                  const ecc::BchCode& code, int a, int b,
                                                  const Config& config, int* comparisons);
+};
+
+/// The Section VI-C attack as a propose/observe session: merge-sorts (or
+/// exhaustively compares) every enrolled group with the remote residual
+/// comparator, one reprogrammed-key probe per step.
+class GroupSession final : public CoroSession {
+public:
+    GroupSession(group::GroupPufHelper pristine, sim::ArrayGeometry geometry,
+                 ecc::BchCode code, GroupBasedAttack::Config config = {});
+
+    /// Valid once done().
+    const GroupBasedAttack::Result& result() const { return out_; }
+
+    bits::BitVec partial_key() const override;
+    bool resolved() const override { return out_.complete; }
+    std::string notes() const override;
+
+private:
+    SessionBody body();
+    /// Comparator as a sub-step: true iff residual(a) > residual(b).
+    Sub<std::optional<bool>> compare(int a, int b);
+    /// One merge-sort / win-count comparison on group labels, with the
+    /// inconclusive-comparator fallback of the one-shot attack.
+    Sub<bool> cmp_labels(int la, int lb, const std::vector<int>& labels, bool& group_ok);
+
+    group::GroupPufHelper pristine_;
+    sim::ArrayGeometry geometry_;
+    ecc::BchCode code_;
+    GroupBasedAttack::Config config_;
+    int groups_total_ = 0;
+    bits::BitVec partial_; ///< packed keys of the groups sorted so far
+    GroupBasedAttack::Result out_;
 };
 
 } // namespace ropuf::attack

@@ -1,5 +1,8 @@
 #include "ropuf/attack/masking_attack.hpp"
 
+#include <cstdio>
+#include <utility>
+
 #include "ropuf/attack/calibration.hpp"
 #include "ropuf/attack/distinguisher.hpp"
 
@@ -15,34 +18,56 @@ pairing::MaskedChainHelper SelectionSubstitutionProbe::make_substitution_helper(
     return variant;
 }
 
-SelectionSubstitutionProbe::Result SelectionSubstitutionProbe::run(
-    Victim& victim, const pairing::MaskedChainHelper& pristine,
-    const pairing::MaskedChainPuf& puf, const Config& config) {
-    Result out;
-    const std::int64_t base_queries = victim.queries();
-    const int k = pristine.masking.k;
-    const int groups = static_cast<int>(pristine.masking.selected.size());
-    const int inject = puf.code().t();
+SelectionProbeSession::SelectionProbeSession(pairing::MaskedChainHelper pristine,
+                                             ecc::BchCode code,
+                                             SelectionSubstitutionProbe::Config config)
+    : pristine_(std::move(pristine)), code_(std::move(code)), config_(config) {
+    start(body());
+}
+
+std::string SelectionProbeSession::notes() const {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "negative result by design: %zu groups probed, %d key bits still hidden",
+                  out_.groups.size(), out_.residual_key_entropy_bits);
+    return buf;
+}
+
+SessionBody SelectionProbeSession::body() {
+    using Puf = pairing::MaskedChainPuf;
+    const int k = pristine_.masking.k;
+    const int groups = static_cast<int>(pristine_.masking.selected.size());
+    const int inject = code_.t();
 
     for (int g = 0; g < groups; ++g) {
-        GroupRelations rel;
+        SelectionSubstitutionProbe::GroupRelations rel;
         rel.group = g;
-        rel.selected = pristine.masking.selected[static_cast<std::size_t>(g)];
+        rel.selected = pristine_.masking.selected[static_cast<std::size_t>(g)];
         rel.relation.assign(static_cast<std::size_t>(k), 0);
         for (int j = 0; j < k; ++j) {
             if (j == rel.selected) continue;
-            const auto helper = make_substitution_helper(pristine, puf.code(), g, j, inject);
-            const auto probe = any_pass_probe([&] { return victim.regen_fails(helper); },
-                                              2 * config.majority_wins);
-            rel.relation[static_cast<std::size_t>(j)] = probe.failed ? 1 : 0;
+            const auto helper =
+                SelectionSubstitutionProbe::make_substitution_helper(pristine_, code_, g, j,
+                                                                     inject);
+            const bool failed =
+                co_await any_pass(make_probe<Puf>(helper), 2 * config_.majority_wins);
+            rel.relation[static_cast<std::size_t>(j)] = failed ? 1 : 0;
         }
-        out.groups.push_back(std::move(rel));
+        out_.groups.push_back(std::move(rel));
     }
     // Every group still hides one free bit: the probe has not touched the
     // key's entropy, only the (non-key) sibling-pair structure.
-    out.residual_key_entropy_bits = groups;
-    out.queries = victim.queries() - base_queries;
-    return out;
+    out_.residual_key_entropy_bits = groups;
+    out_.queries = probes_answered();
+}
+
+SelectionSubstitutionProbe::Result SelectionSubstitutionProbe::run(
+    Victim& victim, const pairing::MaskedChainHelper& pristine,
+    const pairing::MaskedChainPuf& puf, const Config& config) {
+    SelectionProbeSession session(pristine, puf.code(), config);
+    auto oracle = make_oracle(victim);
+    run_to_completion(session, oracle);
+    return session.result();
 }
 
 } // namespace ropuf::attack

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "ropuf/attack/oracle.hpp"
+#include "ropuf/attack/session.hpp"
 #include "ropuf/pairing/puf_pipeline.hpp"
 
 namespace ropuf::attack {
@@ -45,6 +46,7 @@ public:
         int residual_key_entropy_bits = 0;
     };
 
+    /// One-shot convenience over SelectionProbeSession + run_to_completion.
     static Result run(Victim& victim, const pairing::MaskedChainHelper& pristine,
                       const pairing::MaskedChainPuf& puf, const Config& config);
     static Result run(Victim& victim, const pairing::MaskedChainHelper& pristine,
@@ -57,6 +59,30 @@ public:
     static pairing::MaskedChainHelper make_substitution_helper(
         const pairing::MaskedChainHelper& pristine, const ecc::BchCode& code, int g, int j,
         int inject);
+};
+
+/// The selection-substitution probe as a propose/observe session. Recovers
+/// intra-group relations only — partial_key() stays empty by design (the
+/// probe leaks no key material; see the class comment above).
+class SelectionProbeSession final : public CoroSession {
+public:
+    SelectionProbeSession(pairing::MaskedChainHelper pristine, ecc::BchCode code,
+                          SelectionSubstitutionProbe::Config config = {});
+
+    /// Valid once done().
+    const SelectionSubstitutionProbe::Result& result() const { return out_; }
+
+    bits::BitVec partial_key() const override { return {}; }
+    bool resolved() const override { return done(); }
+    std::string notes() const override;
+
+private:
+    SessionBody body();
+
+    pairing::MaskedChainHelper pristine_;
+    ecc::BchCode code_;
+    SelectionSubstitutionProbe::Config config_;
+    SelectionSubstitutionProbe::Result out_;
 };
 
 } // namespace ropuf::attack

@@ -17,32 +17,52 @@
 //    assuming their reconstruction failures to be observable"). Construct
 //    without an app key and pass the expectation per query.
 //  * temperature — the temperature-aware construction regenerates at an
-//    ambient operating point chosen at victim-construction time.
+//    ambient operating point chosen at victim-construction time
+//    (DeviceTraits::condition_at keeps the sim parameters out of this layer).
 //
 // Query accounting is shared: every mode counts queries (the attack's primary
 // cost metric) and oscillator measurements (queries x declared device cost).
+//
+// Two query surfaces exist. The typed `regen_fails(Helper)` is the direct
+// white-box path tests and benches use. Attacks go through `make_oracle`,
+// which adapts a Victim into a core::AnyOracle answering *batched* raw-NVM
+// probes — the bytes-on-the-bus threat model — and amortizes measurement
+// noise for a whole batch via sim::RoArray::measure_batch_into. Both paths
+// produce bit-identical verdicts, ledgers and RNG consumption for the same
+// probe sequence.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "ropuf/bits/bitvec.hpp"
 #include "ropuf/core/device.hpp"
+#include "ropuf/core/oracle.hpp"
 #include "ropuf/rng/xoshiro.hpp"
 
 namespace ropuf::attack {
 
 /// Shared query ledger: one regeneration attempt = one query; measurement
-/// cost follows the device's declaration (a full array scan per query).
+/// cost follows the device's declaration (a full array scan per query);
+/// `refused` counts queries the device rejected before measuring (malformed
+/// blobs — zero measurement cost).
 struct QueryLedger {
     std::int64_t queries = 0;
     std::int64_t measurements = 0;
+    std::int64_t refused = 0;
 
     void charge(int measurement_cost) {
         ++queries;
         measurements += measurement_cost;
+    }
+    void charge_refused() {
+        ++queries;
+        ++refused;
     }
 };
 
@@ -69,7 +89,7 @@ public:
     Victim(const Puf& puf, bits::BitVec app_key, double ambient_c, std::uint64_t noise_seed)
         : puf_(&puf),
           app_key_(std::move(app_key)),
-          ambient_{ambient_c, puf.array().params().v_ref_v},
+          ambient_(Traits::condition_at(puf, ambient_c)),
           rng_(noise_seed) {}
 
     /// One key regeneration with the supplied helper data; true = observable
@@ -87,6 +107,61 @@ public:
         return !rec.ok || rec.key != expected_key;
     }
 
+    /// Batched raw-NVM probes — the oracle path. Verdicts land in probe
+    /// order. Per probe: parse (a malformed blob is an observable refusal
+    /// that costs a query but no measurement), then regenerate against the
+    /// probe's expected key (or the app key). RNG consumption, verdicts and
+    /// ledger are identical to evaluating the probes one at a time; the
+    /// whole batch's noise is drawn in one measure_batch_into block.
+    void evaluate_probes(std::span<const core::Probe> probes, std::vector<bool>& verdicts) {
+        verdicts.clear();
+        verdicts.reserve(probes.size());
+        const auto& array = puf_->array();
+        const int cost = array.count();
+
+        parsed_.clear();
+        parsed_.resize(probes.size());
+        consistent_.assign(probes.size(), 0);
+        int scans = 0;
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            try {
+                parsed_[i] = Traits::parse(probes[i].helper);
+            } catch (const helperdata::ParseError&) {
+                continue;
+            }
+            // Only helpers that survive the device's pre-measurement checks
+            // consume a scan — same contract as the sequential path. The
+            // verdict is cached; the check can be expensive (group
+            // partitions) and must not rerun per probe below.
+            if (Traits::helper_consistent(*puf_, *parsed_[i])) {
+                consistent_[i] = 1;
+                ++scans;
+            }
+        }
+        array.measure_batch_into(ambient_, scans, rng_, scan_buffer_);
+
+        std::size_t scan = 0;
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            if (!parsed_[i]) {
+                ledger_.charge_refused();
+                verdicts.push_back(true);
+                continue;
+            }
+            ledger_.charge(cost);
+            core::ReconstructResult rec;
+            if (consistent_[i]) {
+                const std::span<const double> freqs(
+                    scan_buffer_.data() + scan * static_cast<std::size_t>(cost),
+                    static_cast<std::size_t>(cost));
+                ++scan;
+                rec = Traits::reconstruct_measured(*puf_, *parsed_[i], ambient_, freqs);
+            }
+            const bits::BitVec& expected =
+                probes[i].expect ? *probes[i].expect : app_key();
+            verdicts.push_back(!rec.ok || rec.key != expected);
+        }
+    }
+
     std::int64_t queries() const { return ledger_.queries; }
     std::int64_t measurements() const { return ledger_.measurements; }
     const QueryLedger& ledger() const { return ledger_; }
@@ -99,6 +174,7 @@ public:
     }
     double ambient_c() const { return ambient_.temperature_c; }
     const sim::Condition& ambient() const { return ambient_; }
+    const Puf& puf() const { return *puf_; }
 
 private:
     const Puf* puf_;
@@ -106,6 +182,53 @@ private:
     sim::Condition ambient_;
     rng::Xoshiro256pp rng_;
     QueryLedger ledger_;
+    // Batch-evaluation scratch, reused across calls.
+    std::vector<std::optional<Helper>> parsed_;
+    std::vector<char> consistent_;
+    std::vector<double> scan_buffer_;
 };
+
+/// Adapts a Victim into the type-erased oracle interface. Holds the victim
+/// by reference: the victim (and its ledger) must outlive the oracle stack.
+template <core::Device Puf>
+class VictimOracle final : public core::OracleBase {
+public:
+    explicit VictimOracle(Victim<Puf>& victim) : victim_(&victim) {}
+
+    void evaluate(std::span<const core::Probe> probes, std::vector<bool>& verdicts) override {
+        victim_->evaluate_probes(probes, verdicts);
+    }
+    core::OracleStats stats() const override {
+        const auto& ledger = victim_->ledger();
+        return {ledger.queries, ledger.measurements, ledger.refused};
+    }
+
+private:
+    Victim<Puf>* victim_;
+};
+
+/// The base of every oracle stack: the victim itself.
+template <core::Device Puf>
+core::AnyOracle make_oracle(Victim<Puf>& victim) {
+    return core::AnyOracle(std::make_shared<VictimOracle<Puf>>(victim));
+}
+
+/// A sanity validator for wrapping this construction's oracle in a
+/// core::SanityCheckingOracle: parse failures and DeviceTraits::sanity
+/// violations are refusals. Captures the puf by reference.
+template <core::Device Puf>
+core::HelperValidator make_sanity_validator(const Puf& puf) {
+    return [&puf](const helperdata::Nvm& nvm) {
+        helperdata::SanityReport report;
+        typename core::DeviceTraits<Puf>::Helper helper;
+        try {
+            helper = core::DeviceTraits<Puf>::parse(nvm);
+        } catch (const helperdata::ParseError& e) {
+            report.fail(std::string("parse: ") + e.what());
+            return report;
+        }
+        return core::DeviceTraits<Puf>::sanity(puf, helper);
+    };
+}
 
 } // namespace ropuf::attack

@@ -1,13 +1,16 @@
 #include "ropuf/attack/scenarios.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "ropuf/attack/distiller_attack.hpp"
 #include "ropuf/attack/group_attack.hpp"
 #include "ropuf/attack/masking_attack.hpp"
 #include "ropuf/attack/seqpair_attack.hpp"
+#include "ropuf/attack/session.hpp"
 #include "ropuf/attack/tempaware_attack.hpp"
+#include "ropuf/core/oracle.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
 #include "ropuf/pairing/neighbor_chain.hpp"
 
@@ -57,16 +60,62 @@ sim::ProcessParams crossover_rich_params() {
     return p;
 }
 
-/// Fills the fields every scenario reports identically.
-template <typename Vic>
-void fill_common(AttackReport& report, const Vic& victim, const bits::BitVec& truth,
-                 const bits::BitVec& recovered, bool resolved) {
+/// The middleware stack a scenario drives its session against. The concrete
+/// middleware handles stay accessible for outcome classification.
+struct OracleStack {
+    core::AnyOracle oracle;
+    std::shared_ptr<core::SanityCheckingOracle> sanity;
+    std::shared_ptr<core::BudgetedOracle> budget;
+};
+
+/// victim <- [sanity when defended] <- [budget when set]; innermost first.
+template <core::Device Puf>
+OracleStack build_stack(Victim<Puf>& victim, const Puf& puf, const ScenarioParams& p) {
+    OracleStack stack;
+    stack.oracle = make_oracle(victim);
+    if (p.defended) {
+        stack.sanity = std::make_shared<core::SanityCheckingOracle>(
+            stack.oracle, make_sanity_validator(puf));
+        stack.oracle = core::AnyOracle(stack.sanity);
+    }
+    if (p.query_budget > 0) {
+        stack.budget = std::make_shared<core::BudgetedOracle>(stack.oracle, p.query_budget);
+        stack.oracle = core::AnyOracle(stack.budget);
+    }
+    return stack;
+}
+
+/// Runs the session to completion (or budget) and fills the uniform report
+/// fields, including the outcome classification and the optional trace.
+AttackReport drive(Session& session, OracleStack& stack, const ScenarioParams& p,
+                   const bits::BitVec& truth) {
+    AttackReport report;
+    std::vector<core::ProgressPoint> trace;
+    run_to_completion(session, stack.oracle, p.trace ? &truth : nullptr,
+                      p.trace ? &trace : nullptr);
+
+    const auto stats = stack.oracle.stats();
+    const auto key = session.partial_key();
+    const bool resolved = session.done() && session.resolved();
     report.key_bits = static_cast<int>(truth.size());
-    report.queries = victim.queries();
-    report.measurements = victim.measurements();
-    report.accuracy = core::bit_accuracy(recovered, truth);
-    report.key_recovered = resolved && recovered == truth;
+    report.queries = stats.queries;
+    report.measurements = stats.measurements;
+    report.refused = stats.refused;
+    report.accuracy = core::bit_accuracy(key, truth);
+    report.key_recovered = resolved && key == truth;
     report.complete = resolved;
+    report.notes = session.notes();
+    report.trace = std::move(trace);
+    if (report.key_recovered) {
+        report.outcome = core::AttackOutcome::recovered;
+    } else if (stack.budget && stack.budget->exhausted()) {
+        report.outcome = core::AttackOutcome::budget_exhausted;
+    } else if (stack.sanity && stack.sanity->refused() > 0) {
+        report.outcome = core::AttackOutcome::refused_by_defense;
+    } else {
+        report.outcome = core::AttackOutcome::gave_up;
+    }
+    return report;
 }
 
 AttackReport run_seqpair_swap(const ScenarioParams& p, helperdata::PairOrderPolicy policy) {
@@ -82,12 +131,9 @@ AttackReport run_seqpair_swap(const ScenarioParams& p, helperdata::PairOrderPoli
     SeqPairingAttack::Victim victim(puf, enrollment.key, sub_seed(p, 3));
     SeqPairingAttack::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
-    const auto result = SeqPairingAttack::run(victim, enrollment.helper, puf.code(), cfg);
-
-    AttackReport report;
-    fill_common(report, victim, enrollment.key, result.recovered_key, result.resolved);
-    if (result.used_sorted_leak) report.notes = "key read via the Section VII-C storage leak";
-    return report;
+    SeqPairingSession session(enrollment.helper, puf.code(), cfg);
+    auto stack = build_stack(victim, puf, p);
+    return drive(session, stack, p, enrollment.key);
 }
 
 AttackReport run_tempaware_substitution(const ScenarioParams& p) {
@@ -104,16 +150,9 @@ AttackReport run_tempaware_substitution(const ScenarioParams& p) {
     TempAwareAttack::Victim victim(puf, enrollment.key, p.ambient_c, sub_seed(p, 3));
     TempAwareAttack::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
-    const auto result = TempAwareAttack::run(victim, enrollment.helper, puf.code(), cfg);
-
-    AttackReport report;
-    fill_common(report, victim, enrollment.key, result.recovered_key, result.resolved);
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "%zu coop / %zu good pairs, %zu untestable resolved",
-                  result.coop_pairs.size(), result.good_pairs.size(),
-                  result.skipped_pairs.size());
-    report.notes = buf;
-    return report;
+    TempAwareSession session(enrollment.helper, puf.code(), victim.ambient_c(), cfg);
+    auto stack = build_stack(victim, puf, p);
+    return drive(session, stack, p, enrollment.key);
 }
 
 AttackReport run_group(const ScenarioParams& p, GroupBasedAttack::Mode mode) {
@@ -130,16 +169,9 @@ AttackReport run_group(const ScenarioParams& p, GroupBasedAttack::Mode mode) {
     GroupBasedAttack::Config cfg;
     cfg.mode = mode;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
-    const auto result =
-        GroupBasedAttack::run(victim, enrollment.helper, chip.geometry(), puf.code(), cfg);
-
-    AttackReport report;
-    fill_common(report, victim, enrollment.key, result.recovered_key, result.complete);
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%d comparator runs over %d groups", result.comparisons,
-                  enrollment.grouping.num_groups);
-    report.notes = buf;
-    return report;
+    GroupSession session(enrollment.helper, chip.geometry(), puf.code(), cfg);
+    auto stack = build_stack(victim, puf, p);
+    return drive(session, stack, p, enrollment.key);
 }
 
 AttackReport run_masked_chain_distiller(const ScenarioParams& p) {
@@ -154,14 +186,9 @@ AttackReport run_masked_chain_distiller(const ScenarioParams& p) {
     MaskedChainAttack::Victim victim(puf, sub_seed(p, 3));
     MaskedChainAttack::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
-    const auto result = MaskedChainAttack::run(victim, enrollment.helper, puf, cfg);
-
-    AttackReport report;
-    fill_common(report, victim, enrollment.key, result.recovered_key, result.complete);
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%d isolation surfaces", result.targets);
-    report.notes = buf;
-    return report;
+    MaskedChainSession session(puf, enrollment.helper, cfg);
+    auto stack = build_stack(victim, puf, p);
+    return drive(session, stack, p, enrollment.key);
 }
 
 AttackReport run_masked_chain_probe(const ScenarioParams& p) {
@@ -176,22 +203,14 @@ AttackReport run_masked_chain_probe(const ScenarioParams& p) {
     SelectionSubstitutionProbe::Victim victim(puf, enrollment.key, sub_seed(p, 3));
     SelectionSubstitutionProbe::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
-    const auto result = SelectionSubstitutionProbe::run(victim, enrollment.helper, puf, cfg);
-
     // Deliberately key-free: the probe quantifies why selection substitution
-    // alone cannot recover the key (one unresolved bit per group remains).
-    AttackReport report;
-    report.key_bits = static_cast<int>(enrollment.key.size());
-    report.queries = victim.queries();
-    report.measurements = victim.measurements();
-    report.accuracy = 0.0;
-    report.key_recovered = false;
-    report.complete = result.groups.size() == enrollment.key.size();
-    char buf[96];
-    std::snprintf(buf, sizeof buf,
-                  "negative result by design: %zu groups probed, %d key bits still hidden",
-                  result.groups.size(), result.residual_key_entropy_bits);
-    report.notes = buf;
+    // alone cannot recover the key (one unresolved bit per group remains) —
+    // partial_key() stays empty, so accuracy reads 0 by construction.
+    SelectionProbeSession session(enrollment.helper, puf.code(), cfg);
+    auto stack = build_stack(victim, puf, p);
+    AttackReport report = drive(session, stack, p, enrollment.key);
+    report.complete =
+        session.done() && session.result().groups.size() == enrollment.key.size();
     return report;
 }
 
@@ -207,15 +226,9 @@ AttackReport run_overlap_chain_distiller(const ScenarioParams& p) {
     OverlapChainAttack::Victim victim(puf, sub_seed(p, 3));
     OverlapChainAttack::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
-    const auto result = OverlapChainAttack::run(victim, enrollment.helper, puf, cfg);
-
-    AttackReport report;
-    fill_common(report, victim, enrollment.key, result.recovered_key, result.complete);
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "%d probes, %d hypotheses, largest unknown set %d",
-                  result.probes, result.hypotheses, result.max_set_size);
-    report.notes = buf;
-    return report;
+    OverlapChainSession session(puf, enrollment.helper, cfg);
+    auto stack = build_stack(victim, puf, p);
+    return drive(session, stack, p, enrollment.key);
 }
 
 AttackReport run_fuzzy_reference(const ScenarioParams& p) {
@@ -333,6 +346,53 @@ void register_builtin_scenarios(core::ScenarioRegistry& registry) {
                   "key response-independently, so no per-bit failure hypothesis "
                   "exists — the paper's recommended fix, measured as a scenario.",
                   run_fuzzy_reference});
+
+    // Defended twins of the five headline attacks: the same experiment with a
+    // SanityCheckingOracle interposed (the paper's Section VII "precise
+    // helper-data validation" countermeasure). Distiller-based attacks die on
+    // the coefficient bound (outcome refused_by_defense); the seqpair swap
+    // and tempaware substitution manipulations are structurally valid helper
+    // data and still succeed — validation alone is not enough.
+    const auto with_defense = [](auto fn) {
+        return [fn](const ScenarioParams& p) {
+            ScenarioParams dp = p;
+            dp.defended = true;
+            return fn(dp);
+        };
+    };
+    registry.add_or_replace(
+        {"seqpair/swap-defended", "seqpair", "pair-swap + ECC rewrite (defended)", "VI-A/VII",
+         "seqpair/swap against helper-data sanity checks: swapped pair lists "
+         "stay structurally valid, so the defense does not stop the attack.",
+         with_defense([](const ScenarioParams& p) {
+             return run_seqpair_swap(p, helperdata::PairOrderPolicy::Randomized);
+         })});
+    registry.add_or_replace(
+        {"tempaware/substitution-defended", "tempaware", "assistance substitution (defended)",
+         "VI-B/VII",
+         "tempaware/substitution against record sanity checks: widened "
+         "intervals and re-pointed assistants stay in range, so the defense "
+         "does not stop the attack.",
+         with_defense(run_tempaware_substitution)});
+    registry.add_or_replace(
+        {"group/sortmerge-defended", "group", "distiller injection (defended)", "VI-C/VII",
+         "group/sortmerge against coefficient plausibility checks: the steep "
+         "comparator planes are refused and the key survives.",
+         with_defense([](const ScenarioParams& p) {
+             return run_group(p, GroupBasedAttack::Mode::SortMerge);
+         })});
+    registry.add_or_replace(
+        {"maskedchain/distiller-defended", "maskedchain", "isolation surfaces (defended)",
+         "VI-D/VII",
+         "maskedchain/distiller against coefficient plausibility checks: the "
+         "isolation surfaces are refused and the key survives.",
+         with_defense(run_masked_chain_distiller)});
+    registry.add_or_replace(
+        {"overlapchain/distiller-defended", "overlapchain", "multi-bit hypotheses (defended)",
+         "VI-D/VII",
+         "overlapchain/distiller against coefficient plausibility checks: the "
+         "probe surfaces are refused and the key survives.",
+         with_defense(run_overlap_chain_distiller)});
 }
 
 core::ScenarioRegistry& default_registry() {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "ropuf/attack/oracle.hpp"
+#include "ropuf/attack/session.hpp"
 #include "ropuf/pairing/puf_pipeline.hpp"
 
 namespace ropuf::attack {
@@ -41,8 +42,9 @@ public:
         int relation_tests = 0;       ///< pairwise hypothesis tests performed
     };
 
-    /// Runs the full key recovery. `pristine` is the helper data as read from
-    /// NVM; `code` is the (public) ECC parameterization of the device.
+    /// One-shot convenience over SeqPairingSession + run_to_completion.
+    /// `pristine` is the helper data as read from NVM; `code` is the
+    /// (public) ECC parameterization of the device.
     static Result run(Victim& victim, const pairing::SeqPairingHelper& pristine,
                       const ecc::BchCode& code, const Config& config);
     static Result run(Victim& victim, const pairing::SeqPairingHelper& pristine,
@@ -63,6 +65,32 @@ public:
     static pairing::SeqPairingHelper make_candidate_helper(
         const pairing::SeqPairingHelper& pristine, const ecc::BchCode& code,
         const bits::BitVec& candidate_key);
+};
+
+/// The Section VI-A attack as a propose/observe session: Section VII-C
+/// sorted-leak shortcut, pairwise relation phase, two-candidate ECC
+/// comparison — one probe per step, adaptive exactly like the paper's
+/// sequential procedure.
+class SeqPairingSession final : public CoroSession {
+public:
+    SeqPairingSession(pairing::SeqPairingHelper pristine, ecc::BchCode code,
+                      SeqPairingAttack::Config config = {});
+
+    /// Valid once done().
+    const SeqPairingAttack::Result& result() const { return out_; }
+
+    bits::BitVec partial_key() const override;
+    bool resolved() const override { return out_.resolved; }
+    std::string notes() const override;
+
+private:
+    SessionBody body();
+
+    pairing::SeqPairingHelper pristine_;
+    ecc::BchCode code_;
+    SeqPairingAttack::Config config_;
+    bits::BitVec relation_; ///< phase-1 knowledge: relation[j] = r_0 ^ r_j
+    SeqPairingAttack::Result out_;
 };
 
 } // namespace ropuf::attack

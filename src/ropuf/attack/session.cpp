@@ -1,0 +1,43 @@
+#include "ropuf/attack/session.hpp"
+
+namespace ropuf::attack {
+
+DriveResult run_to_completion(Session& session, core::AnyOracle& oracle,
+                              const bits::BitVec* truth,
+                              std::vector<core::ProgressPoint>* trace) {
+    DriveResult out;
+    double last_accuracy = -1.0;
+    while (true) {
+        const auto batch = session.step();
+        if (batch.empty()) {
+            out.finished = true;
+            break;
+        }
+        std::vector<bool> verdicts;
+        try {
+            verdicts = oracle.evaluate(batch);
+        } catch (const core::BudgetExhausted&) {
+            out.budget_exhausted = true;
+            break;
+        }
+        session.absorb(verdicts);
+        ++out.batches;
+        if (truth != nullptr && trace != nullptr) {
+            const double accuracy = core::bit_accuracy(session.partial_key(), *truth);
+            if (accuracy != last_accuracy) {
+                trace->push_back({oracle.stats().queries, accuracy});
+                last_accuracy = accuracy;
+            }
+        }
+    }
+    if (truth != nullptr && trace != nullptr) {
+        const double accuracy = core::bit_accuracy(session.partial_key(), *truth);
+        if (trace->empty() || trace->back().accuracy != accuracy ||
+            trace->back().queries != oracle.stats().queries) {
+            trace->push_back({oracle.stats().queries, accuracy});
+        }
+    }
+    return out;
+}
+
+} // namespace ropuf::attack

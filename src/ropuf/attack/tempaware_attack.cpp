@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <utility>
 
 #include "ropuf/attack/calibration.hpp"
 #include "ropuf/attack/distinguisher.hpp"
@@ -102,60 +104,90 @@ std::vector<std::pair<int, int>> TempAwareAttack::analyze_deterministic_scan(
     return unequal;
 }
 
-TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelper& pristine,
-                                             const ecc::BchCode& code, const Config& config) {
-    Result out;
-    const double ambient = victim.ambient_c();
-    const std::int64_t base_queries = victim.queries();
-    const int n = static_cast<int>(pristine.records.size());
+TempAwareSession::TempAwareSession(TempAwareHelper pristine, ecc::BchCode code,
+                                   double ambient_c, TempAwareAttack::Config config)
+    : pristine_(std::move(pristine)),
+      code_(std::move(code)),
+      ambient_c_(ambient_c),
+      config_(config) {
+    start(body());
+}
+
+bits::BitVec TempAwareSession::partial_key() const {
+    if (!out_.recovered_key.empty()) return out_.recovered_key;
+    // Phase-1 knowledge: measured anchor relations at the cooperating
+    // positions (correct up to the single global bit r_ci).
+    bits::BitVec partial(static_cast<std::size_t>(TempAwarePuf::key_bits(pristine_)), 0);
+    for (int p : out_.coop_pairs) {
+        const int pos = TempAwarePuf::key_position(pristine_, p);
+        if (pos >= 0 && static_cast<std::size_t>(p) < v_.size() &&
+            v_[static_cast<std::size_t>(p)]) {
+            partial[static_cast<std::size_t>(pos)] = *v_[static_cast<std::size_t>(p)];
+        }
+    }
+    return partial;
+}
+
+std::string TempAwareSession::notes() const {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%zu coop / %zu good pairs, %zu untestable resolved",
+                  out_.coop_pairs.size(), out_.good_pairs.size(), out_.skipped_pairs.size());
+    return buf;
+}
+
+Sub<std::uint8_t> TempAwareSession::relation_test(int requester, int target, bool mask) {
+    using Puf = tempaware::TempAwarePuf;
+    const auto helper = TempAwareAttack::make_substitution_helper(
+        pristine_, code_, requester, target, mask, ambient_c_, code_.t());
+    // One-sided rule: any pass proves H0; only a run of failures means H1.
+    const bool failed = co_await any_pass(make_probe<Puf>(helper), 2 * config_.majority_wins);
+    ++out_.relation_tests;
+    co_return failed ? std::uint8_t{1} : std::uint8_t{0};
+}
+
+SessionBody TempAwareSession::body() {
+    using Puf = tempaware::TempAwarePuf;
+    const double ambient = ambient_c_;
+    const int n = static_cast<int>(pristine_.records.size());
+    auto& out = out_;
 
     for (int p = 0; p < n; ++p) {
-        const auto& rec = pristine.records[static_cast<std::size_t>(p)];
+        const auto& rec = pristine_.records[static_cast<std::size_t>(p)];
         if (rec.cls == PairClass::Good) out.good_pairs.push_back(p);
         if (rec.cls == PairClass::Cooperating) out.coop_pairs.push_back(p);
     }
-    if (out.coop_pairs.size() < 2) return out;
+    if (out.coop_pairs.size() < 2) co_return;
 
     // Pairs that are physically unstable at the ambient temperature cannot
     // serve as assistants ("assuming reliability for the given temperature").
     auto stable_at_ambient = [&](int p) {
-        return !interval_contains(pristine.records[static_cast<std::size_t>(p)], ambient);
+        return !interval_contains(pristine_.records[static_cast<std::size_t>(p)], ambient);
     };
     // Pairs referenced by honest cooperation at ambient must keep their records.
-    const auto refs = referenced_at_ambient(pristine, ambient);
+    const auto refs = referenced_at_ambient(pristine_, ambient);
     auto safe_requester = [&](int p) {
         return std::find(refs.begin(), refs.end(), p) == refs.end() &&
-               pristine.records[static_cast<std::size_t>(p)].helper_pair >= 0;
+               pristine_.records[static_cast<std::size_t>(p)].helper_pair >= 0;
     };
 
     // --- Anchor selection. The anchor's honest assistant ci stays in use for
     // the phase-3 mask substitutions, so it must itself be stable at ambient.
     int c1 = -1;
     for (int p : out.coop_pairs) {
-        const int h = pristine.records[static_cast<std::size_t>(p)].helper_pair;
+        const int h = pristine_.records[static_cast<std::size_t>(p)].helper_pair;
         if (safe_requester(p) && h >= 0 && stable_at_ambient(h)) {
             c1 = p;
             break;
         }
     }
-    if (c1 < 0) return out;
-    const int ci = pristine.records[static_cast<std::size_t>(c1)].helper_pair;
-    const int inject = code.t();
+    if (c1 < 0) co_return;
+    const int ci = pristine_.records[static_cast<std::size_t>(c1)].helper_pair;
 
     // v[p] = r_p XOR r_ci for cooperating pairs (phase 1) — anchor relation.
-    std::vector<std::optional<std::uint8_t>> v(static_cast<std::size_t>(n));
+    v_.assign(static_cast<std::size_t>(n), std::nullopt);
+    auto& v = v_;
     v[static_cast<std::size_t>(ci)] = 0;
     out.measured_pairs.push_back(ci);
-
-    auto relation_test = [&](int requester, int target, bool mask) {
-        const auto helper =
-            make_substitution_helper(pristine, code, requester, target, mask, ambient, inject);
-        // One-sided rule: any pass proves H0; only a run of failures means H1.
-        const auto probe = any_pass_probe([&] { return victim.regen_fails(helper); },
-                                          2 * config.majority_wins);
-        ++out.relation_tests;
-        return probe.failed ? std::uint8_t{1} : std::uint8_t{0};
-    };
 
     // --- Phase 1: every cooperating pair vs rci through requester c1.
     for (int cj : out.coop_pairs) {
@@ -164,20 +196,20 @@ TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelp
             out.skipped_pairs.push_back(cj);
             continue;
         }
-        v[static_cast<std::size_t>(cj)] = relation_test(c1, cj, /*mask=*/false);
+        v[static_cast<std::size_t>(cj)] = co_await relation_test(c1, cj, /*mask=*/false);
         out.measured_pairs.push_back(cj);
     }
 
     // --- Phase 2 (extension): good pairs via mask substitution.
     // Reconstructed bit for c1 is r_h XOR r_mask'; with the honest assistant
     // kept, substituting mask g' flips the bit iff r_g' != r_g1.
-    const int g1 = pristine.records[static_cast<std::size_t>(c1)].mask_pair;
+    const int g1 = pristine_.records[static_cast<std::size_t>(c1)].mask_pair;
     std::vector<std::optional<std::uint8_t>> w(static_cast<std::size_t>(n)); // r_g XOR r_g1
     if (g1 >= 0) w[static_cast<std::size_t>(g1)] = 0;
-    if (config.recover_good_pairs && g1 >= 0) {
+    if (config_.recover_good_pairs && g1 >= 0) {
         for (int gj : out.good_pairs) {
             if (gj == g1) continue;
-            w[static_cast<std::size_t>(gj)] = relation_test(c1, gj, /*mask=*/true);
+            w[static_cast<std::size_t>(gj)] = co_await relation_test(c1, gj, /*mask=*/true);
         }
     }
 
@@ -189,7 +221,7 @@ TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelp
     // temperature (v[c] = v[h_c] ^ w[g_c] ^ delta) with zero extra queries.
     std::optional<std::uint8_t> delta;
     for (int c : out.coop_pairs) {
-        const auto& rec = pristine.records[static_cast<std::size_t>(c)];
+        const auto& rec = pristine_.records[static_cast<std::size_t>(c)];
         if (rec.helper_pair < 0 || rec.mask_pair < 0) continue;
         if (!v[static_cast<std::size_t>(c)] ||
             !v[static_cast<std::size_t>(rec.helper_pair)] ||
@@ -206,16 +238,16 @@ TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelp
         // good-pair extension is disabled). Return the paper's core result:
         // a partial key whose cooperating positions carry the measured
         // relations (correct up to the single global bit r_ci).
-        bits::BitVec partial(static_cast<std::size_t>(TempAwarePuf::key_bits(pristine)), 0);
+        bits::BitVec partial(static_cast<std::size_t>(TempAwarePuf::key_bits(pristine_)), 0);
         for (int p : out.coop_pairs) {
-            const int pos = TempAwarePuf::key_position(pristine, p);
+            const int pos = TempAwarePuf::key_position(pristine_, p);
             if (pos >= 0 && v[static_cast<std::size_t>(p)]) {
                 partial[static_cast<std::size_t>(pos)] = *v[static_cast<std::size_t>(p)];
             }
         }
         out.recovered_key = partial;
-        out.queries = victim.queries() - base_queries;
-        return out;
+        out.queries = probes_answered();
+        co_return;
     }
     // Fixpoint propagation over the remaining constraints.
     bool progressed = true;
@@ -223,7 +255,7 @@ TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelp
         progressed = false;
         for (int c : out.coop_pairs) {
             if (v[static_cast<std::size_t>(c)]) continue;
-            const auto& rec = pristine.records[static_cast<std::size_t>(c)];
+            const auto& rec = pristine_.records[static_cast<std::size_t>(c)];
             if (rec.helper_pair < 0 || rec.mask_pair < 0) continue;
             if (!v[static_cast<std::size_t>(rec.helper_pair)] ||
                 !w[static_cast<std::size_t>(rec.mask_pair)]) {
@@ -236,13 +268,13 @@ TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelp
         }
     }
 
-    const int key_len = TempAwarePuf::key_bits(pristine);
+    const int key_len = TempAwarePuf::key_bits(pristine_);
     bool complete = true;
     bits::BitVec candidate0(static_cast<std::size_t>(key_len), 0);
     for (int p = 0; p < n; ++p) {
-        const auto& rec = pristine.records[static_cast<std::size_t>(p)];
+        const auto& rec = pristine_.records[static_cast<std::size_t>(p)];
         if (rec.cls == PairClass::Bad) continue;
-        const int pos = TempAwarePuf::key_position(pristine, p);
+        const int pos = TempAwarePuf::key_position(pristine_, p);
         std::optional<std::uint8_t> bit;
         if (rec.cls == PairClass::Cooperating) {
             if (v[static_cast<std::size_t>(p)]) bit = *v[static_cast<std::size_t>(p)]; // ^ gamma later
@@ -259,32 +291,39 @@ TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelp
     }
     if (!complete) {
         out.recovered_key = candidate0; // partial (unresolvable pairs remain)
-        out.queries = victim.queries() - base_queries;
-        return out;
+        out.queries = probes_answered();
+        co_return;
     }
 
     // candidate1: all cooperating bits complemented (rci = 1 instead of 0).
     bits::BitVec candidate1 = candidate0;
     for (int p : out.coop_pairs) {
-        const int pos = TempAwarePuf::key_position(pristine, p);
+        const int pos = TempAwarePuf::key_position(pristine_, p);
         if (pos >= 0) candidate1[static_cast<std::size_t>(pos)] ^= 1u;
     }
 
     // --- Phase 4: ECC-helper comparison of the two candidates.
-    const ecc::BlockEcc block_ecc(code);
+    const ecc::BlockEcc block_ecc(code_);
     for (const auto* cand : {&candidate0, &candidate1}) {
-        TempAwareHelper helper = pristine;
+        TempAwareHelper helper = pristine_;
         helper.ecc = block_ecc.enroll(*cand);
-        const auto probe = any_pass_probe([&] { return victim.regen_fails(helper); },
-                                          2 * config.majority_wins);
-        if (!probe.failed) {
+        const bool failed =
+            co_await any_pass(make_probe<Puf>(helper), 2 * config_.majority_wins);
+        if (!failed) {
             out.recovered_key = *cand;
             out.resolved = true;
             break;
         }
     }
-    out.queries = victim.queries() - base_queries;
-    return out;
+    out.queries = probes_answered();
+}
+
+TempAwareAttack::Result TempAwareAttack::run(Victim& victim, const TempAwareHelper& pristine,
+                                             const ecc::BchCode& code, const Config& config) {
+    TempAwareSession session(pristine, code, victim.ambient_c(), config);
+    auto oracle = make_oracle(victim);
+    run_to_completion(session, oracle);
+    return session.result();
 }
 
 } // namespace ropuf::attack

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "ropuf/attack/oracle.hpp"
+#include "ropuf/attack/session.hpp"
 #include "ropuf/tempaware/tempaware_puf.hpp"
 
 namespace ropuf::attack {
@@ -61,6 +62,8 @@ public:
         int relation_tests = 0;
     };
 
+    /// One-shot convenience over TempAwareSession + run_to_completion. The
+    /// ambient temperature is read off the victim's operating point.
     static Result run(Victim& victim, const tempaware::TempAwareHelper& pristine,
                       const ecc::BchCode& code, const Config& config);
     static Result run(Victim& victim, const tempaware::TempAwareHelper& pristine,
@@ -90,6 +93,35 @@ public:
     /// Throws std::invalid_argument when fewer than `count` such pairs exist.
     static tempaware::TempAwareHelper make_boundary_injection_helper(
         const tempaware::TempAwareHelper& pristine, double ambient_c, int count);
+};
+
+/// The Section VI-B attack as a propose/observe session: assistance/mask
+/// substitution relation tests, algebraic resolution, final two-candidate
+/// ECC comparison. `ambient_c` must match the victim's operating point.
+class TempAwareSession final : public CoroSession {
+public:
+    TempAwareSession(tempaware::TempAwareHelper pristine, ecc::BchCode code, double ambient_c,
+                     TempAwareAttack::Config config = {});
+
+    /// Valid once done().
+    const TempAwareAttack::Result& result() const { return out_; }
+
+    bits::BitVec partial_key() const override;
+    bool resolved() const override { return out_.resolved; }
+    std::string notes() const override;
+
+private:
+    SessionBody body();
+    /// One assistance/mask substitution test through requester `requester`.
+    Sub<std::uint8_t> relation_test(int requester, int target, bool mask);
+
+    tempaware::TempAwareHelper pristine_;
+    ecc::BchCode code_;
+    double ambient_c_;
+    TempAwareAttack::Config config_;
+    /// v[p] = r_p XOR r_ci for cooperating pairs (phase-1 knowledge).
+    std::vector<std::optional<std::uint8_t>> v_;
+    TempAwareAttack::Result out_;
 };
 
 } // namespace ropuf::attack

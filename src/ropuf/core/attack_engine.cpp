@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 
 namespace ropuf::core {
 
@@ -57,9 +58,77 @@ AttackReport run_scenario(const Scenario& scenario, const ScenarioParams& params
 AttackReport AttackEngine::run(std::string_view name, const ScenarioParams& params) const {
     const Scenario* scenario = registry_->find(name);
     if (scenario == nullptr) {
-        throw std::out_of_range("unknown attack scenario: " + std::string(name));
+        throw std::out_of_range(
+            unknown_name_message("attack scenario", name, registry_->names()));
     }
     return run_scenario(*scenario, params);
+}
+
+std::string_view to_string(AttackOutcome outcome) {
+    switch (outcome) {
+        case AttackOutcome::recovered: return "recovered";
+        case AttackOutcome::gave_up: return "gave_up";
+        case AttackOutcome::budget_exhausted: return "budget_exhausted";
+        case AttackOutcome::refused_by_defense: return "refused_by_defense";
+    }
+    return "gave_up";
+}
+
+AttackOutcome outcome_from_string(std::string_view name) {
+    for (AttackOutcome o : {AttackOutcome::recovered, AttackOutcome::gave_up,
+                            AttackOutcome::budget_exhausted,
+                            AttackOutcome::refused_by_defense}) {
+        if (to_string(o) == name) return o;
+    }
+    throw std::invalid_argument("unknown attack outcome: " + std::string(name));
+}
+
+namespace {
+
+/// Nearest candidate by Levenshtein distance (ties: first listed).
+std::pair<std::string, std::size_t> nearest_candidate(
+    std::string_view name, const std::vector<std::string>& candidates) {
+    std::string best;
+    std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> prev, curr;
+    for (const auto& candidate : candidates) {
+        // Classic two-row Levenshtein distance.
+        const std::size_t n = candidate.size();
+        prev.resize(n + 1);
+        curr.resize(n + 1);
+        for (std::size_t j = 0; j <= n; ++j) prev[j] = j;
+        for (std::size_t i = 1; i <= name.size(); ++i) {
+            curr[0] = i;
+            for (std::size_t j = 1; j <= n; ++j) {
+                const std::size_t subst = prev[j - 1] + (name[i - 1] != candidate[j - 1]);
+                curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+            }
+            std::swap(prev, curr);
+        }
+        if (prev[n] < best_distance) {
+            best_distance = prev[n];
+            best = candidate;
+        }
+    }
+    return {std::move(best), best_distance};
+}
+
+} // namespace
+
+std::string closest_match(std::string_view name, const std::vector<std::string>& candidates) {
+    return nearest_candidate(name, candidates).first;
+}
+
+std::string unknown_name_message(std::string_view what, std::string_view name,
+                                 const std::vector<std::string>& candidates) {
+    std::string message = "unknown " + std::string(what) + ": '" + std::string(name) + "'";
+    const auto [suggestion, distance] = nearest_candidate(name, candidates);
+    // Only a genuine near-miss earns a hint — an arbitrary "nearest" match
+    // to garbage input would make the error read as a typo when it isn't.
+    if (!suggestion.empty() && distance <= std::max<std::size_t>(2, name.size() / 3)) {
+        message += " (did you mean '" + suggestion + "'?)";
+    }
+    return message;
 }
 
 std::vector<AttackReport> AttackEngine::run_all(const ScenarioParams& params) const {
@@ -116,31 +185,47 @@ std::string to_json(const AttackReport& r) {
     append_json_escaped(out, r.paper_ref);
     std::snprintf(buf, sizeof buf,
                   "\",\"key_bits\":%d,\"queries\":%lld,\"measurements\":%lld,"
-                  "\"accuracy\":%.6f,\"key_recovered\":%s,\"complete\":%s,\"wall_ms\":%.3f",
+                  "\"refused\":%lld,\"accuracy\":%.6f,\"key_recovered\":%s,\"complete\":%s,"
+                  "\"outcome\":\"%s\",\"wall_ms\":%.3f",
                   r.key_bits, static_cast<long long>(r.queries),
-                  static_cast<long long>(r.measurements), r.accuracy,
-                  r.key_recovered ? "true" : "false", r.complete ? "true" : "false", r.wall_ms);
+                  static_cast<long long>(r.measurements), static_cast<long long>(r.refused),
+                  r.accuracy, r.key_recovered ? "true" : "false",
+                  r.complete ? "true" : "false",
+                  std::string(to_string(r.outcome)).c_str(), r.wall_ms);
     out += buf;
     out += ",\"notes\":\"";
     append_json_escaped(out, r.notes);
-    out += "\"}";
+    out += "\"";
+    if (!r.trace.empty()) {
+        out += ",\"trace\":[";
+        for (std::size_t i = 0; i < r.trace.size(); ++i) {
+            if (i > 0) out += ',';
+            std::snprintf(buf, sizeof buf, "[%lld,%.6f]",
+                          static_cast<long long>(r.trace[i].queries), r.trace[i].accuracy);
+            out += buf;
+        }
+        out += "]";
+    }
+    out += "}";
     return out;
 }
 
 std::string report_table_header() {
-    char buf[160];
-    std::snprintf(buf, sizeof buf, "%-24s %-12s %8s %9s %9s %9s %9s %9s", "scenario", "ref",
-                  "key bits", "queries", "meas(k)", "accuracy", "full key", "wall ms");
+    char buf[200];
+    std::snprintf(buf, sizeof buf, "%-32s %-12s %8s %9s %9s %9s %9s %-18s %9s", "scenario",
+                  "ref", "key bits", "queries", "meas(k)", "accuracy", "full key", "outcome",
+                  "wall ms");
     return buf;
 }
 
 std::string report_table_row(const AttackReport& r) {
-    char buf[200];
-    std::snprintf(buf, sizeof buf, "%-24s %-12s %8d %9lld %9.1f %9.3f %9s %9.1f",
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%-32s %-12s %8d %9lld %9.1f %9.3f %9s %-18s %9.1f",
                   r.scenario.c_str(), r.paper_ref.c_str(), r.key_bits,
                   static_cast<long long>(r.queries),
                   static_cast<double>(r.measurements) / 1000.0, r.accuracy,
-                  r.key_recovered ? "YES" : "no", r.wall_ms);
+                  r.key_recovered ? "YES" : "no", std::string(to_string(r.outcome)).c_str(),
+                  r.wall_ms);
     return buf;
 }
 

@@ -37,6 +37,28 @@ struct ScenarioParams {
     int majority_wins = 0;         ///< 0 = attack default decision redundancy
     int ecc_m = 0;                 ///< 0 = construction default BCH field degree (n = 2^m - 1)
     int ecc_t = 0;                 ///< 0 = construction default corrected errors per block
+    std::int64_t query_budget = 0; ///< hard oracle query budget; 0 = unlimited
+    bool defended = false;         ///< interpose the SanityCheckingOracle countermeasure
+    bool trace = false;            ///< record a queries-vs-accuracy progress trace
+};
+
+/// How a scenario run ended.
+enum class AttackOutcome {
+    recovered,          ///< exact full-key recovery
+    gave_up,            ///< attack completed without the full key (incl. negative results)
+    budget_exhausted,   ///< the query budget cut the attack short
+    refused_by_defense, ///< a defended oracle refused probes and the key survived
+};
+
+std::string_view to_string(AttackOutcome outcome);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+AttackOutcome outcome_from_string(std::string_view name);
+
+/// One point of a progress trace: cumulative oracle queries vs recovered-bit
+/// accuracy of the attack's partial key at that moment.
+struct ProgressPoint {
+    std::int64_t queries = 0;
+    double accuracy = 0.0;
 };
 
 /// Uniform outcome of one scenario run.
@@ -48,11 +70,14 @@ struct AttackReport {
     int key_bits = 0;          ///< enrolled key length
     std::int64_t queries = 0;  ///< oracle queries spent
     std::int64_t measurements = 0; ///< oscillator measurements (queries x cost)
+    std::int64_t refused = 0;  ///< probes a defense refused (subset of queries)
     double accuracy = 0.0;     ///< recovered-bit accuracy against the true key
     bool key_recovered = false;///< exact full-key recovery
     bool complete = false;     ///< the attack's own completion flag
+    AttackOutcome outcome = AttackOutcome::gave_up; ///< how the run ended
     double wall_ms = 0.0;      ///< wall-clock time of the run (filled by the engine)
     std::string notes;         ///< scenario-specific remarks
+    std::vector<ProgressPoint> trace; ///< optional progress trace (empty = untraced)
 };
 
 /// One registered experiment.
@@ -95,7 +120,8 @@ class AttackEngine {
 public:
     explicit AttackEngine(const ScenarioRegistry& registry) : registry_(&registry) {}
 
-    /// Runs one scenario by name; throws std::out_of_range for unknown names.
+    /// Runs one scenario by name; throws std::out_of_range for unknown names,
+    /// naming the request and the closest registered scenario.
     AttackReport run(std::string_view name, const ScenarioParams& params = {}) const;
 
     /// Runs every registered scenario in registration order.
@@ -113,6 +139,16 @@ AttackReport run_scenario(const Scenario& scenario, const ScenarioParams& params
 /// Fraction of `truth` bits the recovered key reproduces (position-wise;
 /// missing positions count as wrong). Empty truth yields 0.
 double bit_accuracy(const bits::BitVec& recovered, const bits::BitVec& truth);
+
+/// The candidate with the smallest edit distance to `name` (ties: first), or
+/// empty when `candidates` is empty. Shared by every "unknown name" error
+/// path (engine, CLI, sweep-spec keys) to turn typos into suggestions.
+std::string closest_match(std::string_view name, const std::vector<std::string>& candidates);
+
+/// Formats "unknown <what>: '<name>'" plus a "did you mean" suffix when a
+/// plausible candidate exists.
+std::string unknown_name_message(std::string_view what, std::string_view name,
+                                 const std::vector<std::string>& candidates);
 
 /// Appends `s` to `out` with JSON string escaping (quotes, backslashes and
 /// control characters). Shared by every BENCH_*.json emitter.

@@ -32,7 +32,8 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
                                     const CampaignConfig& config) const {
     const Scenario* scenario = registry_->find(scenario_name);
     if (scenario == nullptr) {
-        throw std::out_of_range("unknown attack scenario: " + std::string(scenario_name));
+        throw std::out_of_range(
+            unknown_name_message("attack scenario", scenario_name, registry_->names()));
     }
     const int trials = std::max(config.trials, 0);
     int workers = config.workers;
@@ -91,6 +92,14 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
     measurements.reserve(reports.size());
     for (const auto& report : reports) {
         if (report.key_recovered) ++summary.key_recovered_count;
+        switch (report.outcome) {
+            case AttackOutcome::recovered: ++summary.outcomes.recovered; break;
+            case AttackOutcome::gave_up: ++summary.outcomes.gave_up; break;
+            case AttackOutcome::budget_exhausted: ++summary.outcomes.budget_exhausted; break;
+            case AttackOutcome::refused_by_defense:
+                ++summary.outcomes.refused_by_defense;
+                break;
+        }
         summary.mean_accuracy += report.accuracy;
         summary.trial_wall_ms_sum += report.wall_ms;
         summary.total_measurements += report.measurements;
@@ -168,11 +177,16 @@ std::string to_json(const CampaignSummary& s, bool include_reports) {
     std::snprintf(buf, sizeof buf,
                   "\",\"trials\":%d,\"workers\":%d,\"master_seed\":%llu,"
                   "\"key_recovered_count\":%d,\"success_rate\":%.4f,"
-                  "\"mean_accuracy\":%.6f,\"total_measurements\":%lld,"
+                  "\"mean_accuracy\":%.6f,"
+                  "\"outcomes\":{\"recovered\":%d,\"gave_up\":%d,"
+                  "\"budget_exhausted\":%d,\"refused_by_defense\":%d},"
+                  "\"total_measurements\":%lld,"
                   "\"wall_ms\":%.3f,\"trial_wall_ms_sum\":%.3f,"
                   "\"measurements_per_s\":%.0f,",
                   s.trials, s.workers, static_cast<unsigned long long>(s.master_seed),
                   s.key_recovered_count, s.success_rate, s.mean_accuracy,
+                  s.outcomes.recovered, s.outcomes.gave_up, s.outcomes.budget_exhausted,
+                  s.outcomes.refused_by_defense,
                   static_cast<long long>(s.total_measurements), s.wall_ms,
                   s.trial_wall_ms_sum, s.measurements_per_s);
     out += buf;

@@ -49,6 +49,16 @@ struct MetricSummary {
     double p95 = 0.0;      ///< nearest-rank 95th percentile
 };
 
+/// Per-outcome trial counts (AttackOutcome as a histogram).
+struct OutcomeCounts {
+    int recovered = 0;
+    int gave_up = 0;
+    int budget_exhausted = 0;
+    int refused_by_defense = 0;
+
+    bool operator==(const OutcomeCounts&) const = default;
+};
+
 /// Aggregated outcome of a campaign.
 struct CampaignSummary {
     std::string scenario;
@@ -58,6 +68,7 @@ struct CampaignSummary {
     int key_recovered_count = 0;   ///< trials with exact full-key recovery
     double success_rate = 0.0;     ///< key_recovered_count / trials
     double mean_accuracy = 0.0;    ///< mean recovered-bit accuracy
+    OutcomeCounts outcomes;        ///< how the trials ended, as a histogram
     MetricSummary queries;         ///< oracle queries per trial
     MetricSummary measurements;    ///< oscillator measurements per trial
     std::int64_t total_measurements = 0;

@@ -20,11 +20,13 @@
 
 #include <concepts>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <utility>
 
 #include "ropuf/bits/bitvec.hpp"
 #include "ropuf/helperdata/blob.hpp"
+#include "ropuf/helperdata/sanity.hpp"
 #include "ropuf/rng/xoshiro.hpp"
 #include "ropuf/sim/ro_array.hpp"
 
@@ -52,9 +54,26 @@ struct EnrollResult {
 ///   static std::pair<Helper, bits::BitVec> enroll(const Puf&, rng);
 ///   static ReconstructResult reconstruct(const Puf&, const Helper&,
 ///                                        const sim::Condition&, rng);
+///   static ReconstructResult reconstruct_measured(const Puf&, const Helper&,
+///                                 const sim::Condition&, span<const double>);
+///                                     // regeneration from a supplied scan —
+///                                     // the batched-oracle path
+///   static bool helper_consistent(const Puf&, const Helper&);
+///                                     // the pre-measurement structural
+///                                     // checks (a failing helper consumes
+///                                     // no scan)
 ///   static helperdata::Nvm store(const Helper&);       // serialize
 ///   static Helper parse(const helperdata::Nvm&);       // may throw ParseError
 ///   static sim::Condition nominal_condition(const Puf&);
+///   static sim::Condition condition_at(const Puf&, double ambient_c);
+///                                     // environment-chosen temperature at
+///                                     // the device's nominal supply — the
+///                                     // attack layer never reads sim
+///                                     // parameters directly
+///   static helperdata::SanityReport sanity(const Puf&, const Helper&);
+///                                     // what a careful device would
+///                                     // validate (Section VII-C); feeds the
+///                                     // SanityCheckingOracle countermeasure
 template <typename Puf>
 struct DeviceTraits; // primary template intentionally undefined
 
@@ -62,6 +81,7 @@ struct DeviceTraits; // primary template intentionally undefined
 template <typename P>
 concept Device = requires(const P& puf, const typename DeviceTraits<P>::Helper& helper,
                           const helperdata::Nvm& nvm, const sim::Condition& condition,
+                          std::span<const double> freqs, double ambient_c,
                           rng::Xoshiro256pp& rng) {
     typename DeviceTraits<P>::Helper;
     { DeviceTraits<P>::kind } -> std::convertible_to<std::string_view>;
@@ -71,9 +91,15 @@ concept Device = requires(const P& puf, const typename DeviceTraits<P>::Helper& 
     {
         DeviceTraits<P>::reconstruct(puf, helper, condition, rng)
     } -> std::same_as<ReconstructResult>;
+    {
+        DeviceTraits<P>::reconstruct_measured(puf, helper, condition, freqs)
+    } -> std::same_as<ReconstructResult>;
+    { DeviceTraits<P>::helper_consistent(puf, helper) } -> std::same_as<bool>;
     { DeviceTraits<P>::store(helper) } -> std::same_as<helperdata::Nvm>;
     { DeviceTraits<P>::parse(nvm) } -> std::same_as<typename DeviceTraits<P>::Helper>;
     { DeviceTraits<P>::nominal_condition(puf) } -> std::same_as<sim::Condition>;
+    { DeviceTraits<P>::condition_at(puf, ambient_c) } -> std::same_as<sim::Condition>;
+    { DeviceTraits<P>::sanity(puf, helper) } -> std::same_as<helperdata::SanityReport>;
     { puf.array() } -> std::convertible_to<const sim::RoArray&>;
 };
 

@@ -65,38 +65,48 @@ GroupBasedPuf::Enrollment GroupBasedPuf::enroll(rng::Xoshiro256pp& rng) const {
     return out;
 }
 
-GroupBasedPuf::Reconstruction GroupBasedPuf::reconstruct(const GroupPufHelper& helper,
-                                                         const sim::Condition& condition,
-                                                         rng::Xoshiro256pp& rng) const {
-    if (static_cast<int>(helper.group_of.size()) != array_->count()) return {};
+bool GroupBasedPuf::helper_consistent(const GroupPufHelper& helper) const {
+    if (static_cast<int>(helper.group_of.size()) != array_->count()) return false;
     std::vector<std::vector<int>> members;
     try {
         members = members_from_assignment(helper.group_of);
     } catch (const std::invalid_argument&) {
-        return {};
+        return false;
     }
     for (const auto& m : members) {
-        if (static_cast<int>(m.size()) > config_.max_group_size) return {};
+        if (static_cast<int>(m.size()) > config_.max_group_size) return false;
     }
     const int total_kendall = kendall_bits_of(members);
-    if (helper.ecc.response_bits != total_kendall) return {};
+    if (helper.ecc.response_bits != total_kendall) return false;
     const ecc::BlockEcc block_ecc(code_);
     if (static_cast<int>(helper.ecc.parity.size()) != block_ecc.helper_bits(total_kendall)) {
-        return {};
+        return false;
     }
-
     // Distillation accepts any polynomial degree the coefficients imply — the
     // naive device infers the degree from the coefficient count.
-    int degree = -1;
-    for (int d = 0; d <= 16; ++d) {
-        if (distiller::coefficient_count(d) == static_cast<int>(helper.beta.size())) {
-            degree = d;
-            break;
-        }
-    }
-    if (degree < 0) return {};
+    return inferred_degree(helper) >= 0;
+}
 
-    const auto freqs = array_->measure_all(condition, rng);
+int GroupBasedPuf::inferred_degree(const GroupPufHelper& helper) {
+    for (int d = 0; d <= 16; ++d) {
+        if (distiller::coefficient_count(d) == static_cast<int>(helper.beta.size())) return d;
+    }
+    return -1;
+}
+
+GroupBasedPuf::Reconstruction GroupBasedPuf::reconstruct(const GroupPufHelper& helper,
+                                                         const sim::Condition& condition,
+                                                         rng::Xoshiro256pp& rng) const {
+    if (!helper_consistent(helper)) return {};
+    return reconstruct_measured(helper, condition, array_->measure_all(condition, rng));
+}
+
+GroupBasedPuf::Reconstruction GroupBasedPuf::reconstruct_measured(
+    const GroupPufHelper& helper, const sim::Condition&, std::span<const double> freqs) const {
+    if (!helper_consistent(helper)) return {};
+    const auto members = members_from_assignment(helper.group_of);
+    const int degree = inferred_degree(helper);
+    const ecc::BlockEcc block_ecc(code_);
     const distiller::PolySurface surface(degree, helper.beta);
     const auto resid = distiller::residuals(array_->geometry(), freqs, surface);
 

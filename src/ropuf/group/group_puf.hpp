@@ -13,6 +13,7 @@
 // corrected orders into the compact key.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ropuf/bits/bitvec.hpp"
@@ -23,6 +24,7 @@
 #include "ropuf/group/grouping.hpp"
 #include "ropuf/group/kendall.hpp"
 #include "ropuf/helperdata/blob.hpp"
+#include "ropuf/helperdata/sanity.hpp"
 #include "ropuf/sim/ro_array.hpp"
 
 namespace ropuf::group {
@@ -78,6 +80,16 @@ public:
     Reconstruction reconstruct(const GroupPufHelper& helper, const sim::Condition& condition,
                                rng::Xoshiro256pp& rng) const;
 
+    /// True when the helper passes every structural check regeneration
+    /// applies *before* measuring (a failing helper consumes no scan).
+    bool helper_consistent(const GroupPufHelper& helper) const;
+
+    /// Regeneration from an externally supplied full-array scan — the
+    /// batched-oracle path; bit-identical to reconstruct() for the same scan.
+    Reconstruction reconstruct_measured(const GroupPufHelper& helper,
+                                        const sim::Condition& condition,
+                                        std::span<const double> freqs) const;
+
     /// Total Kendall bits implied by a group assignment (the ECC input size).
     static int kendall_bits_of(const std::vector<std::vector<int>>& members);
 
@@ -99,6 +111,9 @@ public:
     const ecc::BchCode& code() const { return code_; }
 
 private:
+    /// The polynomial degree implied by the coefficient count (-1 = none).
+    static int inferred_degree(const GroupPufHelper& helper);
+
     const sim::RoArray* array_;
     GroupPufConfig config_;
     ecc::BchCode code_;
@@ -127,10 +142,37 @@ struct DeviceTraits<group::GroupBasedPuf> {
         const auto rec = puf.reconstruct(helper, condition, rng);
         return {rec.ok, rec.key, rec.corrected};
     }
+    static ReconstructResult reconstruct_measured(const group::GroupBasedPuf& puf,
+                                                  const Helper& helper,
+                                                  const sim::Condition& condition,
+                                                  std::span<const double> freqs) {
+        const auto rec = puf.reconstruct_measured(helper, condition, freqs);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static bool helper_consistent(const group::GroupBasedPuf& puf, const Helper& helper) {
+        return puf.helper_consistent(helper);
+    }
     static helperdata::Nvm store(const Helper& helper) { return group::serialize(helper); }
     static Helper parse(const helperdata::Nvm& nvm) { return group::parse_group_puf(nvm); }
     static sim::Condition nominal_condition(const group::GroupBasedPuf& puf) {
         return puf.config().condition;
+    }
+    static sim::Condition condition_at(const group::GroupBasedPuf& puf, double ambient_c) {
+        sim::Condition c = nominal_condition(puf);
+        c.temperature_c = ambient_c;
+        return c;
+    }
+    /// Strict partition checks plus coefficient plausibility: the Section
+    /// VI-C steep-plane injection needs |beta| orders of magnitude above any
+    /// honest fit.
+    static helperdata::SanityReport sanity(const group::GroupBasedPuf& puf,
+                                           const Helper& helper) {
+        auto report =
+            helperdata::check_group_assignment(helper.group_of, puf.array().count());
+        const auto coeffs = helperdata::check_coefficients(
+            helper.beta, 2.5 * puf.array().params().f_nominal_mhz);
+        for (const auto& v : coeffs.violations) report.fail(v);
+        return report;
     }
 };
 

@@ -30,7 +30,7 @@ std::vector<IndexPair> neighbor_chain(const sim::ArrayGeometry& g, ChainOrder or
 }
 
 bits::BitVec evaluate_pairs(const std::vector<IndexPair>& pairs,
-                            const std::vector<double>& values) {
+                            std::span<const double> values) {
     bits::BitVec out(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {
         const auto [a, b] = pairs[i];

@@ -12,6 +12,7 @@
 //    are always physically adjacent on the die.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ropuf/helperdata/formats.hpp"
@@ -40,7 +41,7 @@ std::vector<IndexPair> neighbor_chain(const sim::ArrayGeometry& g, ChainOrder or
 /// Evaluates response bits for a pair list on a measured frequency (or
 /// distilled residual) map: r_i = [value[first] > value[second]].
 bits::BitVec evaluate_pairs(const std::vector<IndexPair>& pairs,
-                            const std::vector<double>& values);
+                            std::span<const double> values);
 
 /// Nominal discrepancies value[first] - value[second], one per pair.
 std::vector<double> pair_discrepancies(const std::vector<IndexPair>& pairs,

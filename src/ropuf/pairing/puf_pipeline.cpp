@@ -59,17 +59,26 @@ SeqPairingPuf::Enrollment SeqPairingPuf::enroll(rng::Xoshiro256pp& rng) const {
     return out;
 }
 
+bool SeqPairingPuf::helper_consistent(const SeqPairingHelper& helper) const {
+    if (!pairs_in_range(helper.pairs, array_->count())) return false;
+    if (helper.ecc.response_bits != static_cast<int>(helper.pairs.size())) return false;
+    const ecc::BlockEcc block_ecc(code_);
+    return static_cast<int>(helper.ecc.parity.size()) ==
+           block_ecc.helper_bits(helper.ecc.response_bits);
+}
+
 KeyReconstruction SeqPairingPuf::reconstruct(const SeqPairingHelper& helper,
                                              const sim::Condition& condition,
                                              rng::Xoshiro256pp& rng) const {
-    if (!pairs_in_range(helper.pairs, array_->count())) return {};
-    if (helper.ecc.response_bits != static_cast<int>(helper.pairs.size())) return {};
+    if (!helper_consistent(helper)) return {};
+    return reconstruct_measured(helper, condition, array_->measure_all(condition, rng));
+}
+
+KeyReconstruction SeqPairingPuf::reconstruct_measured(const SeqPairingHelper& helper,
+                                                      const sim::Condition&,
+                                                      std::span<const double> freqs) const {
+    if (!helper_consistent(helper)) return {};
     const ecc::BlockEcc block_ecc(code_);
-    if (static_cast<int>(helper.ecc.parity.size()) !=
-        block_ecc.helper_bits(helper.ecc.response_bits)) {
-        return {};
-    }
-    const auto freqs = array_->measure_all(condition, rng);
     const auto noisy = evaluate_pairs(helper.pairs, freqs);
     const auto rec = block_ecc.reconstruct(noisy, helper.ecc);
     return {rec.ok, rec.value, rec.corrected};
@@ -126,24 +135,34 @@ MaskedChainPuf::Enrollment MaskedChainPuf::enroll(rng::Xoshiro256pp& rng) const 
     return out;
 }
 
-KeyReconstruction MaskedChainPuf::reconstruct(const MaskedChainHelper& helper,
-                                             const sim::Condition& condition,
-                                             rng::Xoshiro256pp& rng) const {
+bool MaskedChainPuf::helper_consistent(const MaskedChainHelper& helper) const {
     const int expected_coeffs = distiller::coefficient_count(config_.distiller_degree);
-    if (static_cast<int>(helper.beta.size()) != expected_coeffs) return {};
+    if (static_cast<int>(helper.beta.size()) != expected_coeffs) return false;
     std::vector<helperdata::IndexPair> selected;
     try {
         selected = select_pairs(base_pairs_, helper.masking);
     } catch (const helperdata::ParseError&) {
-        return {};
+        return false;
     }
-    if (helper.ecc.response_bits != static_cast<int>(selected.size())) return {};
+    if (helper.ecc.response_bits != static_cast<int>(selected.size())) return false;
     const ecc::BlockEcc block_ecc(code_);
-    if (static_cast<int>(helper.ecc.parity.size()) !=
-        block_ecc.helper_bits(helper.ecc.response_bits)) {
-        return {};
-    }
-    const auto freqs = array_->measure_all(condition, rng);
+    return static_cast<int>(helper.ecc.parity.size()) ==
+           block_ecc.helper_bits(helper.ecc.response_bits);
+}
+
+KeyReconstruction MaskedChainPuf::reconstruct(const MaskedChainHelper& helper,
+                                             const sim::Condition& condition,
+                                             rng::Xoshiro256pp& rng) const {
+    if (!helper_consistent(helper)) return {};
+    return reconstruct_measured(helper, condition, array_->measure_all(condition, rng));
+}
+
+KeyReconstruction MaskedChainPuf::reconstruct_measured(const MaskedChainHelper& helper,
+                                                       const sim::Condition&,
+                                                       std::span<const double> freqs) const {
+    if (!helper_consistent(helper)) return {};
+    const auto selected = select_pairs(base_pairs_, helper.masking);
+    const ecc::BlockEcc block_ecc(code_);
     const distiller::PolySurface surface(config_.distiller_degree, helper.beta);
     const auto resid = distiller::residuals(array_->geometry(), freqs, surface);
     const auto noisy = evaluate_pairs(selected, resid);
@@ -199,18 +218,27 @@ OverlapChainPuf::Enrollment OverlapChainPuf::enroll(rng::Xoshiro256pp& rng) cons
     return out;
 }
 
+bool OverlapChainPuf::helper_consistent(const OverlapChainHelper& helper) const {
+    const int expected_coeffs = distiller::coefficient_count(config_.distiller_degree);
+    if (static_cast<int>(helper.beta.size()) != expected_coeffs) return false;
+    if (helper.ecc.response_bits != static_cast<int>(pairs_.size())) return false;
+    const ecc::BlockEcc block_ecc(code_);
+    return static_cast<int>(helper.ecc.parity.size()) ==
+           block_ecc.helper_bits(helper.ecc.response_bits);
+}
+
 KeyReconstruction OverlapChainPuf::reconstruct(const OverlapChainHelper& helper,
                                              const sim::Condition& condition,
                                              rng::Xoshiro256pp& rng) const {
-    const int expected_coeffs = distiller::coefficient_count(config_.distiller_degree);
-    if (static_cast<int>(helper.beta.size()) != expected_coeffs) return {};
-    if (helper.ecc.response_bits != static_cast<int>(pairs_.size())) return {};
+    if (!helper_consistent(helper)) return {};
+    return reconstruct_measured(helper, condition, array_->measure_all(condition, rng));
+}
+
+KeyReconstruction OverlapChainPuf::reconstruct_measured(const OverlapChainHelper& helper,
+                                                        const sim::Condition&,
+                                                        std::span<const double> freqs) const {
+    if (!helper_consistent(helper)) return {};
     const ecc::BlockEcc block_ecc(code_);
-    if (static_cast<int>(helper.ecc.parity.size()) !=
-        block_ecc.helper_bits(helper.ecc.response_bits)) {
-        return {};
-    }
-    const auto freqs = array_->measure_all(condition, rng);
     const distiller::PolySurface surface(config_.distiller_degree, helper.beta);
     const auto resid = distiller::residuals(array_->geometry(), freqs, surface);
     const auto noisy = evaluate_pairs(pairs_, resid);

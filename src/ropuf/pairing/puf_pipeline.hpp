@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "ropuf/ecc/block_ecc.hpp"
 #include "ropuf/helperdata/blob.hpp"
 #include "ropuf/helperdata/formats.hpp"
+#include "ropuf/helperdata/sanity.hpp"
 #include "ropuf/pairing/masking.hpp"
 #include "ropuf/pairing/neighbor_chain.hpp"
 #include "ropuf/pairing/sequential.hpp"
@@ -89,6 +91,16 @@ public:
     KeyReconstruction reconstruct(const SeqPairingHelper& helper, const sim::Condition& condition,
                                   rng::Xoshiro256pp& rng) const;
 
+    /// True when the helper passes every structural check regeneration
+    /// applies *before* measuring (a failing helper consumes no scan).
+    bool helper_consistent(const SeqPairingHelper& helper) const;
+
+    /// Regeneration from an externally supplied full-array scan — the
+    /// batched-oracle path; bit-identical to reconstruct() for the same scan.
+    KeyReconstruction reconstruct_measured(const SeqPairingHelper& helper,
+                                           const sim::Condition& condition,
+                                           std::span<const double> freqs) const;
+
     const sim::RoArray& array() const { return *array_; }
     const SeqPairingConfig& config() const { return config_; }
     const ecc::BchCode& code() const { return code_; }
@@ -138,6 +150,10 @@ public:
     }
     KeyReconstruction reconstruct(const MaskedChainHelper& helper, const sim::Condition& condition,
                                   rng::Xoshiro256pp& rng) const;
+    bool helper_consistent(const MaskedChainHelper& helper) const;
+    KeyReconstruction reconstruct_measured(const MaskedChainHelper& helper,
+                                           const sim::Condition& condition,
+                                           std::span<const double> freqs) const;
 
     /// The fixed base pair set the masking selects from (disjoint chain).
     const std::vector<helperdata::IndexPair>& base_pairs() const { return base_pairs_; }
@@ -189,6 +205,10 @@ public:
     }
     KeyReconstruction reconstruct(const OverlapChainHelper& helper, const sim::Condition& condition,
                                   rng::Xoshiro256pp& rng) const;
+    bool helper_consistent(const OverlapChainHelper& helper) const;
+    KeyReconstruction reconstruct_measured(const OverlapChainHelper& helper,
+                                           const sim::Condition& condition,
+                                           std::span<const double> freqs) const;
 
     /// The N-1 overlapping pairs; every one contributes a key bit.
     const std::vector<helperdata::IndexPair>& pairs() const { return pairs_; }
@@ -226,10 +246,32 @@ struct DeviceTraits<pairing::SeqPairingPuf> {
         const auto rec = puf.reconstruct(helper, condition, rng);
         return {rec.ok, rec.key, rec.corrected};
     }
+    static ReconstructResult reconstruct_measured(const pairing::SeqPairingPuf& puf,
+                                                  const Helper& helper,
+                                                  const sim::Condition& condition,
+                                                  std::span<const double> freqs) {
+        const auto rec = puf.reconstruct_measured(helper, condition, freqs);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static bool helper_consistent(const pairing::SeqPairingPuf& puf, const Helper& helper) {
+        return puf.helper_consistent(helper);
+    }
     static helperdata::Nvm store(const Helper& helper) { return pairing::serialize(helper); }
     static Helper parse(const helperdata::Nvm& nvm) { return pairing::parse_seq_pairing(nvm); }
     static sim::Condition nominal_condition(const pairing::SeqPairingPuf& puf) {
         return puf.config().condition;
+    }
+    static sim::Condition condition_at(const pairing::SeqPairingPuf& puf, double ambient_c) {
+        sim::Condition c = nominal_condition(puf);
+        c.temperature_c = ambient_c;
+        return c;
+    }
+    /// What a careful device would validate (paper Section VII-C): index
+    /// ranges, no self-pairs, no RO re-use across pairs.
+    static helperdata::SanityReport sanity(const pairing::SeqPairingPuf& puf,
+                                           const Helper& helper) {
+        return helperdata::check_pair_list(helper.pairs, puf.array().count(),
+                                           /*forbid_reuse=*/true);
     }
 };
 
@@ -249,10 +291,43 @@ struct DeviceTraits<pairing::MaskedChainPuf> {
         const auto rec = puf.reconstruct(helper, condition, rng);
         return {rec.ok, rec.key, rec.corrected};
     }
+    static ReconstructResult reconstruct_measured(const pairing::MaskedChainPuf& puf,
+                                                  const Helper& helper,
+                                                  const sim::Condition& condition,
+                                                  std::span<const double> freqs) {
+        const auto rec = puf.reconstruct_measured(helper, condition, freqs);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static bool helper_consistent(const pairing::MaskedChainPuf& puf, const Helper& helper) {
+        return puf.helper_consistent(helper);
+    }
     static helperdata::Nvm store(const Helper& helper) { return pairing::serialize(helper); }
     static Helper parse(const helperdata::Nvm& nvm) { return pairing::parse_masked_chain(nvm); }
     static sim::Condition nominal_condition(const pairing::MaskedChainPuf& puf) {
         return puf.config().condition;
+    }
+    static sim::Condition condition_at(const pairing::MaskedChainPuf& puf, double ambient_c) {
+        sim::Condition c = nominal_condition(puf);
+        c.temperature_c = ambient_c;
+        return c;
+    }
+    /// Coefficient plausibility (blocks the Section VI-D steep-surface
+    /// injection) plus masking-selection range checks.
+    static helperdata::SanityReport sanity(const pairing::MaskedChainPuf& puf,
+                                           const Helper& helper) {
+        auto report = helperdata::check_coefficients(
+            helper.beta, 2.5 * puf.array().params().f_nominal_mhz);
+        if (helper.masking.k != puf.config().k) {
+            report.fail("masking: stored k differs from the device design");
+        }
+        for (std::size_t g = 0; g < helper.masking.selected.size(); ++g) {
+            const int sel = helper.masking.selected[g];
+            if (sel < 0 || sel >= helper.masking.k) {
+                report.fail("masking: selection of group " + std::to_string(g) +
+                            " out of range");
+            }
+        }
+        return report;
     }
 };
 
@@ -272,10 +347,33 @@ struct DeviceTraits<pairing::OverlapChainPuf> {
         const auto rec = puf.reconstruct(helper, condition, rng);
         return {rec.ok, rec.key, rec.corrected};
     }
+    static ReconstructResult reconstruct_measured(const pairing::OverlapChainPuf& puf,
+                                                  const Helper& helper,
+                                                  const sim::Condition& condition,
+                                                  std::span<const double> freqs) {
+        const auto rec = puf.reconstruct_measured(helper, condition, freqs);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static bool helper_consistent(const pairing::OverlapChainPuf& puf, const Helper& helper) {
+        return puf.helper_consistent(helper);
+    }
     static helperdata::Nvm store(const Helper& helper) { return pairing::serialize(helper); }
     static Helper parse(const helperdata::Nvm& nvm) { return pairing::parse_overlap_chain(nvm); }
     static sim::Condition nominal_condition(const pairing::OverlapChainPuf& puf) {
         return puf.config().condition;
+    }
+    static sim::Condition condition_at(const pairing::OverlapChainPuf& puf, double ambient_c) {
+        sim::Condition c = nominal_condition(puf);
+        c.temperature_c = ambient_c;
+        return c;
+    }
+    /// Coefficient plausibility: an honest fit never exceeds a few times the
+    /// nominal frequency; the steep probe surfaces exceed it by orders of
+    /// magnitude.
+    static helperdata::SanityReport sanity(const pairing::OverlapChainPuf& puf,
+                                           const Helper& helper) {
+        return helperdata::check_coefficients(helper.beta,
+                                              2.5 * puf.array().params().f_nominal_mhz);
     }
 };
 

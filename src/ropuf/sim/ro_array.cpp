@@ -88,6 +88,36 @@ void RoArray::measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
     }
 }
 
+void RoArray::measure_batch_into(const Condition& c, int scans, rng::Xoshiro256pp& rng,
+                                 std::vector<double>& out) const {
+    const std::size_t n = static_mhz_.size();
+    if (scans <= 0) {
+        out.clear();
+        return;
+    }
+    out.resize(n * static_cast<std::size_t>(scans));
+    if (params_.quantize_counters) {
+        // Quantization draws RNG per element after the noise block, so the
+        // one-big-noise-block layout would reorder the stream.
+        std::vector<double> scan;
+        for (int s = 0; s < scans; ++s) {
+            measure_all_into(c, rng, scan);
+            std::copy(scan.begin(), scan.end(),
+                      out.begin() + static_cast<std::ptrdiff_t>(n) * s);
+        }
+        return;
+    }
+    rng::fill_gaussian(rng, 0.0, params_.sigma_noise_mhz, out.data(), out.size());
+    const double dt = c.temperature_c - params_.t_ref_c;
+    const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
+    const double* stat = static_mhz_.data();
+    const double* tc = tempco_.data();
+    for (int s = 0; s < scans; ++s) {
+        double* o = out.data() + static_cast<std::size_t>(s) * n;
+        for (std::size_t i = 0; i < n; ++i) o[i] += stat[i] + tc[i] * dt + dv;
+    }
+}
+
 std::vector<double> RoArray::measure_all(const Condition& c, rng::Xoshiro256pp& rng) const {
     std::vector<double> out;
     measure_all_into(c, rng, out);

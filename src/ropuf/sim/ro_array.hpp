@@ -93,6 +93,17 @@ public:
     void measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
                           std::vector<double>& out) const;
 
+    /// `scans` consecutive full-array scans into one buffer (resized to
+    /// scans * count(); scan s occupies [s*count(), (s+1)*count())). Produces
+    /// bit-identical values and RNG consumption to `scans` successive
+    /// measure_all_into calls, but draws the whole noise block in one
+    /// ziggurat pass and folds the condition terms in one sweep — the
+    /// amortized hot path behind batched oracle probes. Falls back to the
+    /// per-scan loop when counter quantization is enabled (quantization
+    /// interleaves RNG draws per element).
+    void measure_batch_into(const Condition& c, int scans, rng::Xoshiro256pp& rng,
+                            std::vector<double>& out) const;
+
     /// Noise-free frequency vector of a condition written into a
     /// caller-owned buffer (resized to count()). Thread-safe.
     void baseline_into(const Condition& c, std::vector<double>& out) const;

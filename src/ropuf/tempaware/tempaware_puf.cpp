@@ -92,7 +92,7 @@ TempAwarePuf::Enrollment TempAwarePuf::enroll(rng::Xoshiro256pp& rng) const {
     return out;
 }
 
-std::uint8_t TempAwarePuf::direct_bit(const std::vector<double>& freqs,
+std::uint8_t TempAwarePuf::direct_bit(std::span<const double> freqs,
                                       const TempAwareHelper& helper, int p,
                                       double temperature_c) {
     const auto [a, b] = helper.pairs[static_cast<std::size_t>(p)];
@@ -108,20 +108,30 @@ std::uint8_t TempAwarePuf::direct_bit(const std::vector<double>& freqs,
 TempAwarePuf::Reconstruction TempAwarePuf::reconstruct(const TempAwareHelper& helper,
                                                        double temperature_c,
                                                        rng::Xoshiro256pp& rng) const {
-    return reconstruct(helper, sim::Condition{temperature_c, array_->params().v_ref_v}, rng);
+    return reconstruct(helper, condition_at(temperature_c), rng);
+}
+
+bool TempAwarePuf::helper_consistent(const TempAwareHelper& helper) const {
+    if (helper.records.size() != helper.pairs.size()) return false;
+    for (const auto& [a, b] : helper.pairs) {
+        if (a < 0 || a >= array_->count() || b < 0 || b >= array_->count()) return false;
+    }
+    return true;
 }
 
 TempAwarePuf::Reconstruction TempAwarePuf::reconstruct(const TempAwareHelper& helper,
                                                        const sim::Condition& condition,
                                                        rng::Xoshiro256pp& rng) const {
+    if (!helper_consistent(helper)) return {};
+    return reconstruct_measured(helper, condition, array_->measure_all(condition, rng));
+}
+
+TempAwarePuf::Reconstruction TempAwarePuf::reconstruct_measured(
+    const TempAwareHelper& helper, const sim::Condition& condition,
+    std::span<const double> freqs) const {
+    if (!helper_consistent(helper)) return {};
     const double temperature_c = condition.temperature_c;
     const int n_pairs = static_cast<int>(helper.pairs.size());
-    if (static_cast<int>(helper.records.size()) != n_pairs) return {};
-    for (const auto& [a, b] : helper.pairs) {
-        if (a < 0 || a >= array_->count() || b < 0 || b >= array_->count()) return {};
-    }
-
-    const auto freqs = array_->measure_all(condition, rng);
 
     bits::BitVec response;
     for (int p = 0; p < n_pairs; ++p) {

@@ -25,12 +25,14 @@
 // r_candidate != r_h).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ropuf/bits/bitvec.hpp"
 #include "ropuf/core/device.hpp"
 #include "ropuf/ecc/block_ecc.hpp"
 #include "ropuf/helperdata/blob.hpp"
+#include "ropuf/helperdata/sanity.hpp"
 #include "ropuf/pairing/neighbor_chain.hpp"
 #include "ropuf/tempaware/classification.hpp"
 
@@ -98,6 +100,24 @@ public:
     Reconstruction reconstruct(const TempAwareHelper& helper, const sim::Condition& condition,
                                rng::Xoshiro256pp& rng) const;
 
+    /// True when the helper passes every structural check regeneration
+    /// applies *before* measuring (a failing helper consumes no scan).
+    bool helper_consistent(const TempAwareHelper& helper) const;
+
+    /// Regeneration from an externally supplied full-array scan — the
+    /// batched-oracle path; bit-identical to reconstruct() for the same scan.
+    Reconstruction reconstruct_measured(const TempAwareHelper& helper,
+                                        const sim::Condition& condition,
+                                        std::span<const double> freqs) const;
+
+    /// The operating condition at an ambient temperature: nominal supply,
+    /// environment-chosen temperature. The one place the construction's
+    /// reference voltage is consulted (attacks go through
+    /// DeviceTraits::condition_at, never through sim parameters).
+    sim::Condition condition_at(double ambient_c) const {
+        return {ambient_c, array_->params().v_ref_v};
+    }
+
     /// Key-bit position of pair `pair_index` given a helper's records
     /// (-1 when the pair carries no key bit). The layout is shared knowledge:
     /// kept pairs contribute bits in pair-index order.
@@ -114,7 +134,7 @@ public:
 private:
     /// Resolves the bit of pair `p` with the outside-interval rule only
     /// (sign at T, inverted for a cooperating record with T > Th).
-    static std::uint8_t direct_bit(const std::vector<double>& freqs,
+    static std::uint8_t direct_bit(std::span<const double> freqs,
                                    const TempAwareHelper& helper, int p, double temperature_c);
 
     const sim::RoArray* array_;
@@ -148,10 +168,58 @@ struct DeviceTraits<tempaware::TempAwarePuf> {
         const auto rec = puf.reconstruct(helper, condition, rng);
         return {rec.ok, rec.key, rec.corrected};
     }
+    static ReconstructResult reconstruct_measured(const tempaware::TempAwarePuf& puf,
+                                                  const Helper& helper,
+                                                  const sim::Condition& condition,
+                                                  std::span<const double> freqs) {
+        const auto rec = puf.reconstruct_measured(helper, condition, freqs);
+        return {rec.ok, rec.key, rec.corrected};
+    }
+    static bool helper_consistent(const tempaware::TempAwarePuf& puf, const Helper& helper) {
+        return puf.helper_consistent(helper);
+    }
     static helperdata::Nvm store(const Helper& helper) { return tempaware::serialize(helper); }
     static Helper parse(const helperdata::Nvm& nvm) { return tempaware::parse_temp_aware(nvm); }
     static sim::Condition nominal_condition(const tempaware::TempAwarePuf& puf) {
         return {puf.array().params().t_ref_c, puf.array().params().v_ref_v};
+    }
+    static sim::Condition condition_at(const tempaware::TempAwarePuf& puf, double ambient_c) {
+        return puf.condition_at(ambient_c);
+    }
+    /// Record plausibility: pair indices in range, known classes, ordered
+    /// intervals inside the device's classification range, and record
+    /// references pointing at existing pairs.
+    static helperdata::SanityReport sanity(const tempaware::TempAwarePuf& puf,
+                                           const Helper& helper) {
+        auto report = helperdata::check_pair_list(helper.pairs, puf.array().count(),
+                                                  /*forbid_reuse=*/false);
+        const int n = static_cast<int>(helper.pairs.size());
+        if (helper.records.size() != helper.pairs.size()) {
+            report.fail("tempaware: record count differs from pair count");
+        }
+        const auto& cls_cfg = puf.config().classification;
+        for (std::size_t p = 0; p < helper.records.size(); ++p) {
+            const auto& rec = helper.records[p];
+            if (rec.cls != tempaware::PairClass::Bad &&
+                rec.cls != tempaware::PairClass::Good &&
+                rec.cls != tempaware::PairClass::Cooperating) {
+                report.fail("record " + std::to_string(p) + ": unknown class");
+                continue;
+            }
+            if (rec.cls != tempaware::PairClass::Cooperating) continue;
+            if (rec.t_low > rec.t_high) {
+                report.fail("record " + std::to_string(p) + ": inverted interval");
+            }
+            if (rec.t_low < cls_cfg.t_min || rec.t_high > cls_cfg.t_max) {
+                report.fail("record " + std::to_string(p) +
+                            ": interval outside the classification range");
+            }
+            if (rec.helper_pair < 0 || rec.helper_pair >= n || rec.mask_pair < 0 ||
+                rec.mask_pair >= n) {
+                report.fail("record " + std::to_string(p) + ": dangling pair reference");
+            }
+        }
+        return report;
     }
 };
 

@@ -20,7 +20,7 @@ std::vector<std::string> resolve_scenarios(const SweepSpec& spec,
     }
     for (const auto& name : spec.scenarios) {
         if (registry.find(name) == nullptr) {
-            throw SpecError("unknown scenario '" + name + "'");
+            throw SpecError(core::unknown_name_message("scenario", name, registry.names()));
         }
         push_unique(name);
     }
@@ -32,7 +32,16 @@ std::vector<std::string> resolve_scenarios(const SweepSpec& spec,
                 matched = true;
             }
         }
-        if (!matched) throw SpecError("unknown construction '" + kind + "'");
+        if (!matched) {
+            std::vector<std::string> kinds;
+            for (const auto& scenario : registry.scenarios()) {
+                if (std::find(kinds.begin(), kinds.end(), scenario.construction) ==
+                    kinds.end()) {
+                    kinds.push_back(scenario.construction);
+                }
+            }
+            throw SpecError(core::unknown_name_message("construction", kind, kinds));
+        }
     }
     return out;
 }
@@ -64,24 +73,27 @@ Plan plan_spec(const SweepSpec& spec, const core::ScenarioRegistry& registry) {
                 for (const double ambient : spec.ambient_c) {
                     for (const int majority : spec.majority_wins) {
                         for (const auto& [ecc_m, ecc_t] : spec.ecc) {
-                            for (const int trials : spec.trials) {
-                                for (const std::uint64_t root : spec.master_seed) {
-                                    Job job;
-                                    job.index = static_cast<int>(plan.jobs.size());
-                                    job.scenario = scenario;
-                                    job.params.cols = cols;
-                                    job.params.rows = rows;
-                                    job.params.sigma_noise_mhz = sigma;
-                                    job.params.ambient_c = ambient;
-                                    job.params.majority_wins = majority;
-                                    job.params.ecc_m = ecc_m;
-                                    job.params.ecc_t = ecc_t;
-                                    job.trials = trials;
-                                    job.root_seed = root;
-                                    char buf[32];
-                                    std::snprintf(buf, sizeof buf, "-%05d", job.index);
-                                    job.id = plan.hash + buf;
-                                    plan.jobs.push_back(std::move(job));
+                            for (const int budget : spec.query_budget) {
+                                for (const int trials : spec.trials) {
+                                    for (const std::uint64_t root : spec.master_seed) {
+                                        Job job;
+                                        job.index = static_cast<int>(plan.jobs.size());
+                                        job.scenario = scenario;
+                                        job.params.cols = cols;
+                                        job.params.rows = rows;
+                                        job.params.sigma_noise_mhz = sigma;
+                                        job.params.ambient_c = ambient;
+                                        job.params.majority_wins = majority;
+                                        job.params.ecc_m = ecc_m;
+                                        job.params.ecc_t = ecc_t;
+                                        job.params.query_budget = budget;
+                                        job.trials = trials;
+                                        job.root_seed = root;
+                                        char buf[32];
+                                        std::snprintf(buf, sizeof buf, "-%05d", job.index);
+                                        job.id = plan.hash + buf;
+                                        plan.jobs.push_back(std::move(job));
+                                    }
                                 }
                             }
                         }

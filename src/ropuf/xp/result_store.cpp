@@ -63,6 +63,7 @@ JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSumm
     record.key_recovered_count = summary.key_recovered_count;
     record.success_rate = summary.success_rate;
     record.mean_accuracy = summary.mean_accuracy;
+    record.outcomes = summary.outcomes;
     record.total_measurements = summary.total_measurements;
     record.queries = summary.queries;
     record.measurements = summary.measurements;
@@ -92,6 +93,7 @@ std::string to_jsonl(const JobRecord& r) {
     out += ",\"majority_wins\":" + std::to_string(r.params.majority_wins);
     out += ",\"ecc_m\":" + std::to_string(r.params.ecc_m);
     out += ",\"ecc_t\":" + std::to_string(r.params.ecc_t);
+    out += ",\"query_budget\":" + std::to_string(r.params.query_budget);
     out += ",\"trials\":" + std::to_string(r.trials);
     out += ",\"root_seed\":" + std::to_string(r.root_seed);
     out += ",\"campaign_seed\":" + std::to_string(r.campaign_seed);
@@ -100,7 +102,11 @@ std::string to_jsonl(const JobRecord& r) {
     append_number(out, r.success_rate);
     out += ",\"mean_accuracy\":";
     append_number(out, r.mean_accuracy);
-    out += ",\"total_measurements\":" + std::to_string(r.total_measurements);
+    out += ",\"outcomes\":{\"recovered\":" + std::to_string(r.outcomes.recovered);
+    out += ",\"gave_up\":" + std::to_string(r.outcomes.gave_up);
+    out += ",\"budget_exhausted\":" + std::to_string(r.outcomes.budget_exhausted);
+    out += ",\"refused_by_defense\":" + std::to_string(r.outcomes.refused_by_defense);
+    out += "},\"total_measurements\":" + std::to_string(r.total_measurements);
     out += ',';
     append_metric(out, "queries", r.queries);
     out += ',';
@@ -145,6 +151,8 @@ JobRecord parse_record(std::string_view line) {
         r.params.majority_wins = static_cast<int>(point->number_or("majority_wins", 0));
         r.params.ecc_m = static_cast<int>(point->number_or("ecc_m", 0));
         r.params.ecc_t = static_cast<int>(point->number_or("ecc_t", 0));
+        r.params.query_budget =
+            static_cast<std::int64_t>(point->number_or("query_budget", 0));
         r.trials = static_cast<int>(point->number_or("trials", 0));
         // Seeds are full 64-bit values: the double path would corrupt them
         // above 2^53, so read them through the exact-literal accessors.
@@ -155,6 +163,15 @@ JobRecord parse_record(std::string_view line) {
         r.key_recovered_count = static_cast<int>(result->number_or("key_recovered_count", 0));
         r.success_rate = result->number_or("success_rate", 0.0);
         r.mean_accuracy = result->number_or("mean_accuracy", 0.0);
+        if (const JsonValue* outcomes = result->find("outcomes");
+            outcomes != nullptr && outcomes->is_object()) {
+            r.outcomes.recovered = static_cast<int>(outcomes->number_or("recovered", 0));
+            r.outcomes.gave_up = static_cast<int>(outcomes->number_or("gave_up", 0));
+            r.outcomes.budget_exhausted =
+                static_cast<int>(outcomes->number_or("budget_exhausted", 0));
+            r.outcomes.refused_by_defense =
+                static_cast<int>(outcomes->number_or("refused_by_defense", 0));
+        }
         r.total_measurements = result->i64_or("total_measurements", 0);
         r.queries = metric_from(*result, "queries");
         r.measurements = metric_from(*result, "measurements");
@@ -237,8 +254,9 @@ void ResultWriter::append(const JobRecord& record) {
 std::string render_report(const std::vector<JobRecord>& records) {
     std::string out;
     char buf[256];
-    std::snprintf(buf, sizeof buf, "%-24s %-26s %7s %8s %10s %10s %10s\n", "scenario", "point",
-                  "trials", "success", "queries", "q-p95", "accuracy");
+    std::snprintf(buf, sizeof buf, "%-24s %-26s %7s %8s %10s %10s %10s %13s\n", "scenario",
+                  "point", "trials", "success", "queries", "q-p95", "accuracy",
+                  "rec/gu/bx/rd");
     out += buf;
     for (const auto& r : records) {
         std::string point;
@@ -258,10 +276,17 @@ std::string render_report(const std::vector<JobRecord>& records) {
             point += "bch(" + std::to_string(r.params.ecc_m) + "," +
                      std::to_string(r.params.ecc_t) + ") ";
         }
+        if (r.params.query_budget > 0) {
+            point += "b=" + std::to_string(r.params.query_budget) + " ";
+        }
         point += "seed=" + std::to_string(r.root_seed);
-        std::snprintf(buf, sizeof buf, "%-24s %-26s %7d %8.3f %10.1f %10.0f %10.3f\n",
+        char outcomes[48];
+        std::snprintf(outcomes, sizeof outcomes, "%d/%d/%d/%d", r.outcomes.recovered,
+                      r.outcomes.gave_up, r.outcomes.budget_exhausted,
+                      r.outcomes.refused_by_defense);
+        std::snprintf(buf, sizeof buf, "%-24s %-26s %7d %8.3f %10.1f %10.0f %10.3f %13s\n",
                       r.scenario.c_str(), point.c_str(), r.trials, r.success_rate,
-                      r.queries.mean, r.queries.p95, r.mean_accuracy);
+                      r.queries.mean, r.queries.p95, r.mean_accuracy, outcomes);
         out += buf;
     }
 

@@ -4,8 +4,12 @@
 //
 //   identity   — spec name, spec hash, job ID, job index, scenario;
 //   point      — the fully resolved grid point (geometry, sigma, ambient,
-//                majority_wins, ecc, trials, root/campaign seeds);
-//   result     — the deterministic CampaignSummary aggregates.
+//                majority_wins, ecc, query_budget, trials, root/campaign
+//                seeds; defended-ness is a property of the scenario, carried
+//                by its name);
+//   result     — the deterministic CampaignSummary aggregates, including the
+//                per-outcome histogram (recovered / gave_up /
+//                budget_exhausted / refused_by_defense).
 //
 // All of the above is bitwise-reproducible from the spec alone. Host-bound
 // measurements (wall clock, workers used, throughput) are isolated in one
@@ -46,6 +50,7 @@ struct JobRecord {
     int key_recovered_count = 0;
     double success_rate = 0.0;
     double mean_accuracy = 0.0;
+    core::OutcomeCounts outcomes; ///< how the trials ended (budget/defense aware)
     std::int64_t total_measurements = 0;
     core::MetricSummary queries;
     core::MetricSummary measurements;

@@ -9,6 +9,7 @@
 #include <limits>
 #include <sstream>
 
+#include "ropuf/core/attack_engine.hpp"
 #include "ropuf/xp/json.hpp"
 
 namespace ropuf::xp {
@@ -197,9 +198,18 @@ bool valid_name(const std::string& name) {
     });
 }
 
+/// Every key the grammar understands (canonical spellings; `budget` is an
+/// accepted alias of `query_budget`). Feeds the did-you-mean suggestion on
+/// unknown keys.
+const std::vector<std::string> kKnownKeys = {
+    "name",          "scenarios", "constructions", "geometry",
+    "sigma_noise_mhz", "ambient_c", "majority_wins", "ecc",
+    "query_budget",  "trials",    "master_seed"};
+
 /// Applies one key=value assignment to the spec under construction.
-void apply_key(SweepSpec& spec, std::vector<std::string>& seen, const std::string& key,
+void apply_key(SweepSpec& spec, std::vector<std::string>& seen, const std::string& raw_key,
                const std::string& value, int line) {
+    const std::string key = raw_key == "budget" ? "query_budget" : raw_key;
     if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
         throw SpecError("duplicate key '" + key + "'", line);
     }
@@ -231,12 +241,14 @@ void apply_key(SweepSpec& spec, std::vector<std::string>& seen, const std::strin
         spec.majority_wins = parse_int_axis(value, line, 0);
     } else if (key == "ecc") {
         spec.ecc = parse_ecc_axis(value, line);
+    } else if (key == "query_budget") {
+        spec.query_budget = parse_int_axis(value, line, 0);
     } else if (key == "trials") {
         spec.trials = parse_int_axis(value, line, 1);
     } else if (key == "master_seed") {
         spec.master_seed = parse_seed_axis(value, line);
     } else {
-        throw SpecError("unknown key '" + key + "'", line);
+        throw SpecError(core::unknown_name_message("spec key", key, kKnownKeys), line);
     }
 }
 
@@ -403,6 +415,9 @@ std::string canonical_text(const SweepSpec& spec) {
                    std::to_string(spec.ecc[i].second) + ")";
         }
         out += '\n';
+    }
+    if (spec.query_budget != defaults.query_budget) {
+        append_axis_ints(out, "query_budget", spec.query_budget);
     }
     if (spec.trials != defaults.trials) append_axis_ints(out, "trials", spec.trials);
     if (spec.master_seed != defaults.master_seed) {

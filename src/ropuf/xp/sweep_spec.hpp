@@ -14,7 +14,8 @@
 //   master_seed = 42
 //
 // Axes: scenarios/constructions (which experiments), geometry (CxR tokens),
-// sigma_noise_mhz, ambient_c, majority_wins, ecc (bch(m,t) tokens), trials,
+// sigma_noise_mhz, ambient_c, majority_wins, ecc (bch(m,t) tokens),
+// query_budget (alias `budget`; 0 = unlimited oracle queries), trials,
 // master_seed. A missing axis holds exactly its scenario-default sentinel,
 // so every spec expands to the full cartesian product of its axes.
 //
@@ -61,6 +62,7 @@ struct SweepSpec {
     std::vector<double> ambient_c{25.0};
     std::vector<int> majority_wins{0};
     std::vector<std::pair<int, int>> ecc{{0, 0}};      ///< (m, t); 0 = default
+    std::vector<int> query_budget{0};                  ///< oracle query budget; 0 = unlimited
     std::vector<int> trials{100};
     std::vector<std::uint64_t> master_seed{1};
 };

@@ -114,6 +114,32 @@ TEST(SweepSpec, RejectsUnknownAndDuplicateKeys) {
         EXPECT_EQ(e.line(), 3);
         EXPECT_NE(std::string(e.what()).find("nosuchkey"), std::string::npos);
     }
+    // A near-miss key earns a did-you-mean suggestion.
+    try {
+        parse_spec("name=x\nscenarios=all\nquery_buget=10\n");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError& e) {
+        EXPECT_NE(std::string(e.what()).find("did you mean 'query_budget'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SweepSpec, QueryBudgetAxisParsesAliasesAndExpands) {
+    const auto spec = parse_spec("name=b\nscenarios=all\nquery_budget=10:30:10\n");
+    EXPECT_EQ(spec.query_budget, (std::vector<int>{10, 20, 30}));
+    // `budget` is an accepted alias that canonicalizes to query_budget.
+    const auto aliased = parse_spec("name=b\nscenarios=all\nbudget=10,20,30\n");
+    EXPECT_EQ(xp::spec_hash(aliased), xp::spec_hash(spec));
+    EXPECT_NE(xp::canonical_text(spec).find("query_budget=10,20,30"), std::string::npos);
+    // The alias and the canonical key are one key for duplicate detection.
+    EXPECT_THROW(parse_spec("name=b\nscenarios=all\nbudget=1\nquery_budget=2\n"), SpecError);
+    // The default axis is omitted from the canonical form: adding the axis
+    // did not reshuffle any pre-existing spec hash.
+    EXPECT_EQ(xp::canonical_text(parse_spec("name=b\nscenarios=all\n"))
+                  .find("query_budget"),
+              std::string::npos);
+    EXPECT_THROW(parse_spec("name=b\nscenarios=all\nquery_budget=-1\n"), SpecError);
 }
 
 TEST(SweepSpec, RejectsEmptyGridsAndMissingSelectors) {
@@ -237,7 +263,8 @@ TEST(Planner, ResolvesConstructionsAndRejectsUnknownNames) {
     const auto names = xp::resolve_scenarios(by_kind, registry);
     EXPECT_NE(std::find(names.begin(), names.end(), "group/sortmerge"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "group/exhaustive"), names.end());
-    EXPECT_EQ(names.size(), 2u);
+    EXPECT_NE(std::find(names.begin(), names.end(), "group/sortmerge-defended"), names.end());
+    EXPECT_EQ(names.size(), 3u);
 
     EXPECT_THROW(
         plan_spec(parse_spec("name=u\nscenarios=no/such\n"), registry), SpecError);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ropuf/attack/scenarios.hpp"
+#include "ropuf/core/attack_engine.hpp"
 #include "ropuf/xp/executor.hpp"
 #include "ropuf/xp/planner.hpp"
 #include "ropuf/xp/result_store.hpp"
@@ -110,7 +111,8 @@ int cmd_list() {
     }
     std::printf("\n%zu scenarios. Sweep axes: geometry, sigma_noise_mhz, ambient_c,\n",
                 registry.size());
-    std::puts("majority_wins, ecc, trials, master_seed. See specs/*.spec for examples.");
+    std::puts("majority_wins, ecc, query_budget, trials, master_seed. See specs/*.spec "
+              "for examples.");
     return 0;
 }
 
@@ -119,8 +121,8 @@ int cmd_plan(const std::string& spec_path) {
     const xp::Plan plan = xp::plan_spec(spec, attack::default_registry());
     std::printf("spec %s  hash %s  %zu jobs\n\n", plan.spec_name.c_str(), plan.hash.c_str(),
                 plan.jobs.size());
-    std::printf("%-22s %-24s %6s %6s %8s %8s %6s %12s\n", "job", "scenario", "geom", "sigma",
-                "ambient", "ecc", "trials", "campaign_seed");
+    std::printf("%-22s %-32s %6s %6s %8s %8s %7s %6s %12s\n", "job", "scenario", "geom",
+                "sigma", "ambient", "ecc", "budget", "trials", "campaign_seed");
     for (const auto& job : plan.jobs) {
         char geom[16] = "dflt";
         if (job.params.cols > 0) {
@@ -134,9 +136,14 @@ int cmd_plan(const std::string& spec_path) {
         if (job.params.ecc_m > 0) {
             std::snprintf(ecc, sizeof ecc, "%d,%d", job.params.ecc_m, job.params.ecc_t);
         }
-        std::printf("%-22s %-24s %6s %6s %8.3g %8s %6d %12llu\n", job.id.c_str(),
-                    job.scenario.c_str(), geom, sigma, job.params.ambient_c, ecc, job.trials,
-                    static_cast<unsigned long long>(job.campaign_seed));
+        char budget[16] = "inf";
+        if (job.params.query_budget > 0) {
+            std::snprintf(budget, sizeof budget, "%lld",
+                          static_cast<long long>(job.params.query_budget));
+        }
+        std::printf("%-22s %-32s %6s %6s %8.3g %8s %7s %6d %12llu\n", job.id.c_str(),
+                    job.scenario.c_str(), geom, sigma, job.params.ambient_c, ecc, budget,
+                    job.trials, static_cast<unsigned long long>(job.campaign_seed));
     }
     return 0;
 }
@@ -242,7 +249,11 @@ int main(int argc, char** argv) {
             if (args.size() != 2) return usage(stderr);
             return cmd_report(args[1]);
         }
-        std::fprintf(stderr, "ropuf: unknown command '%s'\n", command.c_str());
+        std::fprintf(stderr, "ropuf: %s\n",
+                     ropuf::core::unknown_name_message(
+                         "command", command,
+                         {"list", "plan", "run", "resume", "report", "help"})
+                         .c_str());
         return usage(stderr);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "ropuf: %s\n", e.what());
