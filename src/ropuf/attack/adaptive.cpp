@@ -1,0 +1,26 @@
+#include "ropuf/attack/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ropuf::attack {
+
+distiller::PolySurface drop_constant(distiller::PolySurface surface) {
+    if (!surface.beta().empty()) surface.beta()[0] = 0.0;
+    return surface;
+}
+
+double capped_surface_amp(std::span<const double> unit, std::span<const double> pristine,
+                          double cap) {
+    double amp = cap; // unconstrained dimensions cannot bind tighter than this
+    for (std::size_t i = 0; i < unit.size(); ++i) {
+        const double s = std::abs(unit[i]);
+        if (s == 0.0) continue;
+        const double p = i < pristine.size() ? std::abs(pristine[i]) : 0.0;
+        // Conservative triangle bound: |pristine - a*s| <= |pristine| + a*s.
+        amp = std::min(amp, (cap - p) / s);
+    }
+    return amp > 0.0 ? 0.9 * amp : 0.0;
+}
+
+} // namespace ropuf::attack

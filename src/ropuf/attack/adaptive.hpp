@@ -1,0 +1,46 @@
+// Structure-preserving fallback surfaces — the attacker's answer to
+// helper-data validation.
+//
+// The Section VI distiller injections use surfaces whose coefficients sit
+// orders of magnitude above any honest regression fit, which is exactly what
+// a validating device (defense `sanity`, paper Section VII) checks for. The
+// counter-move implemented here rests on two observations:
+//
+//  1. Every attacked construction derives its response bits from residual
+//     *differences* within a pair or group, so the constant coefficient of
+//     an injected surface is inert — dropping it changes no verdict while
+//     removing the single largest coefficient of a far-from-origin vertex
+//     quadratic.
+//  2. With the constant gone, the surface can be rescaled to the largest
+//     amplitude whose injected helper coefficients |beta_enrolled - amp * s|
+//     all stay inside the attacker's estimate of the device's plausibility
+//     envelope — still tens of MHz of forcing against ~1 MHz of process
+//     spread, enough to keep the comparator decisions reliable.
+//
+// Adaptive sessions (GroupSession / MaskedChainSession / OverlapChainSession
+// with Config::adaptive set) detect a blanket-refusal pattern — a probe
+// round where every hypothesis reads as failure — fall back to these capped
+// surfaces, and if even the capped probes die (a MAC-bound or bricked
+// device) stop spending queries instead of burning the budget.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ropuf/distiller/poly_surface.hpp"
+
+namespace ropuf::attack {
+
+/// Returns `surface` with its constant coefficient zeroed (response-
+/// preserving for all pair/group-difference constructions).
+distiller::PolySurface drop_constant(distiller::PolySurface surface);
+
+/// The largest amplitude `a` such that every injected coefficient
+/// |pristine[i] - a * unit[i]| stays within `cap`, scaled by a 0.9 safety
+/// margin; 0 when no positive amplitude fits (an honest coefficient already
+/// rides the cap). `unit` is the surface at amplitude 1 (constant dropped);
+/// indices past either vector's size are treated as zero.
+double capped_surface_amp(std::span<const double> unit, std::span<const double> pristine,
+                          double cap);
+
+} // namespace ropuf::attack

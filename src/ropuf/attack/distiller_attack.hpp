@@ -43,6 +43,11 @@ public:
         int majority_wins = 2;
         int max_probe_queries = 25;
         int max_retries = 4;
+        /// Fall back to plausibility-capped, constant-free isolation
+        /// surfaces when the steep ones are blanket-refused; stop probing
+        /// when even those die (attack/adaptive.hpp).
+        bool adaptive = false;
+        double plausibility_cap = 400.0; ///< attacker's |beta| envelope estimate (MHz)
     };
 
     struct Result {
@@ -85,11 +90,17 @@ public:
 
 private:
     SessionBody body();
+    /// One surface round for target group g: both hypotheses, with retries.
+    Sub<bool> try_target(int g, const distiller::PolySurface& surface,
+                         const std::vector<helperdata::IndexPair>& selected, int block);
 
     const pairing::MaskedChainPuf* puf_;
     pairing::MaskedChainHelper pristine_;
     MaskedChainAttack::Config config_;
     bits::BitVec key_; ///< bits decided so far (undecided read 0)
+    bool fell_back_ = false;   ///< capped surfaces are now the active mode
+    bool dead_ = false;        ///< even capped probes die: stop spending queries
+    int dead_targets_ = 0;     ///< fully inconclusive targets in a row
     MaskedChainAttack::Result out_;
 };
 
@@ -107,6 +118,10 @@ public:
         int max_probe_queries = 25;
         int max_retries = 3;
         int max_unknown = 12; ///< refuse probes with more than 2^12 hypotheses
+        /// Fall back to plausibility-capped, constant-free probe surfaces
+        /// when the steep ones are blanket-refused (attack/adaptive.hpp).
+        bool adaptive = false;
+        double plausibility_cap = 400.0; ///< attacker's |beta| envelope estimate (MHz)
     };
 
     struct Result {
@@ -150,11 +165,18 @@ public:
 
 private:
     SessionBody body();
+    /// One surface round: classify, enumerate hypotheses, commit. Returns
+    /// 1 = decided bits, 0 = nothing to learn here, -1 = every hypothesis
+    /// read as failure (refusal suspected).
+    Sub<int> try_surface(const distiller::PolySurface& surface, double margin);
 
     const pairing::OverlapChainPuf* puf_;
     pairing::OverlapChainHelper pristine_;
     OverlapChainAttack::Config config_;
     std::vector<std::optional<std::uint8_t>> known_; ///< bits recovered so far
+    bool fell_back_ = false; ///< capped surfaces are now the active mode
+    bool dead_ = false;      ///< even capped probes die: stop spending queries
+    int dead_surfaces_ = 0;  ///< fully failed surfaces in a row
     OverlapChainAttack::Result out_;
 };
 

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "ropuf/attack/adaptive.hpp"
 #include "ropuf/attack/calibration.hpp"
 #include "ropuf/attack/distinguisher.hpp"
 #include "ropuf/distiller/poly_surface.hpp"
@@ -191,31 +192,61 @@ bits::BitVec GroupSession::partial_key() const {
 }
 
 std::string GroupSession::notes() const {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%d comparator runs over %d groups", out_.comparisons,
-                  groups_total_);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%d comparator runs over %d groups%s%s", out_.comparisons,
+                  groups_total_, fell_back_ ? ", fell back to capped planes" : "",
+                  dead_ ? ", aborted: probes blanket-refused" : "");
     return buf;
+}
+
+double GroupSession::capped_amp(int a, int b) const {
+    // The comparison plane at unit amplitude has exactly two non-constant
+    // coefficients: beta_x = -dy, beta_y = dx (gradient perpendicular to
+    // a -> b); the capped amplitude keeps |pristine - amp * s| inside the
+    // attacker's plausibility estimate.
+    const double unit[3] = {0.0, static_cast<double>(-(geometry_.y_of(b) - geometry_.y_of(a))),
+                            static_cast<double>(geometry_.x_of(b) - geometry_.x_of(a))};
+    return capped_surface_amp(unit, pristine_.beta, config_.plausibility_cap);
 }
 
 Sub<std::optional<bool>> GroupSession::compare(int a, int b) {
     using Puf = group::GroupBasedPuf;
     const int lo = std::min(a, b);
     const int hi = std::max(a, b);
-    const auto instance = GroupBasedAttack::build_comparison(pristine_, geometry_, code_, lo,
-                                                             hi, config_.steep_amp);
-    for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
-        for (int h = 0; h < 2; ++h) {
-            ++out_.comparisons;
-            const bool failed =
-                co_await any_pass(make_probe<Puf>(instance.helper[h], instance.expected_key[h]),
-                                  config_.majority_wins);
-            if (!failed) {
-                // h = 1 means residual(hi) > residual(lo).
-                const bool hi_greater = h == 1;
-                co_return (a == hi) == hi_greater;
+    if (dead_) co_return std::nullopt; // hard defense: stop spending queries
+    // Amplitude schedule: the active mode's plane first; when adaptive and
+    // still in steep mode, one fallback round with the structure-preserving
+    // capped plane (a blanket-refusing validator fails *every* hypothesis,
+    // which honest measurement noise essentially never does).
+    for (int phase = 0; phase < 2; ++phase) {
+        double amp = config_.steep_amp;
+        if (fell_back_ || phase == 1) {
+            if (phase == 1 && (!config_.adaptive || fell_back_)) break;
+            amp = capped_amp(lo, hi);
+            if (amp <= 0.0) break;
+        }
+        const auto instance =
+            GroupBasedAttack::build_comparison(pristine_, geometry_, code_, lo, hi, amp);
+        for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+            for (int h = 0; h < 2; ++h) {
+                ++out_.comparisons;
+                const bool failed = co_await any_pass(
+                    make_probe<Puf>(instance.helper[h], instance.expected_key[h]),
+                    config_.majority_wins);
+                if (!failed) {
+                    if (phase == 1) fell_back_ = true;
+                    dead_comparisons_ = 0;
+                    // h = 1 means residual(hi) > residual(lo).
+                    const bool hi_greater = h == 1;
+                    co_return (a == hi) == hi_greater;
+                }
             }
         }
     }
+    // Abort only while the fallback has never worked: consecutive fully
+    // inconclusive comparisons then mean blanket refusal (MAC-bound or
+    // bricked device), not measurement noise.
+    if (config_.adaptive && !fell_back_ && ++dead_comparisons_ >= 2) dead_ = true;
     co_return std::nullopt;
 }
 

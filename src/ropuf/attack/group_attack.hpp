@@ -51,6 +51,11 @@ public:
         int majority_wins = 2;
         int max_probe_queries = 25;
         int max_retries = 4; ///< re-runs of an inconclusive comparison
+        /// Detect blanket refusal and fall back to plausibility-capped
+        /// planes (attack/adaptive.hpp); stop probing when even capped
+        /// surfaces die (MAC-bound or bricked device).
+        bool adaptive = false;
+        double plausibility_cap = 400.0; ///< attacker's |beta| envelope estimate (MHz)
     };
 
     struct Result {
@@ -116,12 +121,18 @@ private:
     /// One merge-sort / win-count comparison on group labels, with the
     /// inconclusive-comparator fallback of the one-shot attack.
     Sub<bool> cmp_labels(int la, int lb, const std::vector<int>& labels, bool& group_ok);
+    /// Largest plane amplitude for (a, b) whose injected coefficients stay
+    /// inside the plausibility cap (adaptive fallback).
+    double capped_amp(int a, int b) const;
 
     group::GroupPufHelper pristine_;
     sim::ArrayGeometry geometry_;
     ecc::BchCode code_;
     GroupBasedAttack::Config config_;
     int groups_total_ = 0;
+    bool fell_back_ = false;      ///< capped planes are now the active mode
+    bool dead_ = false;           ///< even capped probes die: stop spending queries
+    int dead_comparisons_ = 0;    ///< fully inconclusive comparisons in a row
     bits::BitVec partial_; ///< packed keys of the groups sorted so far
     GroupBasedAttack::Result out_;
 };

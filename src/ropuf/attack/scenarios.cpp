@@ -11,6 +11,7 @@
 #include "ropuf/attack/session.hpp"
 #include "ropuf/attack/tempaware_attack.hpp"
 #include "ropuf/core/oracle.hpp"
+#include "ropuf/defense/registry.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
 #include "ropuf/pairing/neighbor_chain.hpp"
 
@@ -64,19 +65,36 @@ sim::ProcessParams crossover_rich_params() {
 /// middleware handles stay accessible for outcome classification.
 struct OracleStack {
     core::AnyOracle oracle;
-    std::shared_ptr<core::SanityCheckingOracle> sanity;
+    defense::AppliedDefense applied; ///< null handle when undefended
     std::shared_ptr<core::BudgetedOracle> budget;
 };
 
-/// victim <- [sanity when defended] <- [budget when set]; innermost first.
+/// victim <- [defense from the registry, when named] <- [budget when set];
+/// innermost first. The DefenseContext hands the countermeasure everything
+/// the construction can offer: the structural validator, the canonical-form
+/// predicate, the enrolled blob (MAC binding reference) and a defense-side
+/// seed stream independent of chip/enroll/victim noise.
 template <core::Device Puf>
-OracleStack build_stack(Victim<Puf>& victim, const Puf& puf, const ScenarioParams& p) {
+OracleStack build_stack(Victim<Puf>& victim, const Puf& puf,
+                        const typename core::DeviceTraits<Puf>::Helper& enrolled,
+                        const ScenarioParams& p) {
+    using Traits = core::DeviceTraits<Puf>;
     OracleStack stack;
     stack.oracle = make_oracle(victim);
-    if (p.defended) {
-        stack.sanity = std::make_shared<core::SanityCheckingOracle>(
-            stack.oracle, make_sanity_validator(puf));
-        stack.oracle = core::AnyOracle(stack.sanity);
+    if (!p.defense.empty() && p.defense != "none") {
+        defense::DefenseContext ctx;
+        ctx.validator = make_sanity_validator(puf);
+        ctx.canonical = [](const helperdata::Nvm& nvm) {
+            try {
+                return Traits::store(Traits::parse(nvm)).bytes() == nvm.bytes();
+            } catch (const helperdata::ParseError&) {
+                return false;
+            }
+        };
+        ctx.enrolled = Traits::store(enrolled);
+        ctx.seed = sub_seed(p, 4);
+        stack.applied = defense::apply_defense(p.defense, stack.oracle, ctx);
+        stack.oracle = stack.applied.oracle;
     }
     if (p.query_budget > 0) {
         stack.budget = std::make_shared<core::BudgetedOracle>(stack.oracle, p.query_budget);
@@ -110,7 +128,9 @@ AttackReport drive(Session& session, OracleStack& stack, const ScenarioParams& p
         report.outcome = core::AttackOutcome::recovered;
     } else if (stack.budget && stack.budget->exhausted()) {
         report.outcome = core::AttackOutcome::budget_exhausted;
-    } else if (stack.sanity && stack.sanity->refused() > 0) {
+    } else if (stack.applied.locked()) {
+        report.outcome = core::AttackOutcome::locked_out;
+    } else if (stack.applied.refused() > 0) {
         report.outcome = core::AttackOutcome::refused_by_defense;
     } else {
         report.outcome = core::AttackOutcome::gave_up;
@@ -132,7 +152,7 @@ AttackReport run_seqpair_swap(const ScenarioParams& p, helperdata::PairOrderPoli
     SeqPairingAttack::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
     SeqPairingSession session(enrollment.helper, puf.code(), cfg);
-    auto stack = build_stack(victim, puf, p);
+    auto stack = build_stack(victim, puf, enrollment.helper, p);
     return drive(session, stack, p, enrollment.key);
 }
 
@@ -151,11 +171,12 @@ AttackReport run_tempaware_substitution(const ScenarioParams& p) {
     TempAwareAttack::Config cfg;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
     TempAwareSession session(enrollment.helper, puf.code(), victim.ambient_c(), cfg);
-    auto stack = build_stack(victim, puf, p);
+    auto stack = build_stack(victim, puf, enrollment.helper, p);
     return drive(session, stack, p, enrollment.key);
 }
 
-AttackReport run_group(const ScenarioParams& p, GroupBasedAttack::Mode mode) {
+AttackReport run_group(const ScenarioParams& p, GroupBasedAttack::Mode mode,
+                       bool adaptive = false) {
     const sim::RoArray chip(geometry_or(p, {10, 4}), process_or(p, quiet_params()),
                             sub_seed(p, 1));
     group::GroupPufConfig dcfg;
@@ -168,13 +189,14 @@ AttackReport run_group(const ScenarioParams& p, GroupBasedAttack::Mode mode) {
     GroupBasedAttack::Victim victim(puf, sub_seed(p, 3));
     GroupBasedAttack::Config cfg;
     cfg.mode = mode;
+    cfg.adaptive = adaptive;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
     GroupSession session(enrollment.helper, chip.geometry(), puf.code(), cfg);
-    auto stack = build_stack(victim, puf, p);
+    auto stack = build_stack(victim, puf, enrollment.helper, p);
     return drive(session, stack, p, enrollment.key);
 }
 
-AttackReport run_masked_chain_distiller(const ScenarioParams& p) {
+AttackReport run_masked_chain_distiller(const ScenarioParams& p, bool adaptive = false) {
     const sim::RoArray chip(geometry_or(p, {20, 8}), process_or(p, quiet_params()),
                             sub_seed(p, 1));
     pairing::MaskedChainConfig dcfg;
@@ -185,9 +207,10 @@ AttackReport run_masked_chain_distiller(const ScenarioParams& p) {
 
     MaskedChainAttack::Victim victim(puf, sub_seed(p, 3));
     MaskedChainAttack::Config cfg;
+    cfg.adaptive = adaptive;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
     MaskedChainSession session(puf, enrollment.helper, cfg);
-    auto stack = build_stack(victim, puf, p);
+    auto stack = build_stack(victim, puf, enrollment.helper, p);
     return drive(session, stack, p, enrollment.key);
 }
 
@@ -207,14 +230,14 @@ AttackReport run_masked_chain_probe(const ScenarioParams& p) {
     // alone cannot recover the key (one unresolved bit per group remains) —
     // partial_key() stays empty, so accuracy reads 0 by construction.
     SelectionProbeSession session(enrollment.helper, puf.code(), cfg);
-    auto stack = build_stack(victim, puf, p);
+    auto stack = build_stack(victim, puf, enrollment.helper, p);
     AttackReport report = drive(session, stack, p, enrollment.key);
     report.complete =
         session.done() && session.result().groups.size() == enrollment.key.size();
     return report;
 }
 
-AttackReport run_overlap_chain_distiller(const ScenarioParams& p) {
+AttackReport run_overlap_chain_distiller(const ScenarioParams& p, bool adaptive = false) {
     const sim::RoArray chip(geometry_or(p, {10, 4}), process_or(p, quiet_params()),
                             sub_seed(p, 1));
     pairing::OverlapChainConfig dcfg;
@@ -225,9 +248,10 @@ AttackReport run_overlap_chain_distiller(const ScenarioParams& p) {
 
     OverlapChainAttack::Victim victim(puf, sub_seed(p, 3));
     OverlapChainAttack::Config cfg;
+    cfg.adaptive = adaptive;
     if (p.majority_wins > 0) cfg.majority_wins = p.majority_wins;
     OverlapChainSession session(puf, enrollment.helper, cfg);
-    auto stack = build_stack(victim, puf, p);
+    auto stack = build_stack(victim, puf, enrollment.helper, p);
     return drive(session, stack, p, enrollment.key);
 }
 
@@ -239,6 +263,16 @@ AttackReport run_fuzzy_reference(const ScenarioParams& p) {
     // per-bit hypothesis. The scenario quantifies both halves: honest-helper
     // reliability parity, and manipulation yielding only response-independent
     // key shifts.
+    //
+    // The reference construction bypasses the oracle machinery entirely (it
+    // measures the extractor directly), so a requested countermeasure would
+    // never be interposed — refuse rather than emit a record whose defense
+    // label never ran.
+    if (!p.defense.empty() && p.defense != "none") {
+        throw std::invalid_argument(
+            "fuzzy/reference measures the extractor directly and cannot run "
+            "with defense=" + p.defense + " — drop it from the sweep for this scenario");
+    }
     const sim::RoArray chip(geometry_or(p, {16, 8}), process_or(p, sim::ProcessParams{}),
                             sub_seed(p, 1));
     const sim::Condition ambient{p.ambient_c, 1.20};
@@ -331,7 +365,7 @@ void register_builtin_scenarios(core::ScenarioRegistry& registry) {
     registry.add_or_replace({"maskedchain/distiller", "maskedchain", "isolation surfaces", "VI-D/Fig.6b",
                   "Quadratic isolation surface per selected pair forces every other "
                   "bit; two hypotheses per key bit.",
-                  run_masked_chain_distiller});
+                  [](const ScenarioParams& p) { return run_masked_chain_distiller(p); }});
     registry.add_or_replace({"maskedchain/probe", "maskedchain", "selection substitution", "VI-D (neg.)",
                   "Re-points 1-out-of-k selections to recover intra-group relations "
                   "only — demonstrates why this alone never recovers the key.",
@@ -339,60 +373,98 @@ void register_builtin_scenarios(core::ScenarioRegistry& registry) {
     registry.add_or_replace({"overlapchain/distiller", "overlapchain", "multi-bit hypotheses", "VI-D/Fig.6c",
                   "Probe surfaces leave small undetermined bit sets; enumerate 2^u "
                   "assignments with reprogrammed ECC redundancy.",
-                  run_overlap_chain_distiller});
+                  [](const ScenarioParams& p) { return run_overlap_chain_distiller(p); }});
     registry.add_or_replace({"fuzzy/reference", "fuzzy", "manipulation probe (negative)",
                   "VII/Fig.7",
                   "Code-offset fuzzy extractor reference: helper flips shift the "
                   "key response-independently, so no per-bit failure hypothesis "
                   "exists — the paper's recommended fix, measured as a scenario.",
-                  run_fuzzy_reference});
+                  run_fuzzy_reference,
+                  /*allowed_defenses=*/{"none"}});
 
-    // Defended twins of the five headline attacks: the same experiment with a
-    // SanityCheckingOracle interposed (the paper's Section VII "precise
-    // helper-data validation" countermeasure). Distiller-based attacks die on
-    // the coefficient bound (outcome refused_by_defense); the seqpair swap
-    // and tempaware substitution manipulations are structurally valid helper
-    // data and still succeed — validation alone is not enough.
-    const auto with_defense = [](auto fn) {
-        return [fn](const ScenarioParams& p) {
-            ScenarioParams dp = p;
-            dp.defended = true;
-            return fn(dp);
-        };
+    // Adaptive variants of the distiller attacks: detect a blanket-refusal
+    // pattern (a validating defense fails every steep-surface hypothesis),
+    // fall back to structure-preserving plausibility-capped surfaces that
+    // pass the Section VII checks, and stop spending queries when even those
+    // die (a MAC-bound or bricked device). The attacker's answer in the
+    // arms race the defense registry opens.
+    registry.add_or_replace(
+        {"group/sortmerge-adaptive", "group", "capped-plane fallback comparator", "VI-C/VII",
+         "group/sortmerge that detects refusal patterns and re-injects with "
+         "plausibility-capped planes — beats validation-only defenses that "
+         "stop the steep-surface original.",
+         [](const ScenarioParams& p) {
+             return run_group(p, GroupBasedAttack::Mode::SortMerge, /*adaptive=*/true);
+         }});
+    registry.add_or_replace(
+        {"maskedchain/distiller-adaptive", "maskedchain",
+         "capped isolation-surface fallback", "VI-D/VII",
+         "maskedchain/distiller with constant-free, plausibility-capped "
+         "isolation surfaces as the refusal fallback.",
+         [](const ScenarioParams& p) {
+             return run_masked_chain_distiller(p, /*adaptive=*/true);
+         }});
+    registry.add_or_replace(
+        {"overlapchain/distiller-adaptive", "overlapchain",
+         "capped probe-surface fallback", "VI-D/VII",
+         "overlapchain/distiller with constant-free, plausibility-capped "
+         "probe surfaces as the refusal fallback.",
+         [](const ScenarioParams& p) {
+             return run_overlap_chain_distiller(p, /*adaptive=*/true);
+         }});
+
+    // DEPRECATED aliases. PR 4 registered five hand-written "-defended"
+    // twins (the same experiment with a SanityCheckingOracle interposed);
+    // that axis is now general — any scenario crosses with any registered
+    // countermeasure via ScenarioParams::defense / the sweep-spec `defense`
+    // key. The old names survive as thin aliases that pin defense=sanity so
+    // existing specs, scripts and result files keep their meaning; new work
+    // should sweep `defense = sanity` against the base scenario instead.
+    struct DefendedAlias {
+        const char* name;
+        const char* base;
+        const char* construction;
+        const char* attack;
+        const char* paper_ref;
     };
-    registry.add_or_replace(
-        {"seqpair/swap-defended", "seqpair", "pair-swap + ECC rewrite (defended)", "VI-A/VII",
-         "seqpair/swap against helper-data sanity checks: swapped pair lists "
-         "stay structurally valid, so the defense does not stop the attack.",
-         with_defense([](const ScenarioParams& p) {
-             return run_seqpair_swap(p, helperdata::PairOrderPolicy::Randomized);
-         })});
-    registry.add_or_replace(
-        {"tempaware/substitution-defended", "tempaware", "assistance substitution (defended)",
-         "VI-B/VII",
-         "tempaware/substitution against record sanity checks: widened "
-         "intervals and re-pointed assistants stay in range, so the defense "
-         "does not stop the attack.",
-         with_defense(run_tempaware_substitution)});
-    registry.add_or_replace(
-        {"group/sortmerge-defended", "group", "distiller injection (defended)", "VI-C/VII",
-         "group/sortmerge against coefficient plausibility checks: the steep "
-         "comparator planes are refused and the key survives.",
-         with_defense([](const ScenarioParams& p) {
-             return run_group(p, GroupBasedAttack::Mode::SortMerge);
-         })});
-    registry.add_or_replace(
-        {"maskedchain/distiller-defended", "maskedchain", "isolation surfaces (defended)",
-         "VI-D/VII",
-         "maskedchain/distiller against coefficient plausibility checks: the "
-         "isolation surfaces are refused and the key survives.",
-         with_defense(run_masked_chain_distiller)});
-    registry.add_or_replace(
-        {"overlapchain/distiller-defended", "overlapchain", "multi-bit hypotheses (defended)",
-         "VI-D/VII",
-         "overlapchain/distiller against coefficient plausibility checks: the "
-         "probe surfaces are refused and the key survives.",
-         with_defense(run_overlap_chain_distiller)});
+    const DefendedAlias aliases[] = {
+        {"seqpair/swap-defended", "seqpair/swap", "seqpair",
+         "pair-swap + ECC rewrite (defended)", "VI-A/VII"},
+        {"tempaware/substitution-defended", "tempaware/substitution", "tempaware",
+         "assistance substitution (defended)", "VI-B/VII"},
+        {"group/sortmerge-defended", "group/sortmerge", "group",
+         "distiller injection (defended)", "VI-C/VII"},
+        {"maskedchain/distiller-defended", "maskedchain/distiller", "maskedchain",
+         "isolation surfaces (defended)", "VI-D/VII"},
+        {"overlapchain/distiller-defended", "overlapchain/distiller", "overlapchain",
+         "multi-bit hypotheses (defended)", "VI-D/VII"},
+    };
+    for (const auto& alias : aliases) {
+        const std::string base = alias.base;
+        const std::string name = alias.name;
+        // Resolve the base scenario eagerly (it is registered above) and
+        // capture its run function by value: the alias stays valid even if
+        // the registry is copied or outlived — no self-reference.
+        auto base_run = registry.find(base)->run;
+        registry.add_or_replace(
+            {alias.name, alias.construction, alias.attack, alias.paper_ref,
+             "DEPRECATED alias of '" + base +
+                 "' with defense=sanity — use the defense axis instead.",
+             [base_run, base, name](const ScenarioParams& p) {
+                 // The alias IS a pinned defense; crossing it with a
+                 // different token would run sanity while the record claims
+                 // the other defense. Fail loudly instead of mislabeling.
+                 if (!p.defense.empty() && p.defense != "none" && p.defense != "sanity") {
+                     throw std::invalid_argument(
+                         "'" + name + "' pins defense=sanity and cannot run with defense=" +
+                         p.defense + " — sweep '" + base + "' with the defense axis instead");
+                 }
+                 ScenarioParams dp = p;
+                 dp.defense = "sanity";
+                 return base_run(dp);
+             },
+             /*allowed_defenses=*/{"none", "sanity"}});
+    }
 }
 
 core::ScenarioRegistry& default_registry() {

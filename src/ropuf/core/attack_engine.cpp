@@ -70,6 +70,7 @@ std::string_view to_string(AttackOutcome outcome) {
         case AttackOutcome::gave_up: return "gave_up";
         case AttackOutcome::budget_exhausted: return "budget_exhausted";
         case AttackOutcome::refused_by_defense: return "refused_by_defense";
+        case AttackOutcome::locked_out: return "locked_out";
     }
     return "gave_up";
 }
@@ -77,7 +78,7 @@ std::string_view to_string(AttackOutcome outcome) {
 AttackOutcome outcome_from_string(std::string_view name) {
     for (AttackOutcome o : {AttackOutcome::recovered, AttackOutcome::gave_up,
                             AttackOutcome::budget_exhausted,
-                            AttackOutcome::refused_by_defense}) {
+                            AttackOutcome::refused_by_defense, AttackOutcome::locked_out}) {
         if (to_string(o) == name) return o;
     }
     throw std::invalid_argument("unknown attack outcome: " + std::string(name));

@@ -38,7 +38,9 @@ struct ScenarioParams {
     int ecc_m = 0;                 ///< 0 = construction default BCH field degree (n = 2^m - 1)
     int ecc_t = 0;                 ///< 0 = construction default corrected errors per block
     std::int64_t query_budget = 0; ///< hard oracle query budget; 0 = unlimited
-    bool defended = false;         ///< interpose the SanityCheckingOracle countermeasure
+    std::string defense;           ///< device-side countermeasure token, e.g. "sanity",
+                                   ///< "mac", "lockout(8)"; empty or "none" = undefended
+                                   ///< (resolved by ropuf::defense::default_registry())
     bool trace = false;            ///< record a queries-vs-accuracy progress trace
 };
 
@@ -48,6 +50,7 @@ enum class AttackOutcome {
     gave_up,            ///< attack completed without the full key (incl. negative results)
     budget_exhausted,   ///< the query budget cut the attack short
     refused_by_defense, ///< a defended oracle refused probes and the key survived
+    locked_out,         ///< the device bricked itself (lockout / rate-limit tripped)
 };
 
 std::string_view to_string(AttackOutcome outcome);
@@ -88,6 +91,14 @@ struct Scenario {
     std::string paper_ref;
     std::string description;
     std::function<AttackReport(const ScenarioParams&)> run;
+    /// Defense token *names* this scenario can honor: empty = any
+    /// registered defense. Scenarios that bypass the oracle stack
+    /// ({"none"}) or pin a defense ({"none", "sanity"} for the deprecated
+    /// -defended aliases) declare it here so the xp planner can reject an
+    /// incompatible (scenario, defense) grid point at plan time instead of
+    /// aborting — and permanently wedging resume of — a half-finished
+    /// sweep; `run` still throws as the backstop.
+    std::vector<std::string> allowed_defenses;
 };
 
 class ScenarioRegistry {

@@ -99,6 +99,7 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
             case AttackOutcome::refused_by_defense:
                 ++summary.outcomes.refused_by_defense;
                 break;
+            case AttackOutcome::locked_out: ++summary.outcomes.locked_out; break;
         }
         summary.mean_accuracy += report.accuracy;
         summary.trial_wall_ms_sum += report.wall_ms;
@@ -179,14 +180,14 @@ std::string to_json(const CampaignSummary& s, bool include_reports) {
                   "\"key_recovered_count\":%d,\"success_rate\":%.4f,"
                   "\"mean_accuracy\":%.6f,"
                   "\"outcomes\":{\"recovered\":%d,\"gave_up\":%d,"
-                  "\"budget_exhausted\":%d,\"refused_by_defense\":%d},"
+                  "\"budget_exhausted\":%d,\"refused_by_defense\":%d,\"locked_out\":%d},"
                   "\"total_measurements\":%lld,"
                   "\"wall_ms\":%.3f,\"trial_wall_ms_sum\":%.3f,"
                   "\"measurements_per_s\":%.0f,",
                   s.trials, s.workers, static_cast<unsigned long long>(s.master_seed),
                   s.key_recovered_count, s.success_rate, s.mean_accuracy,
                   s.outcomes.recovered, s.outcomes.gave_up, s.outcomes.budget_exhausted,
-                  s.outcomes.refused_by_defense,
+                  s.outcomes.refused_by_defense, s.outcomes.locked_out,
                   static_cast<long long>(s.total_measurements), s.wall_ms,
                   s.trial_wall_ms_sum, s.measurements_per_s);
     out += buf;

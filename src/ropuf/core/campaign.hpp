@@ -55,6 +55,7 @@ struct OutcomeCounts {
     int gave_up = 0;
     int budget_exhausted = 0;
     int refused_by_defense = 0;
+    int locked_out = 0;
 
     bool operator==(const OutcomeCounts&) const = default;
 };

@@ -3,9 +3,9 @@
 // A job is one point of the spec's cartesian grid: a registered scenario
 // plus fully resolved ScenarioParams, a trial count, and a campaign master
 // seed. Expansion order is fixed (scenario outermost, then geometry, sigma,
-// ambient, majority_wins, ecc, query_budget, trials, master_seed innermost),
-// so a spec always expands to the same jobs in the same order, and job
-// `index` is a stable identity.
+// ambient, majority_wins, ecc, query_budget, defense, trials, master_seed
+// innermost), so a spec always expands to the same jobs in the same order,
+// and job `index` is a stable identity.
 //
 // Job IDs are `<spec_hash>-<index%05d>`: content-addressed by the spec and
 // positional within it. The campaign master seed of job i is

@@ -94,6 +94,9 @@ std::string to_jsonl(const JobRecord& r) {
     out += ",\"ecc_m\":" + std::to_string(r.params.ecc_m);
     out += ",\"ecc_t\":" + std::to_string(r.params.ecc_t);
     out += ",\"query_budget\":" + std::to_string(r.params.query_budget);
+    out += ",\"defense\":\"";
+    core::append_json_escaped(out, r.params.defense.empty() ? "none" : r.params.defense);
+    out += '"';
     out += ",\"trials\":" + std::to_string(r.trials);
     out += ",\"root_seed\":" + std::to_string(r.root_seed);
     out += ",\"campaign_seed\":" + std::to_string(r.campaign_seed);
@@ -106,6 +109,7 @@ std::string to_jsonl(const JobRecord& r) {
     out += ",\"gave_up\":" + std::to_string(r.outcomes.gave_up);
     out += ",\"budget_exhausted\":" + std::to_string(r.outcomes.budget_exhausted);
     out += ",\"refused_by_defense\":" + std::to_string(r.outcomes.refused_by_defense);
+    out += ",\"locked_out\":" + std::to_string(r.outcomes.locked_out);
     out += "},\"total_measurements\":" + std::to_string(r.total_measurements);
     out += ',';
     append_metric(out, "queries", r.queries);
@@ -153,6 +157,7 @@ JobRecord parse_record(std::string_view line) {
         r.params.ecc_t = static_cast<int>(point->number_or("ecc_t", 0));
         r.params.query_budget =
             static_cast<std::int64_t>(point->number_or("query_budget", 0));
+        r.params.defense = point->string_or("defense", "none");
         r.trials = static_cast<int>(point->number_or("trials", 0));
         // Seeds are full 64-bit values: the double path would corrupt them
         // above 2^53, so read them through the exact-literal accessors.
@@ -171,6 +176,7 @@ JobRecord parse_record(std::string_view line) {
                 static_cast<int>(outcomes->number_or("budget_exhausted", 0));
             r.outcomes.refused_by_defense =
                 static_cast<int>(outcomes->number_or("refused_by_defense", 0));
+            r.outcomes.locked_out = static_cast<int>(outcomes->number_or("locked_out", 0));
         }
         r.total_measurements = result->i64_or("total_measurements", 0);
         r.queries = metric_from(*result, "queries");
@@ -254,9 +260,9 @@ void ResultWriter::append(const JobRecord& record) {
 std::string render_report(const std::vector<JobRecord>& records) {
     std::string out;
     char buf[256];
-    std::snprintf(buf, sizeof buf, "%-24s %-26s %7s %8s %10s %10s %10s %13s\n", "scenario",
+    std::snprintf(buf, sizeof buf, "%-24s %-28s %7s %8s %10s %10s %10s %15s\n", "scenario",
                   "point", "trials", "success", "queries", "q-p95", "accuracy",
-                  "rec/gu/bx/rd");
+                  "rec/gu/bx/rd/lo");
     out += buf;
     for (const auto& r : records) {
         std::string point;
@@ -279,12 +285,15 @@ std::string render_report(const std::vector<JobRecord>& records) {
         if (r.params.query_budget > 0) {
             point += "b=" + std::to_string(r.params.query_budget) + " ";
         }
+        if (!r.params.defense.empty() && r.params.defense != "none") {
+            point += "d=" + r.params.defense + " ";
+        }
         point += "seed=" + std::to_string(r.root_seed);
-        char outcomes[48];
-        std::snprintf(outcomes, sizeof outcomes, "%d/%d/%d/%d", r.outcomes.recovered,
+        char outcomes[64];
+        std::snprintf(outcomes, sizeof outcomes, "%d/%d/%d/%d/%d", r.outcomes.recovered,
                       r.outcomes.gave_up, r.outcomes.budget_exhausted,
-                      r.outcomes.refused_by_defense);
-        std::snprintf(buf, sizeof buf, "%-24s %-26s %7d %8.3f %10.1f %10.0f %10.3f %13s\n",
+                      r.outcomes.refused_by_defense, r.outcomes.locked_out);
+        std::snprintf(buf, sizeof buf, "%-24s %-28s %7d %8.3f %10.1f %10.0f %10.3f %15s\n",
                       r.scenario.c_str(), point.c_str(), r.trials, r.success_rate,
                       r.queries.mean, r.queries.p95, r.mean_accuracy, outcomes);
         out += buf;
@@ -317,6 +326,83 @@ std::string render_report(const std::vector<JobRecord>& records) {
                       roll.query_sum / trials);
         out += buf;
     }
+    return out;
+}
+
+std::string render_matrix(const std::vector<JobRecord>& records) {
+    // Row/column orders follow first appearance, which for a planned spec is
+    // exactly the spec's own scenario and defense axis order.
+    std::vector<std::string> scenarios;
+    std::vector<std::string> defenses;
+    struct Cell {
+        core::OutcomeCounts outcomes;
+        long long trials = 0;
+        long long recovered = 0;
+    };
+    std::map<std::pair<std::string, std::string>, Cell> cells;
+    const auto remember = [](std::vector<std::string>& order, const std::string& name) {
+        if (std::find(order.begin(), order.end(), name) == order.end()) order.push_back(name);
+    };
+    for (const auto& r : records) {
+        const std::string defense = r.params.defense.empty() ? "none" : r.params.defense;
+        remember(scenarios, r.scenario);
+        remember(defenses, defense);
+        Cell& cell = cells[{r.scenario, defense}];
+        cell.outcomes.recovered += r.outcomes.recovered;
+        cell.outcomes.gave_up += r.outcomes.gave_up;
+        cell.outcomes.budget_exhausted += r.outcomes.budget_exhausted;
+        cell.outcomes.refused_by_defense += r.outcomes.refused_by_defense;
+        cell.outcomes.locked_out += r.outcomes.locked_out;
+        cell.trials += r.trials;
+        cell.recovered += r.key_recovered_count;
+    }
+
+    const auto render_cell = [](const Cell& cell) {
+        const std::pair<const char*, int> tallies[] = {
+            {"recovered", cell.outcomes.recovered},
+            {"gave_up", cell.outcomes.gave_up},
+            {"budget_exh", cell.outcomes.budget_exhausted},
+            {"refused", cell.outcomes.refused_by_defense},
+            {"locked_out", cell.outcomes.locked_out},
+        };
+        const char* dominant = "-";
+        int best = 0;
+        for (const auto& [name, count] : tallies) {
+            if (count > best) {
+                best = count;
+                dominant = name;
+            }
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%s %.2f", dominant,
+                      cell.trials > 0
+                          ? static_cast<double>(cell.recovered) /
+                                static_cast<double>(cell.trials)
+                          : 0.0);
+        return std::string(buf);
+    };
+
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%-32s", "scenario \\ defense");
+    out += buf;
+    for (const auto& defense : defenses) {
+        std::snprintf(buf, sizeof buf, " %-18s", defense.c_str());
+        out += buf;
+    }
+    out += '\n';
+    for (const auto& scenario : scenarios) {
+        std::snprintf(buf, sizeof buf, "%-32s", scenario.c_str());
+        out += buf;
+        for (const auto& defense : defenses) {
+            const auto it = cells.find({scenario, defense});
+            std::snprintf(buf, sizeof buf, " %-18s",
+                          it == cells.end() ? "-" : render_cell(it->second).c_str());
+            out += buf;
+        }
+        out += '\n';
+    }
+    out += "\ncell = dominant outcome + key-recovery rate over the cell's trials\n";
     return out;
 }
 

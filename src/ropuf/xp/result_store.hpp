@@ -4,12 +4,12 @@
 //
 //   identity   — spec name, spec hash, job ID, job index, scenario;
 //   point      — the fully resolved grid point (geometry, sigma, ambient,
-//                majority_wins, ecc, query_budget, trials, root/campaign
-//                seeds; defended-ness is a property of the scenario, carried
-//                by its name);
+//                majority_wins, ecc, query_budget, the canonical defense
+//                token — "none" for undefended runs — trials, root/campaign
+//                seeds);
 //   result     — the deterministic CampaignSummary aggregates, including the
 //                per-outcome histogram (recovered / gave_up /
-//                budget_exhausted / refused_by_defense).
+//                budget_exhausted / refused_by_defense / locked_out).
 //
 // All of the above is bitwise-reproducible from the spec alone. Host-bound
 // measurements (wall clock, workers used, throughput) are isolated in one
@@ -106,5 +106,11 @@ private:
 /// Fixed-width per-record table plus a per-scenario rollup — the
 /// `ropuf report` view.
 std::string render_report(const std::vector<JobRecord>& records);
+
+/// Attack x defense outcome matrix — the `ropuf report --matrix` view.
+/// Rows are scenarios, columns defenses (both in first-appearance order);
+/// each cell aggregates every record of that (scenario, defense) pair into
+/// its dominant outcome plus the trial-weighted key-recovery rate.
+std::string render_matrix(const std::vector<JobRecord>& records);
 
 } // namespace ropuf::xp

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "ropuf/core/attack_engine.hpp"
+#include "ropuf/defense/registry.hpp"
 #include "ropuf/xp/json.hpp"
 
 namespace ropuf::xp {
@@ -204,7 +205,23 @@ bool valid_name(const std::string& name) {
 const std::vector<std::string> kKnownKeys = {
     "name",          "scenarios", "constructions", "geometry",
     "sigma_noise_mhz", "ambient_c", "majority_wins", "ecc",
-    "query_budget",  "trials",    "master_seed"};
+    "query_budget",  "defense",   "trials",        "master_seed"};
+
+/// Syntax-normalizes every defense token (`lockout( 8 )` -> `lockout(8)`)
+/// so spelling variants hash identically; names are resolved against the
+/// defense registry at plan time, like scenario names.
+std::vector<std::string> parse_defense_axis(std::string_view value, int line) {
+    std::vector<std::string> out;
+    for (const auto& token : split_list(value)) {
+        try {
+            out.push_back(defense::format_token(defense::parse_defense_token(token)));
+        } catch (const std::invalid_argument& e) {
+            throw SpecError(e.what(), line);
+        }
+    }
+    if (out.empty()) throw SpecError("axis expands to zero values", line);
+    return out;
+}
 
 /// Applies one key=value assignment to the spec under construction.
 void apply_key(SweepSpec& spec, std::vector<std::string>& seen, const std::string& raw_key,
@@ -215,6 +232,14 @@ void apply_key(SweepSpec& spec, std::vector<std::string>& seen, const std::strin
     }
     seen.push_back(key);
     if (value.empty()) throw SpecError("key '" + key + "' has an empty value", line);
+    // Values must stay spellable in the line-based grammar (the canonical
+    // form is one). The text path can never produce these characters —
+    // comments and line splits are handled first — but the JSON input path
+    // can smuggle them inside string values, which would break the
+    // canonical-text round trip.
+    if (value.find_first_of("\n\r#") != std::string::npos) {
+        throw SpecError("key '" + key + "' value contains a newline or '#'", line);
+    }
 
     if (key == "name") {
         if (!valid_name(value)) {
@@ -243,6 +268,8 @@ void apply_key(SweepSpec& spec, std::vector<std::string>& seen, const std::strin
         spec.ecc = parse_ecc_axis(value, line);
     } else if (key == "query_budget") {
         spec.query_budget = parse_int_axis(value, line, 0);
+    } else if (key == "defense") {
+        spec.defense = parse_defense_axis(value, line);
     } else if (key == "trials") {
         spec.trials = parse_int_axis(value, line, 1);
     } else if (key == "master_seed") {
@@ -418,6 +445,14 @@ std::string canonical_text(const SweepSpec& spec) {
     }
     if (spec.query_budget != defaults.query_budget) {
         append_axis_ints(out, "query_budget", spec.query_budget);
+    }
+    if (spec.defense != defaults.defense) {
+        out += "defense=";
+        for (std::size_t i = 0; i < spec.defense.size(); ++i) {
+            if (i > 0) out += ',';
+            out += spec.defense[i];
+        }
+        out += '\n';
     }
     if (spec.trials != defaults.trials) append_axis_ints(out, "trials", spec.trials);
     if (spec.master_seed != defaults.master_seed) {

@@ -15,9 +15,11 @@
 //
 // Axes: scenarios/constructions (which experiments), geometry (CxR tokens),
 // sigma_noise_mhz, ambient_c, majority_wins, ecc (bch(m,t) tokens),
-// query_budget (alias `budget`; 0 = unlimited oracle queries), trials,
-// master_seed. A missing axis holds exactly its scenario-default sentinel,
-// so every spec expands to the full cartesian product of its axes.
+// query_budget (alias `budget`; 0 = unlimited oracle queries), defense
+// (countermeasure tokens from the ropuf::defense registry, e.g.
+// `none, sanity, mac, lockout(8)`), trials, master_seed. A missing axis
+// holds exactly its scenario-default sentinel, so every spec expands to the
+// full cartesian product of its axes.
 //
 // Specs are content-addressed: canonical_text() renders the *expanded* axes
 // in a fixed key order (so `0.5:1.5:0.5` and `0.5, 1.0, 1.5` are the same
@@ -63,6 +65,8 @@ struct SweepSpec {
     std::vector<int> majority_wins{0};
     std::vector<std::pair<int, int>> ecc{{0, 0}};      ///< (m, t); 0 = default
     std::vector<int> query_budget{0};                  ///< oracle query budget; 0 = unlimited
+    std::vector<std::string> defense{"none"};          ///< countermeasure tokens ("none",
+                                                       ///< "sanity", "lockout(8)", ...)
     std::vector<int> trials{100};
     std::vector<std::uint64_t> master_seed{1};
 };

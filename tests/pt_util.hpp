@@ -1,0 +1,336 @@
+// Minimal property-based testing harness — seeded generators + greedy
+// shrinking, no dependencies beyond the repo's own RNG.
+//
+// A property is checked over `cases` generated values; the first falsified
+// value is greedily shrunk (repeatedly replaced by the first simpler
+// candidate that still falsifies) until no candidate fails or the step
+// budget runs out, and the minimal counterexample is reported. Everything
+// is deterministic in the seed, so a failure line like
+//   pt: <label> falsified (seed 42, case 17, 31 shrink steps)
+// reproduces exactly.
+//
+// Usage:
+//   const pt::Result r = pt::check<std::vector<std::uint8_t>>(
+//       "parse survives mutation", /*seed=*/42, /*cases=*/500,
+//       [&](pt::Rng& rng) { return pt::random_blob(rng, 512); },
+//       pt::shrink_blob,
+//       [&](const auto& blob) -> std::string { ... return "" on pass ... },
+//       pt::show_blob);
+//   EXPECT_FALSE(r.failed) << r.summary();
+//
+// Shipped generators/shrinkers: byte blobs, structured text mutations (for
+// spec/JSONL fuzzing), and ECC codeword cases (message + error positions).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace pt {
+
+using Rng = ropuf::rng::Xoshiro256pp;
+
+struct Result {
+    bool failed = false;
+    int cases = 0;              ///< cases executed (including the failing one)
+    int shrink_steps = 0;       ///< property evaluations spent shrinking
+    std::uint64_t seed = 0;
+    std::string label;
+    std::string counterexample; ///< show(minimal value)
+    std::string message;        ///< property failure message for that value
+
+    std::string summary() const {
+        if (!failed) return label + ": ok (" + std::to_string(cases) + " cases)";
+        return label + " falsified (seed " + std::to_string(seed) + ", case " +
+               std::to_string(cases - 1) + ", " + std::to_string(shrink_steps) +
+               " shrink steps)\n  counterexample: " + counterexample + "\n  " + message;
+    }
+};
+
+/// Checks `property` (returns "" on pass, a failure message otherwise) over
+/// `cases` values from `generate`, shrinking the first counterexample with
+/// `shrink` (returns candidate simplifications, simplest first).
+template <typename T, typename GenFn, typename ShrinkFn, typename PropFn, typename ShowFn>
+Result check(std::string label, std::uint64_t seed, int cases, GenFn generate,
+             ShrinkFn shrink, PropFn property, ShowFn show) {
+    constexpr int kMaxShrinkSteps = 2000;
+    Result result;
+    result.label = std::move(label);
+    result.seed = seed;
+    Rng rng(seed);
+    for (int c = 0; c < cases; ++c) {
+        ++result.cases;
+        T value = generate(rng);
+        std::string failure = property(value);
+        if (failure.empty()) continue;
+
+        // Greedy shrink to a locally minimal counterexample: take the first
+        // candidate that still fails, restart from it, stop at a fixpoint.
+        bool improved = true;
+        while (improved && result.shrink_steps < kMaxShrinkSteps) {
+            improved = false;
+            for (T& candidate : shrink(value)) {
+                if (++result.shrink_steps > kMaxShrinkSteps) break;
+                std::string candidate_failure = property(candidate);
+                if (!candidate_failure.empty()) {
+                    value = std::move(candidate);
+                    failure = std::move(candidate_failure);
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        result.failed = true;
+        result.counterexample = show(value);
+        result.message = std::move(failure);
+        return result;
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Byte blobs
+// ---------------------------------------------------------------------------
+
+inline std::vector<std::uint8_t> random_blob(Rng& rng, std::size_t max_len) {
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(rng.uniform_u64(0, max_len)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    return bytes;
+}
+
+/// Structure-preserving mutations of a valid blob: bit flips, truncation,
+/// and appended garbage — parsing usually survives, so device-level
+/// validation gets exercised too.
+inline std::vector<std::uint8_t> mutate_blob(std::vector<std::uint8_t> bytes, Rng& rng,
+                                             int max_mutations = 8) {
+    const int mutations = rng.uniform_int(1, max_mutations);
+    for (int i = 0; i < mutations && !bytes.empty(); ++i) {
+        switch (rng.uniform_int(0, 2)) {
+            case 0:
+                bytes[static_cast<std::size_t>(rng.uniform_u64(0, bytes.size() - 1))] ^=
+                    static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+                break;
+            case 1:
+                bytes.resize(static_cast<std::size_t>(rng.uniform_u64(0, bytes.size())));
+                break;
+            case 2:
+                bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+                break;
+        }
+    }
+    return bytes;
+}
+
+/// Blob simplifications, most aggressive first: halves, then dropping and
+/// zeroing single bytes (zeroing makes minimal counterexamples readable).
+inline std::vector<std::vector<std::uint8_t>> shrink_blob(
+    const std::vector<std::uint8_t>& bytes) {
+    std::vector<std::vector<std::uint8_t>> out;
+    const std::size_t n = bytes.size();
+    if (n == 0) return out;
+    if (n > 1) {
+        out.emplace_back(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n / 2));
+        out.emplace_back(bytes.begin() + static_cast<std::ptrdiff_t>(n / 2), bytes.end());
+    }
+    for (std::size_t i = 0; i < n && i < 64; ++i) {
+        std::vector<std::uint8_t> dropped = bytes;
+        dropped.erase(dropped.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(dropped));
+    }
+    for (std::size_t i = 0; i < n && i < 64; ++i) {
+        if (bytes[i] == 0) continue;
+        std::vector<std::uint8_t> zeroed = bytes;
+        zeroed[i] = 0;
+        out.push_back(std::move(zeroed));
+    }
+    return out;
+}
+
+inline std::string show_blob(const std::vector<std::uint8_t>& bytes) {
+    static const char* hex = "0123456789abcdef";
+    std::string out = std::to_string(bytes.size()) + " bytes [";
+    for (std::size_t i = 0; i < bytes.size() && i < 48; ++i) {
+        out += hex[bytes[i] >> 4];
+        out += hex[bytes[i] & 0xf];
+    }
+    if (bytes.size() > 48) out += "...";
+    out += ']';
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structured text (sweep specs, JSONL records)
+// ---------------------------------------------------------------------------
+
+/// Mutates structured text: byte flips/inserts/deletes, line drops, line
+/// duplications and line splices — most results stay close enough to the
+/// grammar to reach deep parser paths instead of failing on character one.
+inline std::string mutate_text(std::string text, Rng& rng, int max_mutations = 6) {
+    const int mutations = rng.uniform_int(1, max_mutations);
+    for (int m = 0; m < mutations; ++m) {
+        if (text.empty()) {
+            text.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+            continue;
+        }
+        switch (rng.uniform_int(0, 4)) {
+            case 0: // flip a byte to a random printable (or separator) char
+                text[static_cast<std::size_t>(rng.uniform_u64(0, text.size() - 1))] =
+                    static_cast<char>(rng.uniform_int(0, 3) == 0
+                                          ? (rng.uniform_int(0, 1) ? '\n' : ',')
+                                          : rng.uniform_int(32, 126));
+                break;
+            case 1: // delete a span
+            {
+                const std::size_t at = static_cast<std::size_t>(
+                    rng.uniform_u64(0, text.size() - 1));
+                const std::size_t len = std::min<std::size_t>(
+                    text.size() - at, static_cast<std::size_t>(rng.uniform_int(1, 8)));
+                text.erase(at, len);
+                break;
+            }
+            case 2: // insert garbage
+                text.insert(static_cast<std::size_t>(rng.uniform_u64(0, text.size())), 1,
+                            static_cast<char>(rng.uniform_int(32, 126)));
+                break;
+            case 3: // duplicate a line
+            case 4: // or drop one
+            {
+                std::vector<std::string> lines;
+                std::size_t start = 0;
+                while (start <= text.size()) {
+                    const std::size_t eol = std::min(text.find('\n', start), text.size());
+                    lines.push_back(text.substr(start, eol - start));
+                    start = eol + 1;
+                }
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.uniform_u64(0, lines.size() - 1));
+                if (rng.uniform_int(0, 1)) {
+                    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(pick),
+                                 lines[pick]);
+                } else if (lines.size() > 1) {
+                    lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(pick));
+                }
+                text.clear();
+                for (std::size_t i = 0; i < lines.size(); ++i) {
+                    if (i > 0) text += '\n';
+                    text += lines[i];
+                }
+                break;
+            }
+        }
+    }
+    return text;
+}
+
+/// Text simplifications: drop lines, then halve the worst line.
+inline std::vector<std::string> shrink_text(const std::string& text) {
+    std::vector<std::string> out;
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t eol = std::min(text.find('\n', start), text.size());
+        lines.push_back(text.substr(start, eol - start));
+        start = eol + 1;
+    }
+    const auto join = [](const std::vector<std::string>& ls) {
+        std::string s;
+        for (std::size_t i = 0; i < ls.size(); ++i) {
+            if (i > 0) s += '\n';
+            s += ls[i];
+        }
+        return s;
+    };
+    for (std::size_t i = 0; i < lines.size() && i < 64; ++i) {
+        std::vector<std::string> dropped = lines;
+        dropped.erase(dropped.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(join(dropped));
+    }
+    for (std::size_t i = 0; i < lines.size() && i < 64; ++i) {
+        if (lines[i].size() < 2) continue;
+        std::vector<std::string> halved = lines;
+        halved[i] = lines[i].substr(0, lines[i].size() / 2);
+        out.push_back(join(halved));
+    }
+    return out;
+}
+
+inline std::string show_text(const std::string& text) {
+    std::string out = std::to_string(text.size()) + " chars \"";
+    for (std::size_t i = 0; i < text.size() && i < 160; ++i) {
+        const char c = text[i];
+        if (c == '\n') {
+            out += "\\n";
+        } else if (c < 32 || c > 126) {
+            out += '?';
+        } else {
+            out += c;
+        }
+    }
+    if (text.size() > 160) out += "...";
+    out += '"';
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// ECC codeword cases
+// ---------------------------------------------------------------------------
+
+/// A round-trip case: a random message plus distinct error positions to
+/// inject into its codeword.
+struct CodewordCase {
+    ropuf::bits::BitVec message;
+    std::vector<std::size_t> errors;
+};
+
+/// Uniform message of `k` bits with up to `max_errors` distinct error
+/// positions inside an `n`-bit codeword.
+inline CodewordCase random_codeword_case(Rng& rng, std::size_t k, std::size_t n,
+                                         std::size_t max_errors) {
+    CodewordCase cw;
+    cw.message = ropuf::bits::random_bits(k, rng);
+    const std::size_t count = static_cast<std::size_t>(rng.uniform_u64(0, max_errors));
+    while (cw.errors.size() < count) {
+        const std::size_t pos = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+        if (std::find(cw.errors.begin(), cw.errors.end(), pos) == cw.errors.end()) {
+            cw.errors.push_back(pos);
+        }
+    }
+    return cw;
+}
+
+/// Simplifications: drop error positions one at a time, then zero message
+/// bits — the minimal counterexample isolates which error/bit combination
+/// breaks the decoder.
+inline std::vector<CodewordCase> shrink_codeword_case(const CodewordCase& cw) {
+    std::vector<CodewordCase> out;
+    for (std::size_t i = 0; i < cw.errors.size(); ++i) {
+        CodewordCase fewer = cw;
+        fewer.errors.erase(fewer.errors.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(fewer));
+    }
+    for (std::size_t i = 0; i < cw.message.size(); ++i) {
+        if (!cw.message[i]) continue;
+        CodewordCase simpler = cw;
+        simpler.message[i] = 0;
+        out.push_back(std::move(simpler));
+    }
+    return out;
+}
+
+inline std::string show_codeword_case(const CodewordCase& cw) {
+    std::string out = "message ";
+    for (std::size_t i = 0; i < cw.message.size(); ++i) out += cw.message[i] ? '1' : '0';
+    out += ", errors at {";
+    for (std::size_t i = 0; i < cw.errors.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(cw.errors[i]);
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace pt

@@ -1,6 +1,10 @@
-// BCH encoder/decoder tests, parameterized over (m, t).
+// BCH encoder/decoder tests, parameterized over (m, t). The round-trip
+// decoding guarantee (encode∘decode = id within t errors) is property-based:
+// random messages + random error sets from tests/pt_util.hpp, with failing
+// cases shrunk to a minimal (message, error-set) counterexample.
 #include <gtest/gtest.h>
 
+#include "pt_util.hpp"
 #include "ropuf/bits/bitvec.hpp"
 #include "ropuf/ecc/bch.hpp"
 #include "ropuf/ecc/repetition.hpp"
@@ -63,22 +67,38 @@ TEST_P(BchParam, ParityIsLinear) {
               bits::zeros(static_cast<std::size_t>(code.parity_bits())));
 }
 
-TEST_P(BchParam, CorrectsUpToTErrors) {
+TEST_P(BchParam, PropertyRoundTripWithinTErrors) {
+    // encode∘decode = id for every message and every error set of weight
+    // <= t — including the zero-error fast path (error count 0 is generated
+    // too). A failure shrinks to the minimal breaking (message, errors).
     const auto [m, t, expected_k] = GetParam();
     const BchCode code(m, t);
-    Xoshiro256pp rng(44);
-    for (int e = 0; e <= t; ++e) {
-        for (int trial = 0; trial < 8; ++trial) {
-            const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
-            const auto cw = code.encode(msg);
-            auto received = cw;
-            bits::flip_random(received, e, rng);
-            const auto result = code.decode(received);
-            ASSERT_TRUE(result.ok) << "m=" << m << " t=" << t << " e=" << e;
-            EXPECT_EQ(result.codeword, cw);
-            EXPECT_EQ(result.corrected, e);
-        }
-    }
+    const auto result = pt::check<pt::CodewordCase>(
+        "bch(" + std::to_string(m) + "," + std::to_string(t) + ") round trip", 44, 60,
+        [&](pt::Rng& rng) {
+            return pt::random_codeword_case(rng, static_cast<std::size_t>(code.k()),
+                                            static_cast<std::size_t>(code.n()),
+                                            static_cast<std::size_t>(t));
+        },
+        pt::shrink_codeword_case,
+        [&](const pt::CodewordCase& cw) -> std::string {
+            const auto codeword = code.encode(cw.message);
+            auto received = codeword;
+            for (const std::size_t pos : cw.errors) bits::flip(received, pos);
+            const auto decoded = code.decode(received);
+            if (!decoded.ok) return "decode flagged failure within the t-error radius";
+            if (decoded.codeword != codeword) return "decoded to a different codeword";
+            if (decoded.corrected != static_cast<int>(cw.errors.size())) {
+                return "corrected " + std::to_string(decoded.corrected) + " errors, expected " +
+                       std::to_string(cw.errors.size());
+            }
+            if (code.message_of(decoded.codeword) != cw.message) {
+                return "systematic message extraction changed the message";
+            }
+            return "";
+        },
+        pt::show_codeword_case);
+    EXPECT_FALSE(result.failed) << result.summary();
 }
 
 TEST_P(BchParam, DetectsOrMiscorrectsBeyondT) {
@@ -108,18 +128,6 @@ TEST_P(BchParam, DetectsOrMiscorrectsBeyondT) {
     // Either outcome is legitimate, but the decoder must never be silent
     // about success while returning garbage lengths.
     EXPECT_EQ(detected + miscorrected_to_wrong, kTrials);
-}
-
-TEST_P(BchParam, ZeroErrorsFastPath) {
-    const auto [m, t, expected_k] = GetParam();
-    const BchCode code(m, t);
-    Xoshiro256pp rng(46);
-    const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
-    const auto cw = code.encode(msg);
-    const auto result = code.decode(cw);
-    EXPECT_TRUE(result.ok);
-    EXPECT_EQ(result.corrected, 0);
-    EXPECT_EQ(result.codeword, cw);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -181,12 +189,47 @@ TEST(Repetition, EncodeDecodeMajority) {
     EXPECT_EQ(rep.decode_bit(noisy), 0); // 3 of 5 flipped: majority lost
 }
 
-TEST(Repetition, VectorRoundTrip) {
-    const RepetitionCode rep(3);
-    const auto msg = bits::from_string("1011");
-    const auto cw = rep.encode(msg);
-    EXPECT_EQ(cw.size(), 12u);
-    EXPECT_EQ(rep.decode(cw), msg);
+TEST(Repetition, PropertyRoundTripWithinTErrorsPerBlock) {
+    // encode∘decode = id as long as no block of n repetitions carries more
+    // than t = (n-1)/2 flips. Errors are drawn per block so every generated
+    // case sits inside the guarantee.
+    for (const int n : {3, 5, 7}) {
+        const RepetitionCode rep(n);
+        const auto result = pt::check<pt::CodewordCase>(
+            "repetition(" + std::to_string(n) + ") round trip", 47, 60,
+            [&](pt::Rng& rng) {
+                pt::CodewordCase cw;
+                const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 15));
+                cw.message = bits::random_bits(k, rng);
+                // Up to t distinct flips inside each block of n copies.
+                for (std::size_t block = 0; block < k; ++block) {
+                    const int flips = rng.uniform_int(0, rep.t());
+                    std::vector<std::size_t> positions;
+                    while (static_cast<int>(positions.size()) < flips) {
+                        const auto pos = block * static_cast<std::size_t>(n) +
+                                         static_cast<std::size_t>(
+                                             rng.uniform_int(0, n - 1));
+                        if (std::find(positions.begin(), positions.end(), pos) ==
+                            positions.end()) {
+                            positions.push_back(pos);
+                        }
+                    }
+                    cw.errors.insert(cw.errors.end(), positions.begin(), positions.end());
+                }
+                return cw;
+            },
+            pt::shrink_codeword_case,
+            [&](const pt::CodewordCase& cw) -> std::string {
+                auto received = rep.encode(cw.message);
+                for (const std::size_t pos : cw.errors) bits::flip(received, pos);
+                if (rep.decode(received) != cw.message) {
+                    return "majority decode lost the message";
+                }
+                return "";
+            },
+            pt::show_codeword_case);
+        EXPECT_FALSE(result.failed) << result.summary();
+    }
 }
 
 TEST(Repetition, RejectsEvenLength) {

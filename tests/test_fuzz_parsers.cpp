@@ -1,9 +1,12 @@
 // Parser robustness fuzzing: a device must survive ARBITRARY helper NVM
 // content — the attacker writes whatever he likes. Every parse either throws
 // ParseError or yields a structure the device then rejects or handles; no
-// crash, no runaway allocation, no out-of-range access.
+// crash, no runaway allocation, no out-of-range access. Blob generation and
+// structure-preserving mutation come from the shared property-testing
+// harness (tests/pt_util.hpp).
 #include <gtest/gtest.h>
 
+#include "pt_util.hpp"
 #include "ropuf/fuzzy/robust.hpp"
 #include "ropuf/group/group_puf.hpp"
 #include "ropuf/pairing/puf_pipeline.hpp"
@@ -13,38 +16,11 @@ namespace {
 
 namespace bits = ropuf::bits;
 using namespace ropuf;
+using pt::mutate_blob;
+using pt::random_blob;
 using ropuf::helperdata::Nvm;
 using ropuf::helperdata::ParseError;
 using ropuf::rng::Xoshiro256pp;
-
-std::vector<std::uint8_t> random_blob(Xoshiro256pp& rng, std::size_t max_len) {
-    const auto len = static_cast<std::size_t>(rng.uniform_u64(0, max_len));
-    std::vector<std::uint8_t> bytes(len);
-    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
-    return bytes;
-}
-
-/// Mutates a valid blob: keeps structure mostly intact so parsing usually
-/// SUCCEEDS and the device-level validation gets exercised too.
-std::vector<std::uint8_t> mutate_blob(std::vector<std::uint8_t> bytes, Xoshiro256pp& rng) {
-    const int mutations = rng.uniform_int(1, 8);
-    for (int i = 0; i < mutations && !bytes.empty(); ++i) {
-        switch (rng.uniform_int(0, 2)) {
-            case 0: // bit flip
-                bytes[static_cast<std::size_t>(
-                    rng.uniform_u64(0, bytes.size() - 1))] ^=
-                    static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
-                break;
-            case 1: // truncate
-                bytes.resize(static_cast<std::size_t>(rng.uniform_u64(0, bytes.size())));
-                break;
-            case 2: // append garbage
-                bytes.push_back(static_cast<std::uint8_t>(rng.next()));
-                break;
-        }
-    }
-    return bytes;
-}
 
 class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,0 +1,104 @@
+// The property-testing harness itself: determinism in the seed, greedy
+// shrinking down to minimal counterexamples, step budgets, and the shipped
+// generators' contracts (distinct error positions, structure-preserving
+// text mutations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pt_util.hpp"
+
+namespace {
+
+using Blob = std::vector<std::uint8_t>;
+
+TEST(PtCheck, PassingPropertyRunsEveryCase) {
+    const auto result = pt::check<Blob>(
+        "always passes", 1, 50, [](pt::Rng& rng) { return pt::random_blob(rng, 64); },
+        pt::shrink_blob, [](const Blob&) { return std::string(); }, pt::show_blob);
+    EXPECT_FALSE(result.failed);
+    EXPECT_EQ(result.cases, 50);
+    EXPECT_EQ(result.shrink_steps, 0);
+}
+
+TEST(PtCheck, ShrinksToTheMinimalCounterexample) {
+    // Planted bug: any blob containing 0x42 "fails". The greedy shrinker
+    // must walk an arbitrary failing blob down to exactly [0x42].
+    const auto property = [](const Blob& blob) -> std::string {
+        return std::find(blob.begin(), blob.end(), 0x42) != blob.end()
+                   ? "contains the magic byte"
+                   : "";
+    };
+    const auto result = pt::check<Blob>(
+        "finds 0x42", 7, 400,
+        [](pt::Rng& rng) { return pt::random_blob(rng, 64); }, pt::shrink_blob, property,
+        pt::show_blob);
+    ASSERT_TRUE(result.failed);
+    EXPECT_GT(result.shrink_steps, 0);
+    EXPECT_EQ(result.counterexample, "1 bytes [42]");
+    EXPECT_NE(result.summary().find("contains the magic byte"), std::string::npos);
+}
+
+TEST(PtCheck, IsDeterministicInTheSeed) {
+    const auto property = [](const Blob& blob) -> std::string {
+        return blob.size() > 40 ? "too long" : "";
+    };
+    const auto run = [&] {
+        return pt::check<Blob>("len", 123, 200,
+                               [](pt::Rng& rng) { return pt::random_blob(rng, 64); },
+                               pt::shrink_blob, property, pt::show_blob);
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_TRUE(a.failed);
+    EXPECT_EQ(a.cases, b.cases);
+    EXPECT_EQ(a.counterexample, b.counterexample);
+    EXPECT_EQ(a.shrink_steps, b.shrink_steps);
+    // Shrinking halves below the threshold immediately, so the minimal
+    // counterexample sits just above it.
+    EXPECT_EQ(a.counterexample.find("41 bytes"), 0u);
+}
+
+TEST(PtCheck, ShrinkBudgetBoundsPathologicalShrinkers) {
+    // A property that fails for every non-empty blob: shrinking terminates
+    // at the 1-byte fixpoint (or the step budget) instead of looping.
+    const auto result = pt::check<Blob>(
+        "always fails", 5, 10,
+        [](pt::Rng& rng) {
+            Blob blob = pt::random_blob(rng, 512);
+            blob.push_back(1); // never empty
+            return blob;
+        },
+        pt::shrink_blob, [](const Blob& b) { return b.empty() ? "" : std::string("nonempty"); },
+        pt::show_blob);
+    ASSERT_TRUE(result.failed);
+    EXPECT_LE(result.shrink_steps, 2000);
+    EXPECT_EQ(result.counterexample.find("1 bytes"), 0u);
+}
+
+TEST(PtGenerators, CodewordCasesStayInsideTheRadius) {
+    pt::Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        const auto cw = pt::random_codeword_case(rng, 8, 31, 5);
+        EXPECT_EQ(cw.message.size(), 8u);
+        EXPECT_LE(cw.errors.size(), 5u);
+        const std::set<std::size_t> unique(cw.errors.begin(), cw.errors.end());
+        EXPECT_EQ(unique.size(), cw.errors.size()); // distinct positions
+        for (const std::size_t pos : cw.errors) EXPECT_LT(pos, 31u);
+    }
+}
+
+TEST(PtGenerators, TextMutationIsDeterministicAndBounded) {
+    const std::string base = "name = x\nscenarios = seqpair/swap\ntrials = 3\n";
+    pt::Rng a(11);
+    pt::Rng b(11);
+    EXPECT_EQ(pt::mutate_text(base, a), pt::mutate_text(base, b));
+    pt::Rng c(12);
+    for (int i = 0; i < 100; ++i) {
+        const auto mutated = pt::mutate_text(base, c);
+        EXPECT_LT(mutated.size(), base.size() * 4 + 64);
+    }
+}
+
+} // namespace

@@ -1,7 +1,10 @@
 // RM(1, m) tests: dimensions, encoder linearity, FHT maximum-likelihood
-// decoding inside and outside the guaranteed radius.
+// decoding inside and outside the guaranteed radius. The in-radius
+// round-trip guarantee is property-based (tests/pt_util.hpp): random
+// messages + random error sets, shrunk to a minimal counterexample.
 #include <gtest/gtest.h>
 
+#include "pt_util.hpp"
 #include "ropuf/ecc/reed_muller.hpp"
 #include "ropuf/rng/xoshiro.hpp"
 
@@ -43,20 +46,33 @@ TEST_P(RmParam, NonzeroCodewordsHaveWeightHalfN) {
     }
 }
 
-TEST_P(RmParam, DecodesUpToGuaranteedRadius) {
+TEST_P(RmParam, PropertyRoundTripWithinGuaranteedRadius) {
+    // encode∘decode = id for every message and every error set of weight
+    // <= t (zero-error cases generated too); ML decoding must also report
+    // exactly the injected error count inside the unique-decoding radius.
     const ReedMullerCode code(GetParam());
-    Xoshiro256pp rng(802);
-    for (int e = 0; e <= code.t(); ++e) {
-        for (int trial = 0; trial < 6; ++trial) {
-            const auto msg = bits::random_bits(static_cast<std::size_t>(code.k()), rng);
-            auto received = code.encode(msg);
-            bits::flip_random(received, e, rng);
-            const auto result = code.decode(received);
-            ASSERT_TRUE(result.ok) << "e=" << e;
-            EXPECT_EQ(result.message, msg);
-            EXPECT_EQ(result.corrected, e);
-        }
-    }
+    const auto result = pt::check<pt::CodewordCase>(
+        "rm(1," + std::to_string(GetParam()) + ") round trip", 802, 40,
+        [&](pt::Rng& rng) {
+            return pt::random_codeword_case(rng, static_cast<std::size_t>(code.k()),
+                                            static_cast<std::size_t>(code.n()),
+                                            static_cast<std::size_t>(code.t()));
+        },
+        pt::shrink_codeword_case,
+        [&](const pt::CodewordCase& cw) -> std::string {
+            auto received = code.encode(cw.message);
+            for (const std::size_t pos : cw.errors) bits::flip(received, pos);
+            const auto decoded = code.decode(received);
+            if (!decoded.ok) return "decode flagged failure inside the guaranteed radius";
+            if (decoded.message != cw.message) return "decoded to a different message";
+            if (decoded.corrected != static_cast<int>(cw.errors.size())) {
+                return "corrected " + std::to_string(decoded.corrected) + " errors, expected " +
+                       std::to_string(cw.errors.size());
+            }
+            return "";
+        },
+        pt::show_codeword_case);
+    EXPECT_FALSE(result.failed) << result.summary();
 }
 
 TEST_P(RmParam, MlDecodingBeyondRadiusIsSafe) {

@@ -142,6 +142,62 @@ TEST(SweepSpec, QueryBudgetAxisParsesAliasesAndExpands) {
     EXPECT_THROW(parse_spec("name=b\nscenarios=all\nquery_budget=-1\n"), SpecError);
 }
 
+TEST(SweepSpec, DefenseAxisParsesNormalizesAndExpands) {
+    const SweepSpec spec = parse_spec(
+        "name = d\n"
+        "scenarios = seqpair/swap\n"
+        "defense = none, sanity, lockout( 8 ), ratelimit(200,64)\n"
+        "trials = 1\n");
+    EXPECT_EQ(spec.defense, (std::vector<std::string>{"none", "sanity", "lockout(8)",
+                                                      "ratelimit(200,64)"}));
+    // Canonical text carries the normalized tokens; the default axis is
+    // omitted, so pre-defense specs keep their hashes.
+    EXPECT_NE(xp::canonical_text(spec).find("defense=none,sanity,lockout(8)"),
+              std::string::npos);
+    const SweepSpec plain = parse_spec("name = d\nscenarios = seqpair/swap\ntrials = 1\n");
+    EXPECT_EQ(xp::canonical_text(plain).find("defense"), std::string::npos);
+
+    // Malformed tokens fail at parse time with the spec line attached.
+    EXPECT_THROW(parse_spec("name=d\nscenarios=seqpair/swap\ndefense=lockout(8\n"),
+                 SpecError);
+    EXPECT_THROW(parse_spec("name=d\nscenarios=seqpair/swap\ndefense=lockout(x)\n"),
+                 SpecError);
+
+    // Planner: defaults are filled into the job params and the plan hash,
+    // unknown names and bad values die at plan time with a did-you-mean.
+    const auto& registry = attack::default_registry();
+    const SweepSpec shorthand = parse_spec(
+        "name=d\nscenarios=seqpair/swap\ndefense=lockout\ntrials=1\n");
+    const xp::Plan plan = plan_spec(shorthand, registry);
+    ASSERT_EQ(plan.jobs.size(), 1u);
+    EXPECT_EQ(plan.jobs[0].params.defense, "lockout(32)");
+    const SweepSpec longhand = parse_spec(
+        "name=d\nscenarios=seqpair/swap\ndefense=lockout(32)\ntrials=1\n");
+    EXPECT_EQ(plan.hash, plan_spec(longhand, registry).hash);
+    EXPECT_THROW(
+        plan_spec(parse_spec("name=d\nscenarios=seqpair/swap\ndefense=lockotu\n"), registry),
+        SpecError);
+    EXPECT_THROW(
+        plan_spec(parse_spec("name=d\nscenarios=seqpair/swap\ndefense=lockout(0)\n"),
+                  registry),
+        SpecError);
+
+    // Scenario x defense incompatibility dies at PLAN time — a mid-sweep
+    // abort would leave resume permanently wedged on the same job.
+    EXPECT_THROW(
+        plan_spec(parse_spec("name=d\nscenarios=fuzzy/reference\ndefense=mac\n"), registry),
+        SpecError);
+    EXPECT_THROW(
+        plan_spec(parse_spec("name=d\nscenarios=seqpair/swap-defended\ndefense=mac\n"),
+                  registry),
+        SpecError);
+    EXPECT_NO_THROW(plan_spec(
+        parse_spec("name=d\nscenarios=seqpair/swap-defended\ndefense=none,sanity\n"),
+        registry));
+    EXPECT_NO_THROW(
+        plan_spec(parse_spec("name=d\nscenarios=fuzzy/reference\ndefense=none\n"), registry));
+}
+
 TEST(SweepSpec, RejectsEmptyGridsAndMissingSelectors) {
     // Empty axis value.
     EXPECT_THROW(parse_spec("name=x\nscenarios=all\ntrials=\n"), SpecError);
@@ -263,8 +319,9 @@ TEST(Planner, ResolvesConstructionsAndRejectsUnknownNames) {
     const auto names = xp::resolve_scenarios(by_kind, registry);
     EXPECT_NE(std::find(names.begin(), names.end(), "group/sortmerge"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "group/exhaustive"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "group/sortmerge-adaptive"), names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "group/sortmerge-defended"), names.end());
-    EXPECT_EQ(names.size(), 3u);
+    EXPECT_EQ(names.size(), 4u);
 
     EXPECT_THROW(
         plan_spec(parse_spec("name=u\nscenarios=no/such\n"), registry), SpecError);
@@ -316,6 +373,8 @@ TEST(Specs, CommittedSpecFilesParseAndPlan) {
         {"fig1_array_size.spec", 4},
         {"fig5_failure_pdf.spec", 12},
         {"fig7_fuzzy.spec", 6},
+        {"fig_budget_curve.spec", 40},
+        {"fig_matrix.spec", 56},
         {"paper_all.spec", registry.size()},
         {"smoke.spec", 4},
     };

@@ -1,10 +1,11 @@
 // ropuf — the experiment CLI: reproduce the paper in one run.
 //
-//   ropuf list                         registered scenarios & constructions
+//   ropuf list                         registered scenarios & defenses
 //   ropuf plan <spec>                  expand a spec without running it
 //   ropuf run <spec> [options]         run every job, write results JSONL
 //   ropuf resume <spec> <results>      run exactly the missing job IDs
 //   ropuf report <results>             aggregate a results file into tables
+//   ropuf report <results> --matrix    attack x defense outcome matrix
 //
 // run/resume options:
 //   -o <file>        results path (default: <spec name>.jsonl)
@@ -23,6 +24,7 @@
 
 #include "ropuf/attack/scenarios.hpp"
 #include "ropuf/core/attack_engine.hpp"
+#include "ropuf/defense/registry.hpp"
 #include "ropuf/xp/executor.hpp"
 #include "ropuf/xp/planner.hpp"
 #include "ropuf/xp/result_store.hpp"
@@ -36,11 +38,12 @@ int usage(std::FILE* out) {
     std::fputs(
         "usage: ropuf <command> [args]\n"
         "\n"
-        "  list                       registered scenarios & constructions\n"
+        "  list                       registered scenarios, constructions & defenses\n"
         "  plan <spec>                expand a spec into its job table\n"
         "  run <spec> [options]       run a spec, writing one JSONL record per job\n"
         "  resume <spec> <results>    complete the job IDs missing from <results>\n"
         "  report <results>           render summary tables from a results file\n"
+        "  report <results> --matrix  render the attack x defense outcome matrix\n"
         "\n"
         "run/resume options:\n"
         "  -o <file>       results path (run only; default <spec name>.jsonl)\n"
@@ -109,10 +112,21 @@ int cmd_list() {
         std::printf("%-26s %-13s %-16s %s\n", s.name.c_str(), s.construction.c_str(),
                     s.paper_ref.c_str(), s.attack.c_str());
     }
-    std::printf("\n%zu scenarios. Sweep axes: geometry, sigma_noise_mhz, ambient_c,\n",
-                registry.size());
-    std::puts("majority_wins, ecc, query_budget, trials, master_seed. See specs/*.spec "
-              "for examples.");
+    const auto& defenses = defense::default_registry();
+    std::printf("\n%-26s %-28s %s\n", "defense", "reference", "summary");
+    for (const auto& d : defenses.defenses()) {
+        std::string token = d.name;
+        if (!d.defaults.empty()) {
+            token = defense::canonical_token(d.name, defenses);
+        }
+        std::printf("%-26s %-28s %s\n", token.c_str(), d.reference.c_str(),
+                    d.summary.c_str());
+    }
+    std::printf(
+        "\n%zu scenarios, %zu defenses. Sweep axes: geometry, sigma_noise_mhz,\n",
+        registry.size(), defenses.size());
+    std::puts("ambient_c, majority_wins, ecc, query_budget, defense, trials, "
+              "master_seed. See specs/*.spec for examples.");
     return 0;
 }
 
@@ -121,8 +135,8 @@ int cmd_plan(const std::string& spec_path) {
     const xp::Plan plan = xp::plan_spec(spec, attack::default_registry());
     std::printf("spec %s  hash %s  %zu jobs\n\n", plan.spec_name.c_str(), plan.hash.c_str(),
                 plan.jobs.size());
-    std::printf("%-22s %-32s %6s %6s %8s %8s %7s %6s %12s\n", "job", "scenario", "geom",
-                "sigma", "ambient", "ecc", "budget", "trials", "campaign_seed");
+    std::printf("%-22s %-32s %6s %6s %8s %8s %7s %-18s %6s %12s\n", "job", "scenario", "geom",
+                "sigma", "ambient", "ecc", "budget", "defense", "trials", "campaign_seed");
     for (const auto& job : plan.jobs) {
         char geom[16] = "dflt";
         if (job.params.cols > 0) {
@@ -141,8 +155,9 @@ int cmd_plan(const std::string& spec_path) {
             std::snprintf(budget, sizeof budget, "%lld",
                           static_cast<long long>(job.params.query_budget));
         }
-        std::printf("%-22s %-32s %6s %6s %8.3g %8s %7s %6d %12llu\n", job.id.c_str(),
+        std::printf("%-22s %-32s %6s %6s %8.3g %8s %7s %-18s %6d %12llu\n", job.id.c_str(),
                     job.scenario.c_str(), geom, sigma, job.params.ambient_c, ecc, budget,
+                    job.params.defense.empty() ? "none" : job.params.defense.c_str(),
                     job.trials, static_cast<unsigned long long>(job.campaign_seed));
     }
     return 0;
@@ -196,7 +211,7 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
     return 0;
 }
 
-int cmd_report(const std::string& results_path) {
+int cmd_report(const std::string& results_path, bool matrix) {
     int torn = 0;
     const auto records = xp::read_results(results_path, &torn);
     if (torn > 0) {
@@ -207,7 +222,7 @@ int cmd_report(const std::string& results_path) {
         std::fprintf(stderr, "ropuf: no records in %s\n", results_path.c_str());
         return 1;
     }
-    std::printf("%s", xp::render_report(records).c_str());
+    std::printf("%s", (matrix ? xp::render_matrix(records) : xp::render_report(records)).c_str());
     return 0;
 }
 
@@ -246,8 +261,19 @@ int main(int argc, char** argv) {
                                  args[2]);
         }
         if (command == "report") {
-            if (args.size() != 2) return usage(stderr);
-            return cmd_report(args[1]);
+            bool matrix = false;
+            std::string path;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                if (args[i] == "--matrix") {
+                    matrix = true;
+                } else if (path.empty()) {
+                    path = args[i];
+                } else {
+                    return usage(stderr);
+                }
+            }
+            if (path.empty()) return usage(stderr);
+            return cmd_report(path, matrix);
         }
         std::fprintf(stderr, "ropuf: %s\n",
                      ropuf::core::unknown_name_message(
