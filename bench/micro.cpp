@@ -18,6 +18,8 @@
 #include "ropuf/group/group_puf.hpp"
 #include "ropuf/hash/sha256.hpp"
 #include "ropuf/rng/gaussian.hpp"
+#include "ropuf/sim/ro_fleet.hpp"
+#include "ropuf/simd/simd.hpp"
 
 namespace {
 
@@ -161,6 +163,60 @@ void BM_RoArrayMeasureBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_RoArrayMeasureBatch)->Arg(1)->Arg(8)->Arg(32);
 
+void BM_SimdMeasure(benchmark::State& state) {
+    // Successor of BM_RoArrayBatchedScan on the fleet kernel: `range` devices
+    // measured lane-parallel (one device per vector lane on the wide paths).
+    // Items = measurements, so items_per_second compares directly against the
+    // BM_RoArrayBatchedScan baseline; Arg(1) shows the single-device floor.
+    const auto devices = static_cast<std::size_t>(state.range(0));
+    constexpr int kScans = 64;
+    sim::RoFleet fleet({64, 8}, sim::ProcessParams{}, 14, devices);
+    const auto count = static_cast<std::int64_t>(fleet.chip(0).count());
+    std::vector<std::vector<double>> out;
+    for (auto _ : state) {
+        fleet.measure_batch(sim::Condition{}, kScans, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(devices) * kScans * count);
+}
+BENCHMARK(BM_SimdMeasure)->Arg(1)->Arg(8);
+
+void BM_MajorityVote(benchmark::State& state) {
+    // Bit-sliced majority vote kernel over `range` packed scan rows; items =
+    // output bits decided.
+    const int n_rows = static_cast<int>(state.range(0));
+    constexpr std::size_t kWords = 64; // 4096 response bits
+    rng::Xoshiro256pp rng(19);
+    std::vector<std::uint64_t> rows(kWords * static_cast<std::size_t>(n_rows));
+    for (auto& w : rows) w = rng.next();
+    std::vector<std::uint64_t> out(kWords);
+    for (auto _ : state) {
+        simd::kernels().majority_vote_packed(rows.data(), kWords, n_rows, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kWords * 64);
+}
+BENCHMARK(BM_MajorityVote)->Arg(5)->Arg(9)->Arg(15);
+
+void BM_BchSyndrome(benchmark::State& state) {
+    // Byte-wise Horner syndrome kernel; items = codeword bits. Arg is the
+    // field degree m; m=13 exceeds the mul-table budget and exercises the
+    // log/exp stepping fallback.
+    const ecc::BchCode code(static_cast<int>(state.range(0)), 3);
+    rng::Xoshiro256pp rng(20);
+    const auto word = bits::random_bits(static_cast<std::size_t>(code.n()), rng);
+    const auto bytes = bits::pack_bytes(word);
+    const simd::BchHornerView view = code.horner_view();
+    std::vector<int> synd(static_cast<std::size_t>(2 * code.t()));
+    for (auto _ : state) {
+        simd::kernels().bch_syndromes(bytes.data(), bytes.size(), view, synd.data());
+        benchmark::DoNotOptimize(synd.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * code.n());
+}
+BENCHMARK(BM_BchSyndrome)->Arg(5)->Arg(8)->Arg(13);
+
 void BM_OracleBatchedProbes(benchmark::State& state) {
     // The oracle's amortized hot path: one AnyOracle batch of `range`
     // identical raw-NVM probes against a seqpair victim. Arg(1) is the
@@ -268,6 +324,8 @@ int main(int argc, char** argv) {
     // methodology slip (recording perf figures from -O0 binaries) is visible
     // in both the artifact and the log.
     benchmark::AddCustomContext("ropuf_build_type", benchutil::ropuf_build_type());
+    benchmark::AddCustomContext("ropuf_simd",
+                                ropuf::simd::path_name(ropuf::simd::active_path()));
     if (benchutil::warn_if_debug_build("bench_micro")) {
         benchmark::AddCustomContext(
             "warning", "DEBUG BUILD - timings unreliable, rebuild with Release");

@@ -174,7 +174,9 @@ void append_metric(std::string& out, const char* name, const MetricSummary& m) {
 std::string to_json(const CampaignSummary& s, bool include_reports) {
     std::string out = "{\"scenario\":\"";
     append_json_escaped(out, s.scenario);
-    char buf[320];
+    // Sized generously: snprintf truncation here once ate a separator comma
+    // when the timing fields grew a digit, producing an unparseable record.
+    char buf[512];
     std::snprintf(buf, sizeof buf,
                   "\",\"trials\":%d,\"workers\":%d,\"master_seed\":%llu,"
                   "\"key_recovered_count\":%d,\"success_rate\":%.4f,"

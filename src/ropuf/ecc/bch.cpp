@@ -66,6 +66,71 @@ BchCode::BchCode(int m, int t) : field_(m), n_(field_.n()), t_(t) {
     if (k_ < 1) {
         throw std::invalid_argument("BCH(m,t): generator degree leaves no message bits");
     }
+    build_horner_tables();
+}
+
+void BchCode::build_horner_tables() {
+    // S_j = r(alpha^j) with bit i the coefficient of x^(n-1-i). The kernel
+    // evaluates the zero-padded byte sequence (length 8B >= n) by Horner:
+    //     acc <- acc * alpha^{8j} ^ T_j[byte]
+    // where T_j[byte] = sum over set bits k (MSB-first) of alpha^{j*(7-k)}.
+    // Padding with `pad` trailing zeros multiplies every true term by
+    // alpha^{j*pad}, so one final multiply by alpha^{-j*pad} restores S_j.
+    const int n_synd = 2 * t_;
+    const int n_bytes = (n_ + 7) / 8;
+    const int pad = n_bytes * 8 - n_;
+
+    horner_byte_tbl_.assign(static_cast<std::size_t>(n_synd) * 256, 0);
+    horner_step_log_.resize(static_cast<std::size_t>(n_synd));
+    horner_fixup_log_.resize(static_cast<std::size_t>(n_synd));
+    for (int j = 1; j <= n_synd; ++j) {
+        std::uint16_t* row = horner_byte_tbl_.data() + static_cast<std::size_t>(j - 1) * 256;
+        int bit_val[8]; // alpha^{j*(7-k)} for MSB-first bit position k
+        for (int k = 0; k < 8; ++k) bit_val[k] = field_.alpha_pow(j * (7 - k));
+        for (int byte = 0; byte < 256; ++byte) {
+            int acc = 0;
+            for (int k = 0; k < 8; ++k) {
+                if (byte & (1 << (7 - k))) acc ^= bit_val[k];
+            }
+            row[byte] = static_cast<std::uint16_t>(acc);
+        }
+        horner_step_log_[static_cast<std::size_t>(j - 1)] =
+            static_cast<std::uint16_t>((8 * j) % n_);
+        const int back = static_cast<int>((static_cast<long long>(j) * pad) % n_);
+        horner_fixup_log_[static_cast<std::size_t>(j - 1)] =
+            static_cast<std::uint16_t>((n_ - back) % n_);
+    }
+
+    // Direct per-step multiplication tables when the field is small enough
+    // (m <= 12 keeps a 2t x 2^m uint16 block within a few hundred KB); the
+    // kernel falls back to log/exp stepping otherwise.
+    if (field_.size() <= 4096) {
+        horner_mul_tbl_.assign(
+            static_cast<std::size_t>(n_synd) * static_cast<std::size_t>(field_.size()), 0);
+        for (int j = 1; j <= n_synd; ++j) {
+            const int step = field_.alpha_pow(8 * j);
+            std::uint16_t* row = horner_mul_tbl_.data() +
+                                 static_cast<std::size_t>(j - 1) *
+                                     static_cast<std::size_t>(field_.size());
+            for (int v = 0; v < field_.size(); ++v) {
+                row[v] = static_cast<std::uint16_t>(field_.mul(v, step));
+            }
+        }
+    }
+}
+
+simd::BchHornerView BchCode::horner_view() const {
+    simd::BchHornerView v;
+    v.byte_tbl = horner_byte_tbl_.data();
+    v.mul_tbl = horner_mul_tbl_.empty() ? nullptr : horner_mul_tbl_.data();
+    v.step_log = horner_step_log_.data();
+    v.fixup_log = horner_fixup_log_.data();
+    v.log_tbl = field_.log_table().data();
+    v.exp_tbl = field_.exp_table().data();
+    v.field_n = field_.n();
+    v.field_size = field_.size();
+    v.n_synd = 2 * t_;
+    return v;
 }
 
 bits::BitVec BchCode::encode(const bits::BitVec& message) const {
@@ -97,18 +162,13 @@ bits::BitVec BchCode::parity(const bits::BitVec& message) const {
 
 std::optional<std::vector<int>> BchCode::syndromes(const bits::BitVec& received) const {
     assert(static_cast<int>(received.size()) == n_);
+    // Byte-wise table-driven Horner through the simd kernel layer: 8 bits per
+    // GF(2^m) step instead of one table lookup per set bit.
+    const auto bytes = bits::pack_bytes(received);
     std::vector<int> s(static_cast<std::size_t>(2 * t_), 0);
+    simd::kernels().bch_syndromes(bytes.data(), bytes.size(), horner_view(), s.data());
     bool any = false;
-    for (int j = 1; j <= 2 * t_; ++j) {
-        int acc = 0;
-        for (int i = 0; i < n_; ++i) {
-            if (!received[static_cast<std::size_t>(i)]) continue;
-            // Bit i is the coefficient of x^(n-1-i); S_j = r(alpha^j).
-            acc ^= field_.alpha_pow(j * (n_ - 1 - i));
-        }
-        s[static_cast<std::size_t>(j - 1)] = acc;
-        any |= (acc != 0);
-    }
+    for (const int v : s) any |= (v != 0);
     if (!any) return std::nullopt;
     return s;
 }

@@ -16,6 +16,7 @@
 
 #include "ropuf/bits/bitvec.hpp"
 #include "ropuf/ecc/gf2m.hpp"
+#include "ropuf/simd/simd.hpp"
 
 namespace ropuf::ecc {
 
@@ -60,15 +61,30 @@ public:
     /// True iff `word` is a codeword (all syndromes zero).
     bool is_codeword(const bits::BitVec& word) const;
 
+    /// Non-owning table view for the simd syndrome kernel, assembled on
+    /// demand so copies of a BchCode never hold stale pointers. Exposed for
+    /// the kernel equivalence tests and microbenchmarks; valid only as long
+    /// as this BchCode is.
+    simd::BchHornerView horner_view() const;
+
 private:
     /// Syndromes S_1..S_2t of the received word; nullopt when all zero.
     std::optional<std::vector<int>> syndromes(const bits::BitVec& received) const;
+
+    /// Builds the byte-wise Horner tables the syndrome kernel consumes.
+    void build_horner_tables();
 
     Gf2m field_;
     int n_;
     int t_;
     int k_;
     std::vector<std::uint8_t> generator_; // GF(2) coefficients, degree n-k
+
+    // Syndrome kernel tables (see build_horner_tables for the math).
+    std::vector<std::uint16_t> horner_byte_tbl_;  // [2t][256]
+    std::vector<std::uint16_t> horner_mul_tbl_;   // [2t][2^m]; empty when m > 12
+    std::vector<std::uint16_t> horner_step_log_;  // [2t]
+    std::vector<std::uint16_t> horner_fixup_log_; // [2t]
 };
 
 } // namespace ropuf::ecc

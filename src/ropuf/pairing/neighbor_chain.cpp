@@ -3,7 +3,32 @@
 #include <cassert>
 #include <numeric>
 
+#include "ropuf/simd/simd.hpp"
+
 namespace ropuf::pairing {
+
+namespace {
+
+// The comparator kernels take the pair list as a flat int array; IndexPair
+// is std::pair<int, int>, whose (first, second) layout matches int[2] on
+// every ABI we target.
+static_assert(sizeof(IndexPair) == 2 * sizeof(int));
+
+const int* flat_pairs(const std::vector<IndexPair>& pairs) {
+    return reinterpret_cast<const int*>(pairs.data());
+}
+
+#ifndef NDEBUG
+void assert_pairs_in_range(const std::vector<IndexPair>& pairs, std::size_t n_values) {
+    for (const auto& [a, b] : pairs) {
+        assert(static_cast<std::size_t>(a) < n_values);
+        assert(static_cast<std::size_t>(b) < n_values);
+    }
+    (void)n_values;
+}
+#endif
+
+} // namespace
 
 std::vector<IndexPair> neighbor_chain(const sim::ArrayGeometry& g, ChainOrder order,
                                       ChainOverlap overlap) {
@@ -31,12 +56,46 @@ std::vector<IndexPair> neighbor_chain(const sim::ArrayGeometry& g, ChainOrder or
 
 bits::BitVec evaluate_pairs(const std::vector<IndexPair>& pairs,
                             std::span<const double> values) {
+#ifndef NDEBUG
+    assert_pairs_in_range(pairs, values.size());
+#endif
+    bits::BitVec out(pairs.size());
+    simd::kernels().compare_pairs(values.data(), flat_pairs(pairs), pairs.size(),
+                                  out.data());
+    return out;
+}
+
+std::vector<std::uint64_t> evaluate_pairs_packed(const std::vector<IndexPair>& pairs,
+                                                 std::span<const double> values) {
+#ifndef NDEBUG
+    assert_pairs_in_range(pairs, values.size());
+#endif
+    std::vector<std::uint64_t> out((pairs.size() + 63) / 64);
+    simd::kernels().compare_pairs_packed(values.data(), flat_pairs(pairs),
+                                         pairs.size(), out.data());
+    return out;
+}
+
+bits::BitVec evaluate_pairs_majority(const std::vector<IndexPair>& pairs,
+                                     std::span<const double> values, int scans,
+                                     std::size_t stride) {
+    assert(scans >= 1);
+    assert(values.size() >= static_cast<std::size_t>(scans) * stride);
+    const std::size_t words = (pairs.size() + 63) / 64;
+    std::vector<std::uint64_t> rows(static_cast<std::size_t>(scans) * words);
+    for (int s = 0; s < scans; ++s) {
+#ifndef NDEBUG
+        assert_pairs_in_range(pairs, stride);
+#endif
+        simd::kernels().compare_pairs_packed(
+            values.data() + static_cast<std::size_t>(s) * stride, flat_pairs(pairs),
+            pairs.size(), rows.data() + static_cast<std::size_t>(s) * words);
+    }
+    std::vector<std::uint64_t> voted(words);
+    simd::kernels().majority_vote_packed(rows.data(), words, scans, voted.data());
     bits::BitVec out(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {
-        const auto [a, b] = pairs[i];
-        assert(static_cast<std::size_t>(a) < values.size());
-        assert(static_cast<std::size_t>(b) < values.size());
-        out[i] = values[static_cast<std::size_t>(a)] > values[static_cast<std::size_t>(b)] ? 1 : 0;
+        out[i] = static_cast<std::uint8_t>((voted[i / 64] >> (i % 64)) & 1u);
     }
     return out;
 }

@@ -12,6 +12,7 @@
 //    are always physically adjacent on the die.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,22 @@ std::vector<IndexPair> neighbor_chain(const sim::ArrayGeometry& g, ChainOrder or
 /// distilled residual) map: r_i = [value[first] > value[second]].
 bits::BitVec evaluate_pairs(const std::vector<IndexPair>& pairs,
                             std::span<const double> values);
+
+/// Bit-packed comparator: response bit i lands in word i/64 at bit i%64
+/// (LSB-first); trailing bits of the last word are zero. Same bits as
+/// evaluate_pairs, 64 per word — the layout the majority-vote and syndrome
+/// kernels consume directly.
+std::vector<std::uint64_t> evaluate_pairs_packed(const std::vector<IndexPair>& pairs,
+                                                 std::span<const double> values);
+
+/// Majority vote over `scans` consecutive frequency maps: `values` holds
+/// scans * stride doubles (scan s at [s*stride, s*stride + stride)), and
+/// response bit i is 1 iff pair i evaluated to 1 in strictly more than
+/// scans/2 of the scans. This is the noise-suppressed read used by
+/// enrollment-style flows; runs bit-packed end to end.
+bits::BitVec evaluate_pairs_majority(const std::vector<IndexPair>& pairs,
+                                     std::span<const double> values, int scans,
+                                     std::size_t stride);
 
 /// Nominal discrepancies value[first] - value[second], one per pair.
 std::vector<double> pair_discrepancies(const std::vector<IndexPair>& pairs,

@@ -1,95 +1,30 @@
 #include "ropuf/rng/gaussian.hpp"
 
-#include <cmath>
-#include <cstdint>
+#include "ropuf/simd/simd.hpp"
+#include "ropuf/simd/zig_tables.hpp"
 
 namespace ropuf::rng {
 
-namespace {
+// The ziggurat implementation that used to live here moved verbatim to
+// simd/zig_tables.hpp (zig128 is the same table, zig_sample the same
+// arithmetic) so kernel translation units can share it. The streams these
+// functions produce are pinned by the committed golden files.
 
-// 128-layer ziggurat for the standard normal, ZIGNOR parameterization
-// (Doornik, "An Improved Ziggurat Method to Generate Normal Random
-// Samples"): kR is the start of the tail, kV the common area of each layer.
-constexpr int kLayers = 128;
-constexpr double kR = 3.442619855899;
-constexpr double kV = 9.91256303526217e-3;
-
-struct ZigTables {
-    // x[i] is the right edge of layer i (x[0] is the pseudo-edge of the base
-    // strip, kV / f(kR) > kR; x[kLayers] = 0); ratio[i] = x[i+1] / x[i] is
-    // the rectangular-acceptance threshold for a signed uniform.
-    double x[kLayers + 1];
-    double ratio[kLayers];
-
-    ZigTables() noexcept {
-        double f = std::exp(-0.5 * kR * kR);
-        x[0] = kV / f;
-        x[1] = kR;
-        x[kLayers] = 0.0;
-        for (int i = 2; i < kLayers; ++i) {
-            x[i] = std::sqrt(-2.0 * std::log(kV / x[i - 1] + f));
-            f = std::exp(-0.5 * x[i] * x[i]);
-        }
-        for (int i = 0; i < kLayers; ++i) ratio[i] = x[i + 1] / x[i];
-    }
-};
-
-const ZigTables kZig;
-
-/// Signed uniform in (-1, 1) from the top 53 bits of a raw word.
-inline double signed_unit(std::uint64_t word) noexcept {
-    return static_cast<double>(word >> 11) * 0x1.0p-52 - 1.0;
+double gaussian_zig(Xoshiro256pp& rng) noexcept {
+    return simd::zig_sample(simd::zig128(), rng);
 }
-
-/// Exact sample from the normal tail beyond kR (Marsaglia's method).
-double tail_sample(Xoshiro256pp& rng, bool negative) noexcept {
-    double x, y;
-    do {
-        x = std::log(rng.uniform_positive_unit()) / kR;
-        y = std::log(rng.uniform_positive_unit());
-    } while (-2.0 * y < x * x);
-    return negative ? x - kR : kR - x;
-}
-
-/// Slow path shared by the wedge and tail cases; `u` and `layer` come from
-/// the word that failed the rectangular test.
-double slow_path(Xoshiro256pp& rng, double u, int layer) noexcept {
-    for (;;) {
-        if (layer == 0) return tail_sample(rng, u < 0.0);
-        const double x = u * kZig.x[layer];
-        // Wedge acceptance: compare a uniform vertical coordinate between
-        // f(x[layer]) and f(x[layer+1]) against f(x).
-        const double f0 = std::exp(-0.5 * (kZig.x[layer] * kZig.x[layer] - x * x));
-        const double f1 =
-            std::exp(-0.5 * (kZig.x[layer + 1] * kZig.x[layer + 1] - x * x));
-        if (f1 + rng.uniform() * (f0 - f1) < 1.0) return x;
-        const std::uint64_t word = rng.next();
-        layer = static_cast<int>(word & (kLayers - 1));
-        u = signed_unit(word);
-        if (std::fabs(u) < kZig.ratio[layer]) return u * kZig.x[layer];
-    }
-}
-
-inline double sample(Xoshiro256pp& rng) noexcept {
-    const std::uint64_t word = rng.next();
-    const int layer = static_cast<int>(word & (kLayers - 1));
-    const double u = signed_unit(word);
-    if (std::fabs(u) < kZig.ratio[layer]) return u * kZig.x[layer]; // ~98.5%
-    return slow_path(rng, u, layer);
-}
-
-} // namespace
-
-double gaussian_zig(Xoshiro256pp& rng) noexcept { return sample(rng); }
 
 void fill_gaussian(Xoshiro256pp& rng, double mean, double sd, double* out,
                    std::size_t n) noexcept {
-    for (std::size_t i = 0; i < n; ++i) out[i] = mean + sd * sample(rng);
+    simd::kernels().fill_gaussian(rng, mean, sd, out, n);
 }
 
 void add_gaussian(Xoshiro256pp& rng, double sd, const double* base, double* out,
                   std::size_t n) noexcept {
-    for (std::size_t i = 0; i < n; ++i) out[i] = base[i] + sd * sample(rng);
+    const auto& t = simd::zig128();
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = base[i] + sd * simd::zig_sample(t, rng);
+    }
 }
 
 } // namespace ropuf::rng

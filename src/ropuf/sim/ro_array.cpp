@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ropuf/rng/gaussian.hpp"
+#include "ropuf/simd/simd.hpp"
 
 namespace ropuf::sim {
 
@@ -71,19 +72,22 @@ std::vector<double> RoArray::baseline(const Condition& c) const {
     return out;
 }
 
+simd::SoaView RoArray::soa_view() const {
+    return simd::SoaView{static_mhz_.data(), tempco_.data(), static_mhz_.size()};
+}
+
 void RoArray::measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
                                std::vector<double>& out) const {
     const std::size_t n = static_mhz_.size();
-    // The noise block first (serial RNG dependency chain), then one
-    // vectorizable affine pass folding in the condition terms.
-    rng::fill_gaussian(rng, 0.0, params_.sigma_noise_mhz, out, n);
+    out.resize(n);
     const double dt = c.temperature_c - params_.t_ref_c;
     const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
-    const double* stat = static_mhz_.data();
-    const double* tc = tempco_.data();
-    double* o = out.data();
-    for (std::size_t i = 0; i < n; ++i) o[i] += stat[i] + tc[i] * dt + dv;
+    // The fused kernel draws the same noise stream and rounds the same two
+    // terms as the historic fill-then-affine pair of passes.
+    simd::kernels().measure_scans(soa_view(), dt, dv, 0.0, params_.sigma_noise_mhz,
+                                  1, rng, out.data());
     if (params_.quantize_counters) {
+        double* o = out.data();
         for (std::size_t i = 0; i < n; ++i) o[i] = quantize(o[i], rng);
     }
 }
@@ -97,8 +101,7 @@ void RoArray::measure_batch_into(const Condition& c, int scans, rng::Xoshiro256p
     }
     out.resize(n * static_cast<std::size_t>(scans));
     if (params_.quantize_counters) {
-        // Quantization draws RNG per element after the noise block, so the
-        // one-big-noise-block layout would reorder the stream.
+        // Quantize per scan, preserving the historic per-scan pass structure.
         std::vector<double> scan;
         for (int s = 0; s < scans; ++s) {
             measure_all_into(c, rng, scan);
@@ -107,15 +110,10 @@ void RoArray::measure_batch_into(const Condition& c, int scans, rng::Xoshiro256p
         }
         return;
     }
-    rng::fill_gaussian(rng, 0.0, params_.sigma_noise_mhz, out.data(), out.size());
     const double dt = c.temperature_c - params_.t_ref_c;
     const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
-    const double* stat = static_mhz_.data();
-    const double* tc = tempco_.data();
-    for (int s = 0; s < scans; ++s) {
-        double* o = out.data() + static_cast<std::size_t>(s) * n;
-        for (std::size_t i = 0; i < n; ++i) o[i] += stat[i] + tc[i] * dt + dv;
-    }
+    simd::kernels().measure_scans(soa_view(), dt, dv, 0.0, params_.sigma_noise_mhz,
+                                  scans, rng, out.data());
 }
 
 std::vector<double> RoArray::measure_all(const Condition& c, rng::Xoshiro256pp& rng) const {

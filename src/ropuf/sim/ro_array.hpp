@@ -24,6 +24,7 @@
 
 #include "ropuf/rng/xoshiro.hpp"
 #include "ropuf/sim/geometry.hpp"
+#include "ropuf/simd/simd.hpp"
 
 namespace ropuf::sim {
 
@@ -125,6 +126,10 @@ public:
     double delta_f(int a, int b, const Condition& c = {}) const {
         return true_frequency(a, c) - true_frequency(b, c);
     }
+
+    /// Structure-of-arrays view over the frozen per-RO components, the input
+    /// layout of the simd measurement kernels. Valid as long as the array is.
+    simd::SoaView soa_view() const;
 
 private:
     double quantize(double f_mhz, rng::Xoshiro256pp& rng) const;

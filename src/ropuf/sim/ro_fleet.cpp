@@ -1,0 +1,52 @@
+#include "ropuf/sim/ro_fleet.hpp"
+
+#include <cmath>
+
+namespace ropuf::sim {
+
+RoFleet::RoFleet(const ArrayGeometry& geometry, const ProcessParams& params,
+                 std::uint64_t base_seed, std::size_t devices) {
+    chips_.reserve(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+        chips_.emplace_back(geometry, params, rng::derive_seed(base_seed, d));
+    }
+    streams_ = simd::FleetStreams::from_seed(base_seed, devices);
+}
+
+void RoFleet::measure_batch(const Condition& c, int scans,
+                            std::vector<std::vector<double>>& out) {
+    const std::size_t devices = chips_.size();
+    out.resize(devices);
+    if (devices == 0) return;
+    const std::size_t n = static_cast<std::size_t>(chips_[0].count());
+    if (scans <= 0) {
+        for (auto& o : out) o.clear();
+        return;
+    }
+
+    std::vector<std::vector<double>> baselines(devices);
+    std::vector<const double*> base_ptrs(devices);
+    std::vector<double*> out_ptrs(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+        chips_[d].baseline_into(c, baselines[d]);
+        out[d].resize(n * static_cast<std::size_t>(scans));
+        base_ptrs[d] = baselines[d].data();
+        out_ptrs[d] = out[d].data();
+    }
+
+    const double sigma = chips_[0].params().sigma_noise_mhz;
+    simd::kernels().measure_fleet(base_ptrs.data(), devices, n, scans, 0.0, sigma,
+                                  streams_, out_ptrs.data());
+
+    if (chips_[0].params().quantize_counters) {
+        // Counter quantization is a pure post-pass (it consumes no RNG), so
+        // the fleet applies it after the kernel exactly as RoArray does after
+        // its noise block.
+        const double window = chips_[0].params().counter_window_us;
+        for (std::size_t d = 0; d < devices; ++d) {
+            for (double& f : out[d]) f = std::floor(f * window) / window;
+        }
+    }
+}
+
+} // namespace ropuf::sim

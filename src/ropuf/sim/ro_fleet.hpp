@@ -1,0 +1,49 @@
+// A fleet of independently-manufactured RO arrays measured as one batch.
+//
+// Cross-device experiments (enrollment surveys, population statistics,
+// attack-success-vs-instance sweeps) measure many chips under the same
+// condition. Per-chip measurement is bottlenecked by the serial RNG chain of
+// its noise stream; the fleet API gives the simd layer a device dimension so
+// the vector paths can run one device per lane (simd::Kernels::measure_fleet)
+// — the first consumer of the kernel layer's device-count parameter.
+//
+// Determinism: chip d is manufactured from derive_seed(base_seed, d) exactly
+// as a standalone RoArray would be, and its measurement draws come from two
+// private fleet streams (main + ziggurat slow path). Results for a device
+// depend only on base_seed, the device index and the call sequence — never on
+// fleet size rounding to vector width or on the dispatch path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ropuf/sim/ro_array.hpp"
+#include "ropuf/simd/simd.hpp"
+
+namespace ropuf::sim {
+
+class RoFleet {
+public:
+    /// Manufactures `devices` chips with identical geometry/process params;
+    /// chip d gets seed derive_seed(base_seed, d).
+    RoFleet(const ArrayGeometry& geometry, const ProcessParams& params,
+            std::uint64_t base_seed, std::size_t devices);
+
+    std::size_t devices() const noexcept { return chips_.size(); }
+    const RoArray& chip(std::size_t d) const { return chips_[d]; }
+
+    /// `scans` noisy full-array scans of every device at one condition.
+    /// out[d] is resized to scans * count(); scan s of device d occupies
+    /// [s*count(), (s+1)*count()). Advances the fleet measurement streams.
+    void measure_batch(const Condition& c, int scans,
+                       std::vector<std::vector<double>>& out);
+
+    /// The per-device measurement streams (exposed for tests).
+    const simd::FleetStreams& streams() const noexcept { return streams_; }
+
+private:
+    std::vector<RoArray> chips_;
+    simd::FleetStreams streams_;
+};
+
+} // namespace ropuf::sim

@@ -1,0 +1,132 @@
+// Runtime dispatch: pick the kernel table once, honoring ROPUF_SIMD.
+#include "ropuf/simd/simd.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ropuf/simd/kernels_detail.hpp"
+
+namespace ropuf::simd {
+namespace {
+
+bool cpu_supports(Path p) {
+#if defined(__x86_64__) || defined(_M_X64)
+    switch (p) {
+    case Path::kScalar:
+        return true;
+    case Path::kAvx2:
+        return __builtin_cpu_supports("avx2");
+    case Path::kAvx512:
+        return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+               __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("avx512bw");
+    case Path::kNeon:
+        return false;
+    }
+    return false;
+#elif defined(__aarch64__) || defined(_M_ARM64)
+    return p == Path::kScalar || p == Path::kNeon;
+#else
+    return p == Path::kScalar;
+#endif
+}
+
+const Kernels* table_for(Path p) {
+    switch (p) {
+    case Path::kScalar:
+        return detail::scalar_table();
+    case Path::kAvx2:
+        return detail::avx2_table();
+    case Path::kAvx512:
+        return detail::avx512_table();
+    case Path::kNeon:
+        return detail::neon_table();
+    }
+    return nullptr;
+}
+
+Path best_available() {
+    for (Path p : {Path::kAvx512, Path::kAvx2, Path::kNeon}) {
+        if (path_available(p)) return p;
+    }
+    return Path::kScalar;
+}
+
+Path detect() {
+    const char* env = std::getenv("ROPUF_SIMD");
+    if (env != nullptr && env[0] != '\0') {
+        Path want = Path::kScalar;
+        bool known = true;
+        if (std::strcmp(env, "scalar") == 0) {
+            want = Path::kScalar;
+        } else if (std::strcmp(env, "avx2") == 0) {
+            want = Path::kAvx2;
+        } else if (std::strcmp(env, "avx512") == 0) {
+            want = Path::kAvx512;
+        } else if (std::strcmp(env, "neon") == 0) {
+            want = Path::kNeon;
+        } else {
+            known = false;
+        }
+        if (known && path_available(want)) return want;
+        const Path fb = best_available();
+        std::fprintf(stderr,
+                     "ropuf: ROPUF_SIMD=%s is %s on this host; using %s\n", env,
+                     known ? "unavailable" : "not a known path", path_name(fb));
+        return fb;
+    }
+    return best_available();
+}
+
+} // namespace
+
+const char* path_name(Path p) noexcept {
+    switch (p) {
+    case Path::kScalar:
+        return "scalar";
+    case Path::kAvx2:
+        return "avx2";
+    case Path::kAvx512:
+        return "avx512";
+    case Path::kNeon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool path_available(Path p) noexcept {
+    return table_for(p) != nullptr && cpu_supports(p);
+}
+
+Path active_path() noexcept {
+    static const Path chosen = detect();
+    return chosen;
+}
+
+std::vector<Path> available_paths() {
+    std::vector<Path> out;
+    for (Path p : {Path::kScalar, Path::kAvx2, Path::kAvx512, Path::kNeon}) {
+        if (path_available(p)) out.push_back(p);
+    }
+    return out;
+}
+
+const Kernels& kernels() noexcept { return *table_for(active_path()); }
+
+const Kernels& kernels_for(Path p) noexcept { return *table_for(p); }
+
+FleetStreams FleetStreams::from_seed(std::uint64_t base_seed, std::size_t devices) {
+    // One derivation hop first so fleet stream seeds can never collide with
+    // the per-chip seeds derive_seed(base_seed, d) used for manufacturing.
+    const std::uint64_t fleet_base = rng::derive_seed(base_seed, 0xf1ee7u);
+    FleetStreams s;
+    s.main.reserve(devices);
+    s.slow.reserve(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+        s.main.emplace_back(rng::derive_seed(fleet_base, 2 * d));
+        s.slow.emplace_back(rng::derive_seed(fleet_base, 2 * d + 1));
+    }
+    return s;
+}
+
+} // namespace ropuf::simd

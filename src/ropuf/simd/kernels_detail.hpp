@@ -1,0 +1,140 @@
+// Internal sharing surface of the SIMD kernel layer.
+//
+// * Stream-exact kernels and the scalar fleet engine are defined once (in
+//   kernels_scalar.cpp) and referenced by every path's table — their RNG
+//   chains are serial, so there is nothing for wider paths to win, and one
+//   definition is the strongest possible identity guarantee.
+// * Integer kernels (majority vote, BCH Horner) are `inline` here so each
+//   path's translation unit compiles its own copy under its own ISA flags —
+//   results are integer-exact on every path, codegen is free to differ.
+#pragma once
+
+#include <cstdint>
+
+#include "ropuf/simd/simd.hpp"
+#include "ropuf/simd/zig_tables.hpp"
+
+namespace ropuf::simd::detail {
+
+// ---- defined once in kernels_scalar.cpp ----------------------------------
+
+void fill_gaussian_stream(rng::Xoshiro256pp& rng, double mean, double sd,
+                          double* out, std::size_t n);
+
+void measure_scans_stream(const SoaView& soa, double dt, double dv, double mean,
+                          double sd, int scans, rng::Xoshiro256pp& rng, double* out);
+
+/// One device's fleet draws: out[i] = (mean + sd*z_i) + base[i % n] for
+/// i in [0, scans*n), main-stream word i -> draw i, slow draws resolved from
+/// the slow stream. The semantic reference for every vector fleet engine.
+void fleet_device_scalar(rng::Xoshiro256pp& main_rng, rng::Xoshiro256pp& slow_rng,
+                         const double* base, std::size_t n, int scans, double mean,
+                         double sd, double* out);
+
+void measure_fleet_scalar(const double* const* base, std::size_t devices,
+                          std::size_t n, int scans, double mean, double sd,
+                          FleetStreams& streams, double* const* out);
+
+void compare_pairs_scalar(const double* values, const int* pairs,
+                          std::size_t n_pairs, std::uint8_t* out);
+
+void compare_pairs_packed_scalar(const double* values, const int* pairs,
+                                 std::size_t n_pairs, std::uint64_t* out);
+
+// ---- per-TU inline (auto-vectorized under each path's ISA flags) ---------
+
+/// Bit-sliced majority vote: per output word, count set bits across rows in
+/// bit-plane counters (half-adder chain), then compare each bit's count
+/// against the threshold floor(n_rows/2) + 1 with a bitwise comparator.
+inline void majority_vote_packed_generic(const std::uint64_t* rows, std::size_t words,
+                                         int n_rows, std::uint64_t* out) {
+    // counter planes: enough for n_rows up to 2^14 scans, far beyond use
+    constexpr int kMaxPlanes = 14;
+    const std::uint64_t threshold = static_cast<std::uint64_t>(n_rows / 2) + 1;
+    int planes = 1;
+    while ((1u << planes) <= static_cast<unsigned>(n_rows)) ++planes;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t cnt[kMaxPlanes] = {};
+        for (int r = 0; r < n_rows; ++r) {
+            std::uint64_t carry = rows[static_cast<std::size_t>(r) * words + w];
+            for (int p = 0; p < planes && carry; ++p) {
+                const std::uint64_t next_carry = cnt[p] & carry;
+                cnt[p] ^= carry;
+                carry = next_carry;
+            }
+        }
+        // cnt >= threshold, bitwise per output bit: scan planes MSB-first.
+        std::uint64_t ge = 0, eq = ~0ull;
+        for (int p = planes - 1; p >= 0; --p) {
+            const std::uint64_t t = (threshold >> p) & 1u ? ~0ull : 0ull;
+            ge |= eq & cnt[p] & ~t;
+            eq &= ~(cnt[p] ^ t);
+        }
+        out[w] = ge | eq; // greater than, or exactly equal to, the threshold
+    }
+}
+
+/// Byte-wise table-driven Horner over MSB-first packed bytes:
+/// acc_j <- acc_j * alpha^{8j} xor T_j[byte]; the trailing zero-padding of
+/// the final byte is undone by one multiply with alpha^{-j*pad}.
+inline void bch_syndromes_generic(const std::uint8_t* bytes, std::size_t n_bytes,
+                                  const BchHornerView& v, int* out) {
+    for (int j = 0; j < v.n_synd; ++j) {
+        const std::uint16_t* tbl = v.byte_tbl + static_cast<std::size_t>(j) * 256;
+        int acc = 0;
+        if (v.mul_tbl != nullptr) {
+            const std::uint16_t* mul =
+                v.mul_tbl + static_cast<std::size_t>(j) * static_cast<std::size_t>(v.field_size);
+            for (std::size_t b = 0; b < n_bytes; ++b) {
+                acc = mul[acc] ^ tbl[bytes[b]];
+            }
+        } else {
+            const int step = v.step_log[j];
+            for (std::size_t b = 0; b < n_bytes; ++b) {
+                const int stepped =
+                    acc == 0 ? 0 : v.exp_tbl[(v.log_tbl[acc] + step) % v.field_n];
+                acc = stepped ^ tbl[bytes[b]];
+            }
+        }
+        out[j] = acc == 0 ? 0 : v.exp_tbl[(v.log_tbl[acc] + v.fixup_log[j]) % v.field_n];
+    }
+}
+
+/// Deferred ziggurat slow-path fixups for one fleet block of a W-lane vector
+/// engine: walk the slow bitmap (bit index = step*W + lane over the block's
+/// draws) and overwrite the affected outputs, resolving each draw from the
+/// owning device's slow stream in draw order. Shared scalar code, so every
+/// path rounds the slow values identically.
+template <int W>
+inline void fleet_fixups(const std::uint64_t* words, const std::uint64_t* slowmap,
+                         std::size_t steps, std::size_t done, const double* const* base,
+                         std::size_t n, double mean, double sd, FleetStreams& streams,
+                         std::size_t first_device, double* const* out) {
+    const ZigTable<256>& t = zig256();
+    const std::size_t nmap = (steps * W + 63) / 64;
+    for (std::size_t w = 0; w < nmap; ++w) {
+        std::uint64_t m = slowmap[w];
+        while (m != 0) {
+            const int bit = __builtin_ctzll(m);
+            m &= m - 1;
+            const std::size_t draw = w * 64 + static_cast<std::size_t>(bit);
+            const std::size_t step = draw / W;
+            const std::size_t lane = draw % W;
+            const std::uint64_t word = words[step * W + lane];
+            const int layer = static_cast<int>(word & 255u);
+            const double u = zig_signed_unit(word);
+            const double z = zig_slow_path(t, streams.slow[first_device + lane], u, layer);
+            const std::size_t gi = done + step;
+            out[first_device + lane][gi] = (mean + sd * z) + base[first_device + lane][gi % n];
+        }
+    }
+}
+
+// ---- per-path tables (null when the path is not compiled in) -------------
+
+const Kernels* scalar_table() noexcept;
+const Kernels* avx2_table() noexcept;
+const Kernels* avx512_table() noexcept;
+const Kernels* neon_table() noexcept;
+
+} // namespace ropuf::simd::detail

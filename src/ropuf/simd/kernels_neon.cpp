@@ -1,0 +1,67 @@
+// NEON kernel path (aarch64). Conservative port: the stream kernels and the
+// fleet engine are the shared scalar definitions (NEON's 2-wide f64 lanes do
+// not pay for a dedicated two-pass engine on the targets we care about), and
+// the comparator runs 2 pairs per iteration on float64x2. Integer kernels are
+// the shared generic code. Untested-on-CI-host by construction — the CI host
+// is x86 — so this path stays deliberately close to scalar; the equivalence
+// ctest covers it wherever it actually runs.
+#include "ropuf/simd/kernels_detail.hpp"
+
+#if defined(__aarch64__) || defined(_M_ARM64)
+
+#include <arm_neon.h>
+
+namespace ropuf::simd::detail {
+namespace {
+
+void compare_pairs_neon(const double* values, const int* pairs,
+                        std::size_t n_pairs, std::uint8_t* out) {
+    std::size_t i = 0;
+    for (; i + 2 <= n_pairs; i += 2) {
+        const float64x2_t va = {values[pairs[2 * i]], values[pairs[2 * i + 2]]};
+        const float64x2_t vb = {values[pairs[2 * i + 1]], values[pairs[2 * i + 3]]};
+        const uint64x2_t gt = vcgtq_f64(va, vb);
+        out[i] = static_cast<std::uint8_t>(vgetq_lane_u64(gt, 0) & 1);
+        out[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(gt, 1) & 1);
+    }
+    if (i < n_pairs) compare_pairs_scalar(values, pairs + 2 * i, n_pairs - i, out + i);
+}
+
+void compare_pairs_packed_neon(const double* values, const int* pairs,
+                               std::size_t n_pairs, std::uint64_t* out) {
+    compare_pairs_packed_scalar(values, pairs, n_pairs, out);
+}
+
+void majority_vote_packed_neon(const std::uint64_t* rows, std::size_t words,
+                               int n_rows, std::uint64_t* out) {
+    majority_vote_packed_generic(rows, words, n_rows, out);
+}
+
+void bch_syndromes_neon(const std::uint8_t* bytes, std::size_t n_bytes,
+                        const BchHornerView& tables, int* out) {
+    bch_syndromes_generic(bytes, n_bytes, tables, out);
+}
+
+const Kernels kNeonKernels = {
+    &fill_gaussian_stream,
+    &measure_scans_stream,
+    &measure_fleet_scalar,
+    &compare_pairs_neon,
+    &compare_pairs_packed_neon,
+    &majority_vote_packed_neon,
+    &bch_syndromes_neon,
+};
+
+} // namespace
+
+const Kernels* neon_table() noexcept { return &kNeonKernels; }
+
+} // namespace ropuf::simd::detail
+
+#else // !aarch64
+
+namespace ropuf::simd::detail {
+const Kernels* neon_table() noexcept { return nullptr; }
+} // namespace ropuf::simd::detail
+
+#endif

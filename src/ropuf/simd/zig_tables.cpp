@@ -1,0 +1,18 @@
+#include "ropuf/simd/zig_tables.hpp"
+
+namespace ropuf::simd {
+
+const ZigTable<128>& zig128() noexcept {
+    // Constants from the former rng/gaussian.cpp anonymous namespace; the
+    // committed golden files pin the exact stream these produce.
+    static const ZigTable<128> table(3.442619855899, 9.91256303526217e-3);
+    return table;
+}
+
+const ZigTable<256>& zig256() noexcept {
+    // Doornik's 256-block ZIGNOR parameters.
+    static const ZigTable<256> table(3.6541528853610088, 4.92867323399235e-3);
+    return table;
+}
+
+} // namespace ropuf::simd

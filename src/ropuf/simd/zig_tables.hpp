@@ -1,0 +1,110 @@
+// Shared ziggurat tables and sampling primitives for the SIMD kernel layer.
+//
+// Two parameterizations live here:
+//
+//  * zig128() — the 128-layer ZIGNOR table that rng::gaussian_zig and
+//    rng::fill_gaussian have always used. Every existing RNG stream in the
+//    library (and therefore every committed golden file) depends on this
+//    table and on the exact arithmetic of zig_sample/zig_slow_path, so the
+//    code below is the former gaussian.cpp implementation moved verbatim.
+//
+//  * zig256() — a 256-layer table used only by the fleet measurement engine
+//    (simd::Kernels::measure_fleet). Doubling the layer count halves the
+//    slow-path rate (~2.8% -> ~1.4% of draws), which matters because the
+//    fleet engine handles slow draws as deferred scalar fixups outside its
+//    vector loop. The fleet draw contract is new in this layer, so it is
+//    free to pick its own table; nothing stream-exact depends on it.
+//
+// Bitwise determinism: every function here uses only plainly-ordered scalar
+// double arithmetic. Kernel translation units are compiled with
+// -ffp-contract=off so that inlining these helpers into an FMA-capable TU
+// (AVX2/AVX-512) cannot fuse the mul/add pairs and change results.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace ropuf::simd {
+
+/// Ziggurat table for the standard normal, ZIGNOR parameterization
+/// (Doornik, "An Improved Ziggurat Method to Generate Normal Random
+/// Samples"): r is the start of the tail, v the common area of each layer.
+template <int Layers>
+struct ZigTable {
+    static constexpr int kLayers = Layers;
+    /// x[i] is the right edge of layer i (x[0] is the pseudo-edge of the base
+    /// strip, v / f(r) > r; x[Layers] = 0); ratio[i] = x[i+1] / x[i] is the
+    /// rectangular-acceptance threshold for a signed uniform.
+    double x[Layers + 1];
+    double ratio[Layers];
+    double r;
+
+    ZigTable(double r_in, double v_in) noexcept : r(r_in) {
+        double f = std::exp(-0.5 * r_in * r_in);
+        x[0] = v_in / f;
+        x[1] = r_in;
+        x[Layers] = 0.0;
+        for (int i = 2; i < Layers; ++i) {
+            x[i] = std::sqrt(-2.0 * std::log(v_in / x[i - 1] + f));
+            f = std::exp(-0.5 * x[i] * x[i]);
+        }
+        for (int i = 0; i < Layers; ++i) ratio[i] = x[i + 1] / x[i];
+    }
+};
+
+/// The legacy 128-layer table behind rng::gaussian_zig / rng::fill_gaussian.
+const ZigTable<128>& zig128() noexcept;
+
+/// The 256-layer table owned by the fleet measurement engine.
+const ZigTable<256>& zig256() noexcept;
+
+/// Signed uniform in (-1, 1) from the top 53 bits of a raw word.
+inline double zig_signed_unit(std::uint64_t word) noexcept {
+    return static_cast<double>(word >> 11) * 0x1.0p-52 - 1.0;
+}
+
+/// Exact sample from the normal tail beyond table.r (Marsaglia's method).
+template <int Layers>
+double zig_tail_sample(const ZigTable<Layers>& t, rng::Xoshiro256pp& rng,
+                       bool negative) noexcept {
+    double x, y;
+    do {
+        x = std::log(rng.uniform_positive_unit()) / t.r;
+        y = std::log(rng.uniform_positive_unit());
+    } while (-2.0 * y < x * x);
+    return negative ? x - t.r : t.r - x;
+}
+
+/// Slow path shared by the wedge and tail cases; `u` and `layer` come from
+/// the word that failed the rectangular test.
+template <int Layers>
+double zig_slow_path(const ZigTable<Layers>& t, rng::Xoshiro256pp& rng, double u,
+                     int layer) noexcept {
+    for (;;) {
+        if (layer == 0) return zig_tail_sample(t, rng, u < 0.0);
+        const double x = u * t.x[layer];
+        // Wedge acceptance: compare a uniform vertical coordinate between
+        // f(x[layer]) and f(x[layer+1]) against f(x).
+        const double f0 = std::exp(-0.5 * (t.x[layer] * t.x[layer] - x * x));
+        const double f1 = std::exp(-0.5 * (t.x[layer + 1] * t.x[layer + 1] - x * x));
+        if (f1 + rng.uniform() * (f0 - f1) < 1.0) return x;
+        const std::uint64_t word = rng.next();
+        layer = static_cast<int>(word & (Layers - 1));
+        u = zig_signed_unit(word);
+        if (std::fabs(u) < t.ratio[layer]) return u * t.x[layer];
+    }
+}
+
+/// One standard-normal draw; the fast path costs one raw word.
+template <int Layers>
+inline double zig_sample(const ZigTable<Layers>& t, rng::Xoshiro256pp& rng) noexcept {
+    const std::uint64_t word = rng.next();
+    const int layer = static_cast<int>(word & (Layers - 1));
+    const double u = zig_signed_unit(word);
+    if (std::fabs(u) < t.ratio[layer]) return u * t.x[layer]; // ~98.5% / ~99.3%
+    return zig_slow_path(t, rng, u, layer);
+}
+
+} // namespace ropuf::simd

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <thread>
 
+#include "ropuf/simd/simd.hpp"
 #include "ropuf/xp/json.hpp"
 
 namespace ropuf::xp {
@@ -71,6 +73,8 @@ JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSumm
     record.wall_ms = summary.wall_ms;
     record.trial_wall_ms_sum = summary.trial_wall_ms_sum;
     record.measurements_per_s = summary.measurements_per_s;
+    record.simd = simd::path_name(simd::active_path());
+    record.hardware_concurrency = static_cast<int>(std::thread::hardware_concurrency());
     return record;
 }
 
@@ -126,6 +130,9 @@ std::string to_jsonl(const JobRecord& r) {
     append_number(out, r.trial_wall_ms_sum);
     out += ",\"measurements_per_s\":";
     append_number(out, r.measurements_per_s);
+    out += ",\"simd\":\"";
+    core::append_json_escaped(out, r.simd);
+    out += "\",\"hardware_concurrency\":" + std::to_string(r.hardware_concurrency);
     out += "}}";
     return out;
 }
@@ -187,6 +194,9 @@ JobRecord parse_record(std::string_view line) {
         r.wall_ms = timing->number_or("wall_ms", 0.0);
         r.trial_wall_ms_sum = timing->number_or("trial_wall_ms_sum", 0.0);
         r.measurements_per_s = timing->number_or("measurements_per_s", 0.0);
+        r.simd = timing->string_or("simd", "");
+        r.hardware_concurrency =
+            static_cast<int>(timing->number_or("hardware_concurrency", 0));
     }
     return r;
 }
@@ -325,6 +335,39 @@ std::string render_report(const std::vector<JobRecord>& records) {
                       roll.points, roll.trials, roll.recovered / trials,
                       roll.query_sum / trials);
         out += buf;
+    }
+
+    // Host line from the records' timing blocks: which kernel dispatch path
+    // produced the figures and on how many CPUs. Distinct values (a results
+    // file merged across hosts or forced paths) are all listed. Records
+    // written before these fields existed carry neither — stay silent then.
+    std::vector<std::string> simd_paths;
+    std::vector<int> hw_counts;
+    for (const auto& r : records) {
+        if (!r.simd.empty() &&
+            std::find(simd_paths.begin(), simd_paths.end(), r.simd) == simd_paths.end()) {
+            simd_paths.push_back(r.simd);
+        }
+        if (r.hardware_concurrency > 0 &&
+            std::find(hw_counts.begin(), hw_counts.end(), r.hardware_concurrency) ==
+                hw_counts.end()) {
+            hw_counts.push_back(r.hardware_concurrency);
+        }
+    }
+    if (!simd_paths.empty() || !hw_counts.empty()) {
+        out += "\nrecorded on: simd=";
+        if (simd_paths.empty()) out += "?";
+        for (std::size_t i = 0; i < simd_paths.size(); ++i) {
+            if (i > 0) out += '|';
+            out += simd_paths[i];
+        }
+        out += " hardware_concurrency=";
+        if (hw_counts.empty()) out += "?";
+        for (std::size_t i = 0; i < hw_counts.size(); ++i) {
+            if (i > 0) out += '|';
+            out += std::to_string(hw_counts[i]);
+        }
+        out += '\n';
     }
     return out;
 }

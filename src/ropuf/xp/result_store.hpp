@@ -59,6 +59,8 @@ struct JobRecord {
     double wall_ms = 0.0;
     double trial_wall_ms_sum = 0.0;
     double measurements_per_s = 0.0;
+    std::string simd;             ///< kernel dispatch path the run executed on
+    int hardware_concurrency = 0; ///< host CPU count at record time
 };
 
 /// Builds the record for one finished job.

@@ -1,0 +1,436 @@
+// Dispatch-path equivalence: every SIMD kernel path must be bitwise
+// identical to the portable scalar path — outputs AND final RNG states. The
+// committed golden files pin exact bytes, so "close enough" floating point
+// would silently fork the repo's results depending on the build host; these
+// tests are the contract that prevents that.
+//
+// The per-kernel tests sweep every path available on the build host via
+// simd::kernels_for (no environment tricks needed); the ROPUF_SIMD override
+// itself is exercised by the *_simd_* ctest entries that re-run the golden
+// pins under each forced path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pt_util.hpp"
+#include "ropuf/ecc/bch.hpp"
+#include "ropuf/pairing/neighbor_chain.hpp"
+#include "ropuf/rng/gaussian.hpp"
+#include "ropuf/sim/ro_array.hpp"
+#include "ropuf/sim/ro_fleet.hpp"
+#include "ropuf/simd/simd.hpp"
+
+namespace {
+
+using namespace ropuf;
+
+std::vector<simd::Path> vector_paths() {
+    std::vector<simd::Path> out;
+    for (simd::Path p : simd::available_paths()) {
+        if (p != simd::Path::kScalar) out.push_back(p);
+    }
+    return out;
+}
+
+/// Bitwise equality for doubles (== would accept -0.0 vs 0.0 and reject
+/// nothing NaN-shaped; the golden pins compare bytes, so we do too).
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+    rng::Xoshiro256pp rng(seed);
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(-5.0, 5.0);
+    return v;
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndActivePathListed) {
+    EXPECT_TRUE(simd::path_available(simd::Path::kScalar));
+    const auto paths = simd::available_paths();
+    ASSERT_FALSE(paths.empty());
+    EXPECT_EQ(paths.front(), simd::Path::kScalar);
+    bool active_listed = false;
+    for (simd::Path p : paths) active_listed |= (p == simd::active_path());
+    EXPECT_TRUE(active_listed) << simd::path_name(simd::active_path());
+}
+
+TEST(SimdEquivalence, FillGaussianBitwiseAcrossPaths) {
+    constexpr std::size_t kN = 1003;
+    rng::Xoshiro256pp ref_rng(0xfeedu);
+    std::vector<double> ref(kN);
+    simd::kernels_for(simd::Path::kScalar)
+        .fill_gaussian(ref_rng, 1.5, 0.25, ref.data(), kN);
+    for (simd::Path p : vector_paths()) {
+        rng::Xoshiro256pp rng(0xfeedu);
+        std::vector<double> out(kN);
+        simd::kernels_for(p).fill_gaussian(rng, 1.5, 0.25, out.data(), kN);
+        EXPECT_TRUE(same_bits(ref, out)) << simd::path_name(p);
+        EXPECT_EQ(ref_rng.state(), rng.state()) << simd::path_name(p);
+    }
+}
+
+TEST(SimdEquivalence, MeasureScansBitwiseAcrossPathsAndLegacyTwoPass) {
+    constexpr std::size_t kN = 129;
+    constexpr int kScans = 7;
+    const auto stat = random_values(kN, 1);
+    const auto tc = random_values(kN, 2);
+    const simd::SoaView soa{stat.data(), tc.data(), kN};
+    const double dt = 17.5, dv = -0.31, sd = 0.05;
+
+    // The fused kernel must reproduce the historic two-pass structure: a
+    // noise block from the same stream, then the affine condition sweep.
+    rng::Xoshiro256pp legacy_rng(0xabcdu);
+    std::vector<double> legacy(kN * kScans);
+    rng::fill_gaussian(legacy_rng, 0.0, sd, legacy.data(), legacy.size());
+    for (int s = 0; s < kScans; ++s) {
+        for (std::size_t i = 0; i < kN; ++i) {
+            legacy[static_cast<std::size_t>(s) * kN + i] += stat[i] + tc[i] * dt + dv;
+        }
+    }
+
+    for (simd::Path p : simd::available_paths()) {
+        rng::Xoshiro256pp rng(0xabcdu);
+        std::vector<double> out(kN * kScans);
+        simd::kernels_for(p).measure_scans(soa, dt, dv, 0.0, sd, kScans, rng, out.data());
+        EXPECT_TRUE(same_bits(legacy, out)) << simd::path_name(p);
+        EXPECT_EQ(legacy_rng.state(), rng.state()) << simd::path_name(p);
+    }
+}
+
+/// Runs measure_fleet on one path and returns outputs + final stream states.
+struct FleetRun {
+    std::vector<std::vector<double>> out;
+    std::vector<std::array<std::uint64_t, 4>> main_states;
+    std::vector<std::array<std::uint64_t, 4>> slow_states;
+};
+
+FleetRun run_fleet(simd::Path p, std::size_t devices, std::size_t n, int scans,
+                   std::uint64_t seed) {
+    std::vector<std::vector<double>> base(devices);
+    std::vector<const double*> base_ptrs(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+        base[d] = random_values(n, 100 + d);
+        base_ptrs[d] = base[d].data();
+    }
+    FleetRun run;
+    run.out.resize(devices);
+    std::vector<double*> out_ptrs(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+        run.out[d].resize(n * static_cast<std::size_t>(scans));
+        out_ptrs[d] = run.out[d].data();
+    }
+    auto streams = simd::FleetStreams::from_seed(seed, devices);
+    simd::kernels_for(p).measure_fleet(base_ptrs.data(), devices, n, scans, 0.0, 0.05,
+                                       streams, out_ptrs.data());
+    for (std::size_t d = 0; d < devices; ++d) {
+        run.main_states.push_back(streams.main[d].state());
+        run.slow_states.push_back(streams.slow[d].state());
+    }
+    return run;
+}
+
+TEST(SimdEquivalence, FleetBitwiseAcrossPaths) {
+    // 13 devices: one full AVX-512 group of 8 plus 5 scalar leftovers (and
+    // three AVX2 groups of 4 plus 1); n*scans = 333 exercises the partial
+    // last block, the partial transpose chunk and the base-index wraparound.
+    constexpr std::size_t kDevices = 13, kN = 37;
+    constexpr int kScans = 9;
+    const FleetRun ref = run_fleet(simd::Path::kScalar, kDevices, kN, kScans, 0x5eedu);
+    for (simd::Path p : vector_paths()) {
+        const FleetRun got = run_fleet(p, kDevices, kN, kScans, 0x5eedu);
+        for (std::size_t d = 0; d < kDevices; ++d) {
+            EXPECT_TRUE(same_bits(ref.out[d], got.out[d]))
+                << simd::path_name(p) << " device " << d;
+            EXPECT_EQ(ref.main_states[d], got.main_states[d])
+                << simd::path_name(p) << " device " << d;
+            EXPECT_EQ(ref.slow_states[d], got.slow_states[d])
+                << simd::path_name(p) << " device " << d;
+        }
+    }
+}
+
+TEST(SimdEquivalence, FleetBatchMatchesSequentialScans) {
+    // One measure_fleet call for 9 scans == calls for 4 then 5 scans with the
+    // same streams: the kernel must leave the streams positioned so batching
+    // is invisible (resumable sessions replay draws in chunks).
+    constexpr std::size_t kDevices = 9, kN = 41;
+    std::vector<std::vector<double>> base(kDevices);
+    std::vector<const double*> base_ptrs(kDevices);
+    for (std::size_t d = 0; d < kDevices; ++d) {
+        base[d] = random_values(kN, 200 + d);
+        base_ptrs[d] = base[d].data();
+    }
+    for (simd::Path p : simd::available_paths()) {
+        const auto& k = simd::kernels_for(p);
+        std::vector<std::vector<double>> whole(kDevices), split(kDevices);
+        std::vector<double*> whole_ptrs(kDevices), first_ptrs(kDevices), rest_ptrs(kDevices);
+        for (std::size_t d = 0; d < kDevices; ++d) {
+            whole[d].resize(kN * 9);
+            split[d].resize(kN * 9);
+            whole_ptrs[d] = whole[d].data();
+            first_ptrs[d] = split[d].data();
+            rest_ptrs[d] = split[d].data() + kN * 4;
+        }
+        auto s1 = simd::FleetStreams::from_seed(0x77u, kDevices);
+        k.measure_fleet(base_ptrs.data(), kDevices, kN, 9, 0.0, 0.05, s1,
+                        whole_ptrs.data());
+        auto s2 = simd::FleetStreams::from_seed(0x77u, kDevices);
+        k.measure_fleet(base_ptrs.data(), kDevices, kN, 4, 0.0, 0.05, s2,
+                        first_ptrs.data());
+        k.measure_fleet(base_ptrs.data(), kDevices, kN, 5, 0.0, 0.05, s2,
+                        rest_ptrs.data());
+        for (std::size_t d = 0; d < kDevices; ++d) {
+            EXPECT_TRUE(same_bits(whole[d], split[d]))
+                << simd::path_name(p) << " device " << d;
+            EXPECT_EQ(s1.main[d].state(), s2.main[d].state()) << simd::path_name(p);
+            EXPECT_EQ(s1.slow[d].state(), s2.slow[d].state()) << simd::path_name(p);
+        }
+    }
+}
+
+TEST(SimdEquivalence, FleetDeviceResultsIndependentOfFleetSize) {
+    // Device d's draws depend only on (base_seed, d) — growing the fleet must
+    // not change earlier devices, no matter how devices round into lanes.
+    constexpr std::size_t kN = 19;
+    constexpr int kScans = 5;
+    const FleetRun small = run_fleet(simd::active_path(), 3, kN, kScans, 0x31337u);
+    const FleetRun big = run_fleet(simd::active_path(), 11, kN, kScans, 0x31337u);
+    for (std::size_t d = 0; d < 3; ++d) {
+        EXPECT_TRUE(same_bits(small.out[d], big.out[d])) << "device " << d;
+        EXPECT_EQ(small.main_states[d], big.main_states[d]) << "device " << d;
+    }
+}
+
+TEST(SimdEquivalence, ComparePairsAcrossPathsAndPackedLayout) {
+    constexpr std::size_t kValues = 97, kPairs = 131;
+    const auto values = random_values(kValues, 7);
+    rng::Xoshiro256pp rng(8);
+    std::vector<int> pairs(2 * kPairs);
+    for (auto& idx : pairs) idx = rng.uniform_int(0, static_cast<int>(kValues) - 1);
+
+    std::vector<std::uint8_t> ref_bytes(kPairs);
+    std::vector<std::uint64_t> ref_words((kPairs + 63) / 64);
+    const auto& scalar = simd::kernels_for(simd::Path::kScalar);
+    scalar.compare_pairs(values.data(), pairs.data(), kPairs, ref_bytes.data());
+    scalar.compare_pairs_packed(values.data(), pairs.data(), kPairs, ref_words.data());
+
+    // Packed output must be the same bits, LSB-first, zero-padded.
+    for (std::size_t i = 0; i < kPairs; ++i) {
+        EXPECT_EQ(ref_bytes[i], (ref_words[i / 64] >> (i % 64)) & 1u) << i;
+    }
+    for (std::size_t i = kPairs; i < ref_words.size() * 64; ++i) {
+        EXPECT_EQ(0u, (ref_words[i / 64] >> (i % 64)) & 1u) << i;
+    }
+
+    for (simd::Path p : vector_paths()) {
+        std::vector<std::uint8_t> bytes(kPairs);
+        std::vector<std::uint64_t> words(ref_words.size());
+        simd::kernels_for(p).compare_pairs(values.data(), pairs.data(), kPairs,
+                                           bytes.data());
+        simd::kernels_for(p).compare_pairs_packed(values.data(), pairs.data(), kPairs,
+                                                  words.data());
+        EXPECT_EQ(ref_bytes, bytes) << simd::path_name(p);
+        EXPECT_EQ(ref_words, words) << simd::path_name(p);
+    }
+}
+
+TEST(SimdEquivalence, MajorityVoteAcrossPathsAndNaive) {
+    constexpr std::size_t kWords = 3;
+    rng::Xoshiro256pp rng(99);
+    for (int n_rows : {1, 3, 5, 7, 9, 15}) {
+        std::vector<std::uint64_t> rows(static_cast<std::size_t>(n_rows) * kWords);
+        for (auto& w : rows) w = rng.next();
+        std::vector<std::uint64_t> naive(kWords, 0);
+        for (std::size_t w = 0; w < kWords; ++w) {
+            for (int bit = 0; bit < 64; ++bit) {
+                int count = 0;
+                for (int r = 0; r < n_rows; ++r) {
+                    count += static_cast<int>(
+                        (rows[static_cast<std::size_t>(r) * kWords + w] >> bit) & 1u);
+                }
+                if (count > n_rows / 2) naive[w] |= 1ull << bit;
+            }
+        }
+        for (simd::Path p : simd::available_paths()) {
+            std::vector<std::uint64_t> out(kWords);
+            simd::kernels_for(p).majority_vote_packed(rows.data(), kWords, n_rows,
+                                                      out.data());
+            EXPECT_EQ(naive, out) << simd::path_name(p) << " n_rows=" << n_rows;
+        }
+    }
+}
+
+TEST(SimdEquivalence, EvaluatePairsMajorityMatchesNaive) {
+    const sim::ArrayGeometry g{8, 4};
+    const auto pairs = pairing::neighbor_chain(g, pairing::ChainOrder::Serpentine,
+                                               pairing::ChainOverlap::Overlapping);
+    constexpr int kScans = 5;
+    const std::size_t stride = static_cast<std::size_t>(g.count());
+    const auto values = random_values(stride * kScans, 11);
+    const auto voted = pairing::evaluate_pairs_majority(pairs, values, kScans, stride);
+    ASSERT_EQ(voted.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        int count = 0;
+        for (int s = 0; s < kScans; ++s) {
+            const std::span<const double> scan{values.data() + static_cast<std::size_t>(s) * stride,
+                                              stride};
+            count += scan[static_cast<std::size_t>(pairs[i].first)] >
+                             scan[static_cast<std::size_t>(pairs[i].second)]
+                         ? 1
+                         : 0;
+        }
+        EXPECT_EQ(voted[i], count > kScans / 2 ? 1 : 0) << i;
+    }
+}
+
+TEST(SimdEquivalence, BchSyndromesAcrossPathsAndNaive) {
+    // m=5 and m=8 exercise the direct multiplication table; m=13 (field size
+    // 8192 > 4096) exercises the log/exp fallback stepping.
+    struct Shape {
+        int m, t;
+    };
+    for (const Shape shape : {Shape{5, 3}, Shape{8, 2}, Shape{13, 1}}) {
+        const ecc::BchCode code(shape.m, shape.t);
+        rng::Xoshiro256pp rng(0xb0bau + static_cast<unsigned>(shape.m));
+        const auto word = bits::random_bits(static_cast<std::size_t>(code.n()), rng);
+        const auto bytes = bits::pack_bytes(word);
+        const auto view = code.horner_view();
+
+        std::vector<int> naive(static_cast<std::size_t>(2 * code.t()), 0);
+        for (int j = 1; j <= 2 * code.t(); ++j) {
+            int acc = 0;
+            for (int i = 0; i < code.n(); ++i) {
+                if (!word[static_cast<std::size_t>(i)]) continue;
+                acc ^= code.field().alpha_pow(j * (code.n() - 1 - i));
+            }
+            naive[static_cast<std::size_t>(j - 1)] = acc;
+        }
+        for (simd::Path p : simd::available_paths()) {
+            std::vector<int> out(naive.size());
+            simd::kernels_for(p).bch_syndromes(bytes.data(), bytes.size(), view,
+                                               out.data());
+            EXPECT_EQ(naive, out) << simd::path_name(p) << " m=" << shape.m;
+        }
+    }
+}
+
+TEST(SimdEquivalence, RoFleetDeterministicAndQuantizePostPass) {
+    const sim::ArrayGeometry g{8, 4};
+    sim::ProcessParams params;
+    sim::RoFleet fleet_a(g, params, 0xc0ffeeu, 6);
+    sim::RoFleet fleet_b(g, params, 0xc0ffeeu, 6);
+    std::vector<std::vector<double>> out_a, out_b;
+    fleet_a.measure_batch({}, 3, out_a);
+    fleet_b.measure_batch({}, 3, out_b);
+    ASSERT_EQ(out_a.size(), 6u);
+    for (std::size_t d = 0; d < 6; ++d) {
+        EXPECT_TRUE(same_bits(out_a[d], out_b[d])) << "device " << d;
+        EXPECT_EQ(out_a[d].size(), static_cast<std::size_t>(g.count()) * 3);
+    }
+
+    params.quantize_counters = true;
+    sim::RoFleet quantized(g, params, 0xc0ffeeu, 6);
+    std::vector<std::vector<double>> out_q;
+    quantized.measure_batch({}, 3, out_q);
+    const double w = params.counter_window_us;
+    for (std::size_t d = 0; d < 6; ++d) {
+        for (std::size_t i = 0; i < out_q[d].size(); ++i) {
+            EXPECT_EQ(out_q[d][i], std::floor(out_a[d][i] * w) / w) << d << ":" << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: fleet + measure_scans equivalence over random geometry,
+// scan counts and device counts, shrinking toward the smallest divergence.
+// ---------------------------------------------------------------------------
+
+struct EquivCase {
+    int rows = 1, cols = 1, scans = 1, devices = 1;
+    std::uint64_t seed = 0;
+};
+
+std::string check_case(const EquivCase& c) {
+    const std::size_t n = static_cast<std::size_t>(c.rows) * static_cast<std::size_t>(c.cols);
+    // measure_scans: all paths against scalar.
+    const auto stat = random_values(n, c.seed ^ 1);
+    const auto tc = random_values(n, c.seed ^ 2);
+    const simd::SoaView soa{stat.data(), tc.data(), n};
+    rng::Xoshiro256pp ref_rng(c.seed);
+    std::vector<double> ref(n * static_cast<std::size_t>(c.scans));
+    simd::kernels_for(simd::Path::kScalar)
+        .measure_scans(soa, 10.0, 0.2, 0.0, 0.05, c.scans, ref_rng, ref.data());
+    for (simd::Path p : simd::available_paths()) {
+        rng::Xoshiro256pp rng(c.seed);
+        std::vector<double> out(ref.size());
+        simd::kernels_for(p).measure_scans(soa, 10.0, 0.2, 0.0, 0.05, c.scans, rng,
+                                           out.data());
+        if (!same_bits(ref, out)) {
+            return std::string("measure_scans diverges on ") + simd::path_name(p);
+        }
+        if (!(ref_rng.state() == rng.state())) {
+            return std::string("measure_scans rng state diverges on ") + simd::path_name(p);
+        }
+    }
+    // measure_fleet: all paths against scalar.
+    const std::size_t devices = static_cast<std::size_t>(c.devices);
+    const FleetRun fleet_ref =
+        run_fleet(simd::Path::kScalar, devices, n, c.scans, c.seed);
+    for (simd::Path p : simd::available_paths()) {
+        const FleetRun got = run_fleet(p, devices, n, c.scans, c.seed);
+        for (std::size_t d = 0; d < devices; ++d) {
+            if (!same_bits(fleet_ref.out[d], got.out[d])) {
+                return std::string("fleet output diverges on ") + simd::path_name(p) +
+                       " device " + std::to_string(d);
+            }
+            if (!(fleet_ref.main_states[d] == got.main_states[d]) ||
+                !(fleet_ref.slow_states[d] == got.slow_states[d])) {
+                return std::string("fleet rng state diverges on ") + simd::path_name(p) +
+                       " device " + std::to_string(d);
+            }
+        }
+    }
+    return "";
+}
+
+TEST(SimdEquivalence, PropertySweepGeometryScansDevices) {
+    const pt::Result r = pt::check<EquivCase>(
+        "simd paths bitwise-identical", /*seed=*/20260808, /*cases=*/25,
+        [](pt::Rng& rng) {
+            EquivCase c;
+            c.rows = rng.uniform_int(1, 12);
+            c.cols = rng.uniform_int(1, 12);
+            c.scans = rng.uniform_int(1, 6);
+            c.devices = rng.uniform_int(1, 11);
+            c.seed = rng.next();
+            return c;
+        },
+        [](const EquivCase& c) {
+            std::vector<EquivCase> out;
+            const auto with = [&](auto fn) {
+                EquivCase s = c;
+                fn(s);
+                out.push_back(s);
+            };
+            if (c.rows > 1) with([](EquivCase& s) { s.rows /= 2; });
+            if (c.cols > 1) with([](EquivCase& s) { s.cols /= 2; });
+            if (c.scans > 1) with([](EquivCase& s) { s.scans -= 1; });
+            if (c.devices > 1) with([](EquivCase& s) { s.devices -= 1; });
+            if (c.rows > 1) with([](EquivCase& s) { s.rows -= 1; });
+            if (c.cols > 1) with([](EquivCase& s) { s.cols -= 1; });
+            return out;
+        },
+        check_case,
+        [](const EquivCase& c) {
+            return std::to_string(c.rows) + "x" + std::to_string(c.cols) + " scans=" +
+                   std::to_string(c.scans) + " devices=" + std::to_string(c.devices) +
+                   " seed=" + std::to_string(c.seed);
+        });
+    EXPECT_FALSE(r.failed) << r.summary();
+}
+
+} // namespace

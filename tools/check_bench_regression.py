@@ -2,8 +2,9 @@
 """Benchmark regression guard for the CI perf trajectory.
 
 Compares items_per_second of selected benchmarks between a committed
-baseline and a freshly recorded one, and fails when the geometric mean
-drops by more than the allowed fraction.
+baseline and a freshly recorded one, prints a per-benchmark old -> new
+throughput table, and fails when the geometric mean drops by more than
+the allowed fraction.
 
 Understands two file formats:
   * google-benchmark JSON (BENCH_micro.json): entries under "benchmarks"
@@ -12,15 +13,22 @@ Understands two file formats:
     "campaigns", ingested as synthetic benchmarks named
     campaign/<scenario>/w<workers> with measurements_per_s as throughput.
 
-Also refuses to compare against figures recorded from a debug build (the
-methodology bug this guard exists to prevent): a baseline or current file
-whose context carries library_build_type "debug" is an error unless
---allow-debug is given.
+Build-type policy: every ingested file must carry our own NDEBUG-derived
+context stamp ropuf_build_type == "release" (bench_util.hpp writes it).
+google-benchmark's library_build_type records how *libbenchmark itself*
+was compiled — distro packages often ship debug-flavored — so it says
+nothing about the flags our kernels ran under and is deliberately not
+consulted. A file whose ropuf_build_type is "debug" or missing is a hard
+error unless --allow-debug is given: figures recorded from -O0 binaries
+are the methodology bug this guard exists to prevent.
 
 Usage:
   check_bench_regression.py --baseline BENCH_micro.baseline.json \
-      --current BENCH_micro.json --benchmark BM_RoArrayBatchedScan \
-      --max-drop 0.30
+      --current BENCH_micro.json --max-drop 0.30
+  # default guarded set: BM_RoArrayBatchedScan, BM_SimdMeasure,
+  # BM_MajorityVote, BM_BchSyndrome; override with repeated --benchmark
+  check_bench_regression.py --baseline a.json --current b.json \
+      --benchmark campaign/
 """
 
 import argparse
@@ -28,27 +36,29 @@ import json
 import math
 import sys
 
+DEFAULT_PREFIXES = [
+    "BM_RoArrayBatchedScan",
+    "BM_SimdMeasure",
+    "BM_MajorityVote",
+    "BM_BchSyndrome",
+]
+
 
 def load(path, allow_debug):
     with open(path) as f:
         data = json.load(f)
-    context = data.get("context", {})
-    # ropuf_build_type is our own NDEBUG stamp; fall back to google-
-    # benchmark's library_build_type for files recorded before it existed.
-    build_type = context.get(
-        "ropuf_build_type", context.get("library_build_type", "unknown")
-    )
-    if build_type == "debug" and not allow_debug:
+    build_type = data.get("context", {}).get("ropuf_build_type")
+    if build_type != "release" and not allow_debug:
         sys.exit(
-            f"ERROR: {path} was recorded from a debug build "
-            f"(context build type == 'debug'); its figures are "
-            "meaningless. Re-record with CMAKE_BUILD_TYPE=Release or pass "
-            "--allow-debug."
+            f"ERROR: {path} has ropuf_build_type={build_type!r}; only "
+            "'release' figures are comparable. (library_build_type is "
+            "libbenchmark's own build stamp and is ignored.) Re-record "
+            "with CMAKE_BUILD_TYPE=Release or pass --allow-debug."
         )
     return data
 
 
-def throughputs(data, prefix):
+def throughputs(data, prefixes):
     out = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -63,7 +73,11 @@ def throughputs(data, prefix):
         )
         if "measurements_per_s" in campaign:
             out[name] = float(campaign["measurements_per_s"])
-    return {name: v for name, v in out.items() if name.startswith(prefix)}
+    return {
+        name: v
+        for name, v in out.items()
+        if any(name.startswith(p) for p in prefixes)
+    }
 
 
 def geomean(values):
@@ -74,21 +88,30 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
-    parser.add_argument("--benchmark", default="BM_RoArrayBatchedScan",
-                        help="benchmark name prefix to compare")
+    parser.add_argument("--benchmark", action="append", default=None,
+                        metavar="PREFIX",
+                        help="benchmark name prefix to compare (repeatable; "
+                             f"default: {', '.join(DEFAULT_PREFIXES)})")
     parser.add_argument("--max-drop", type=float, default=0.30,
                         help="maximum allowed fractional throughput drop")
     parser.add_argument("--allow-debug", action="store_true",
                         help="permit figures recorded from debug builds")
     args = parser.parse_args()
+    prefixes = args.benchmark if args.benchmark else DEFAULT_PREFIXES
 
-    base = throughputs(load(args.baseline, args.allow_debug), args.benchmark)
-    curr = throughputs(load(args.current, args.allow_debug), args.benchmark)
+    base = throughputs(load(args.baseline, args.allow_debug), prefixes)
+    curr = throughputs(load(args.current, args.allow_debug), prefixes)
     common = sorted(set(base) & set(curr))
-    if not common:
+    # A guarded prefix that matches nothing in common is itself an error:
+    # a silently renamed or dropped benchmark must not pass as "no data".
+    missing = [
+        p for p in prefixes if not any(name.startswith(p) for name in common)
+    ]
+    if missing:
         sys.exit(
-            f"ERROR: no common '{args.benchmark}*' benchmarks with "
-            f"items_per_second between {args.baseline} and {args.current}"
+            f"ERROR: no common benchmarks with throughput data for "
+            f"prefix(es) {', '.join(missing)} between {args.baseline} "
+            f"and {args.current}"
         )
 
     print(f"{'benchmark':<36} {'baseline':>14} {'current':>14} {'ratio':>8}")
@@ -101,8 +124,8 @@ def main():
     print(f"\ngeometric-mean throughput ratio: {ratio:.3f} (floor {floor:.2f})")
     if ratio < floor:
         sys.exit(
-            f"FAIL: {args.benchmark} throughput dropped more than "
-            f"{args.max_drop:.0%} versus the committed baseline"
+            f"FAIL: guarded throughput ({', '.join(prefixes)}) dropped more "
+            f"than {args.max_drop:.0%} versus the committed baseline"
         )
     print("OK: within regression budget")
 
