@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "ropuf/fi/injector.hpp"
 #include "ropuf/rng/xoshiro.hpp"
 
 namespace ropuf::core {
@@ -57,6 +58,9 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
             const int t = next_trial.fetch_add(1, std::memory_order_relaxed);
             if (t >= trials) return;
             try {
+                if (config.injector != nullptr) {
+                    config.injector->trial_probe(config.fi_job_index, t, config.fi_attempt);
+                }
                 ScenarioParams params = config.base;
                 params.seed = seeds[static_cast<std::size_t>(t)];
                 reports[static_cast<std::size_t>(t)] = run_scenario(*scenario, params);

@@ -29,6 +29,10 @@
 
 #include "ropuf/core/attack_engine.hpp"
 
+namespace ropuf::fi {
+class Injector;
+}
+
 namespace ropuf::core {
 
 /// Knobs of one campaign.
@@ -38,6 +42,15 @@ struct CampaignConfig {
     std::uint64_t master_seed = 1;///< root of the per-trial seed streams
     ScenarioParams base;          ///< shared scenario knobs (seed is overridden per trial)
     bool keep_reports = true;     ///< retain the per-trial reports in the summary
+
+    // Fault-injection seam (chaos testing). When set, every trial worker
+    // consults the injector before running its trial; a fired trial_throw
+    // rule surfaces through the runner's normal worker-exception rethrow.
+    // Decisions key on (job index, trial, attempt), so they are independent
+    // of worker scheduling.
+    const fi::Injector* injector = nullptr;
+    int fi_job_index = 0; ///< plan job index for injector decisions
+    int fi_attempt = 1;   ///< executor attempt number (1-based)
 };
 
 /// Order-stable aggregate of one per-trial metric.

@@ -1,0 +1,34 @@
+#include "ropuf/core/errors.hpp"
+
+namespace ropuf::core {
+
+namespace {
+
+constexpr struct {
+    JobErrorClass cls;
+    const char* name;
+} kClasses[] = {
+    {JobErrorClass::scenario_exception, "scenario_exception"},
+    {JobErrorClass::injected_fault, "injected_fault"},
+    {JobErrorClass::timeout, "timeout"},
+    {JobErrorClass::store_write, "store_write"},
+    {JobErrorClass::unknown, "unknown"},
+};
+
+} // namespace
+
+std::string_view job_error_class_name(JobErrorClass cls) {
+    for (const auto& entry : kClasses) {
+        if (entry.cls == cls) return entry.name;
+    }
+    return "unknown";
+}
+
+JobErrorClass job_error_class_from(std::string_view name) {
+    for (const auto& entry : kClasses) {
+        if (name == entry.name) return entry.cls;
+    }
+    return JobErrorClass::unknown;
+}
+
+} // namespace ropuf::core

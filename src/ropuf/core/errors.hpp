@@ -1,0 +1,38 @@
+// Structured job-failure taxonomy.
+//
+// The fault-tolerant execution layer never lets one thrown exception abort a
+// whole run: per-job failures are captured, classified into one of these
+// classes, retried, and — when retries are exhausted — quarantined as an
+// `outcome=job_failed` JSONL record whose class/message land in the record's
+// fault side-fields. The classes are deliberately coarse: they answer "is a
+// retry worth it / which seam broke", not "what exactly went wrong" (the
+// message carries that).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ropuf::core {
+
+enum class JobErrorClass {
+    scenario_exception, ///< the scenario/campaign itself threw
+    injected_fault,     ///< a fi:: injection point fired (chaos runs)
+    timeout,            ///< the per-job watchdog expired
+    store_write,        ///< the result store rejected the record
+    unknown,            ///< a non-std::exception escaped
+};
+
+/// Stable wire name ("scenario_exception", ...) — what JSONL records carry.
+std::string_view job_error_class_name(JobErrorClass cls);
+
+/// Inverse of job_error_class_name; unrecognized names map to `unknown` so
+/// old readers survive new classes.
+JobErrorClass job_error_class_from(std::string_view name);
+
+/// One captured, classified job failure.
+struct JobError {
+    JobErrorClass cls = JobErrorClass::unknown;
+    std::string message;
+};
+
+} // namespace ropuf::core

@@ -1,0 +1,97 @@
+#include "ropuf/fi/injector.hpp"
+
+#include <algorithm>
+
+namespace ropuf::fi {
+
+namespace {
+
+/// Point-distinct salt so job_throw and job_hang decisions for the same
+/// (job, attempt) come from unrelated streams.
+constexpr std::uint64_t point_salt(FaultPoint point) {
+    return 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(point) + 2);
+}
+
+} // namespace
+
+Injector::Injector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      store_stream_(rng::derive_seed(plan_.seed, point_salt(FaultPoint::store_write_fail))) {}
+
+Injector::StoreFault Injector::next_store_fault() {
+    const std::lock_guard<std::mutex> lock(store_mutex_);
+    const long long op = store_ops_++;
+    StoreFault fault = StoreFault::none;
+    for (const FaultRule& rule : plan_.rules) {
+        if (rule.point == FaultPoint::torn_write && (op + 1) % rule.every == 0) {
+            return StoreFault::torn; // torn wins: it exercises the harder path
+        }
+        // Draw even when a fault is already decided so the stream's walk —
+        // and therefore every later decision — is independent of rule order.
+        if (rule.point == FaultPoint::store_write_fail &&
+            store_stream_.bernoulli(rule.p) && fault == StoreFault::none) {
+            fault = StoreFault::fail;
+        }
+    }
+    return fault;
+}
+
+bool Injector::rule_fires(const FaultRule& rule, int job_index, int attempt,
+                          std::uint64_t decision_key) const {
+    if (!rule.ids.empty() &&
+        !std::binary_search(rule.ids.begin(), rule.ids.end(), job_index)) {
+        return false;
+    }
+    if (rule.times > 0 && attempt > rule.times) return false;
+    if (rule.p >= 1.0) return true;
+    rng::Xoshiro256pp stream(rng::derive_seed(plan_.seed, decision_key));
+    return stream.bernoulli(rule.p);
+}
+
+int Injector::job_fault(int job_index, int attempt) const {
+    int hang_ms = 0;
+    for (const FaultRule& rule : plan_.rules) {
+        if (rule.point != FaultPoint::job_throw && rule.point != FaultPoint::job_hang) {
+            continue;
+        }
+        const std::uint64_t key = point_salt(rule.point) ^
+                                  (static_cast<std::uint64_t>(job_index) * 0x10001ULL +
+                                   static_cast<std::uint64_t>(attempt));
+        if (!rule_fires(rule, job_index, attempt, key)) continue;
+        if (rule.point == FaultPoint::job_throw) {
+            throw InjectedFault(FaultPoint::job_throw,
+                                "injected job_throw (job " + std::to_string(job_index) +
+                                    ", attempt " + std::to_string(attempt) + ")");
+        }
+        hang_ms = std::max(hang_ms, rule.ms);
+    }
+    return hang_ms;
+}
+
+void Injector::trial_probe(int job_index, int trial, int attempt) const {
+    for (const FaultRule& rule : plan_.rules) {
+        if (rule.point != FaultPoint::trial_throw) continue;
+        const std::uint64_t key =
+            point_salt(rule.point) ^
+            (static_cast<std::uint64_t>(job_index) * 0x100000001ULL +
+             static_cast<std::uint64_t>(trial) * 0x10001ULL +
+             static_cast<std::uint64_t>(attempt));
+        if (rule_fires(rule, job_index, attempt, key)) {
+            throw InjectedFault(FaultPoint::trial_throw,
+                                "injected trial_throw (job " + std::to_string(job_index) +
+                                    ", trial " + std::to_string(trial) + ", attempt " +
+                                    std::to_string(attempt) + ")");
+        }
+    }
+}
+
+bool Injector::abort_due(int completed_jobs) const {
+    for (const FaultRule& rule : plan_.rules) {
+        if (rule.point == FaultPoint::worker_abort && completed_jobs >= rule.after) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ropuf::fi

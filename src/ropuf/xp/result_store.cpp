@@ -6,6 +6,7 @@
 #include <map>
 #include <thread>
 
+#include "ropuf/fi/injector.hpp"
 #include "ropuf/simd/simd.hpp"
 #include "ropuf/xp/json.hpp"
 
@@ -78,6 +79,27 @@ JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSumm
     return record;
 }
 
+JobRecord make_failed_record(const Plan& plan, const Job& job, const core::JobError& error,
+                             int attempts) {
+    JobRecord record;
+    record.spec_name = plan.spec_name;
+    record.spec_hash = plan.hash;
+    record.job_id = job.id;
+    record.index = job.index;
+    record.scenario = job.scenario;
+    record.params = job.params;
+    record.trials = job.trials;
+    record.root_seed = job.root_seed;
+    record.campaign_seed = job.campaign_seed;
+    record.simd = simd::path_name(simd::active_path());
+    record.hardware_concurrency = static_cast<int>(std::thread::hardware_concurrency());
+    record.outcome = "job_failed";
+    record.attempts = attempts;
+    record.error_class = std::string(core::job_error_class_name(error.cls));
+    record.error_message = error.message;
+    return record;
+}
+
 std::string to_jsonl(const JobRecord& r) {
     std::string out = "{\"v\":1,\"spec\":\"";
     core::append_json_escaped(out, r.spec_name);
@@ -88,7 +110,12 @@ std::string to_jsonl(const JobRecord& r) {
     out += "\",\"index\":" + std::to_string(r.index);
     out += ",\"scenario\":\"";
     core::append_json_escaped(out, r.scenario);
-    out += "\",\"point\":{\"cols\":" + std::to_string(r.params.cols);
+    out += '"';
+    // Quarantined jobs carry their verdict up front (identity-adjacent, part
+    // of the deterministic prefix) so readers can drop them without looking
+    // at the side-fields; successful records spell nothing extra.
+    if (r.failed()) out += ",\"outcome\":\"job_failed\"";
+    out += ",\"point\":{\"cols\":" + std::to_string(r.params.cols);
     out += ",\"rows\":" + std::to_string(r.params.rows);
     out += ",\"sigma_noise_mhz\":";
     append_number(out, r.params.sigma_noise_mhz);
@@ -104,22 +131,25 @@ std::string to_jsonl(const JobRecord& r) {
     out += ",\"trials\":" + std::to_string(r.trials);
     out += ",\"root_seed\":" + std::to_string(r.root_seed);
     out += ",\"campaign_seed\":" + std::to_string(r.campaign_seed);
-    out += "},\"result\":{\"key_recovered_count\":" + std::to_string(r.key_recovered_count);
-    out += ",\"success_rate\":";
-    append_number(out, r.success_rate);
-    out += ",\"mean_accuracy\":";
-    append_number(out, r.mean_accuracy);
-    out += ",\"outcomes\":{\"recovered\":" + std::to_string(r.outcomes.recovered);
-    out += ",\"gave_up\":" + std::to_string(r.outcomes.gave_up);
-    out += ",\"budget_exhausted\":" + std::to_string(r.outcomes.budget_exhausted);
-    out += ",\"refused_by_defense\":" + std::to_string(r.outcomes.refused_by_defense);
-    out += ",\"locked_out\":" + std::to_string(r.outcomes.locked_out);
-    out += "},\"total_measurements\":" + std::to_string(r.total_measurements);
-    out += ',';
-    append_metric(out, "queries", r.queries);
-    out += ',';
-    append_metric(out, "measurements", r.measurements);
     out += '}';
+    if (!r.failed()) {
+        out += ",\"result\":{\"key_recovered_count\":" + std::to_string(r.key_recovered_count);
+        out += ",\"success_rate\":";
+        append_number(out, r.success_rate);
+        out += ",\"mean_accuracy\":";
+        append_number(out, r.mean_accuracy);
+        out += ",\"outcomes\":{\"recovered\":" + std::to_string(r.outcomes.recovered);
+        out += ",\"gave_up\":" + std::to_string(r.outcomes.gave_up);
+        out += ",\"budget_exhausted\":" + std::to_string(r.outcomes.budget_exhausted);
+        out += ",\"refused_by_defense\":" + std::to_string(r.outcomes.refused_by_defense);
+        out += ",\"locked_out\":" + std::to_string(r.outcomes.locked_out);
+        out += "},\"total_measurements\":" + std::to_string(r.total_measurements);
+        out += ',';
+        append_metric(out, "queries", r.queries);
+        out += ',';
+        append_metric(out, "measurements", r.measurements);
+        out += '}';
+    }
     // Host-bound fields last, in one key, so deterministic_prefix() can
     // split records without parsing.
     out += kTimingKey;
@@ -133,7 +163,22 @@ std::string to_jsonl(const JobRecord& r) {
     out += ",\"simd\":\"";
     core::append_json_escaped(out, r.simd);
     out += "\",\"hardware_concurrency\":" + std::to_string(r.hardware_concurrency);
-    out += "}}";
+    out += '}';
+    // Fault-tolerance side-fields ride after timing (outside the
+    // deterministic prefix); a first-attempt success emits nothing here, so
+    // pre-fault-era records stay byte-identical.
+    if (r.attempts > 1 || r.failed()) {
+        out += ",\"fault\":{\"attempts\":" + std::to_string(r.attempts);
+        if (r.failed()) {
+            out += ",\"class\":\"";
+            core::append_json_escaped(out, r.error_class);
+            out += "\",\"message\":\"";
+            core::append_json_escaped(out, r.error_message);
+            out += '"';
+        }
+        out += '}';
+    }
+    out += '}';
     return out;
 }
 
@@ -154,6 +199,7 @@ JobRecord parse_record(std::string_view line) {
     if (r.job_id.empty() || r.scenario.empty()) {
         throw std::logic_error("record line is missing its identity fields");
     }
+    r.outcome = doc.string_or("outcome", "ok");
     if (const JsonValue* point = doc.find("point"); point != nullptr && point->is_object()) {
         r.params.cols = static_cast<int>(point->number_or("cols", 0));
         r.params.rows = static_cast<int>(point->number_or("rows", 0));
@@ -198,24 +244,34 @@ JobRecord parse_record(std::string_view line) {
         r.hardware_concurrency =
             static_cast<int>(timing->number_or("hardware_concurrency", 0));
     }
+    if (const JsonValue* fault = doc.find("fault"); fault != nullptr && fault->is_object()) {
+        r.attempts = static_cast<int>(fault->number_or("attempts", 1));
+        r.error_class = fault->string_or("class", "");
+        r.error_message = fault->string_or("message", "");
+    }
     return r;
 }
 
-std::vector<JobRecord> read_results(const std::string& path, int* torn_lines) {
+std::vector<JobRecord> read_results(const std::string& path, ReadStats* stats) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw SpecError("cannot read results file: " + path);
     std::vector<JobRecord> records;
-    int torn = 0;
+    ReadStats local;
+    long long consumed = 0;
     std::string line;
     while (std::getline(in, line)) {
+        // getline consumed the line plus its newline — unless it stopped at
+        // EOF on an unterminated final line.
+        consumed += static_cast<long long>(line.size()) + (in.eof() ? 0 : 1);
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
         try {
             records.push_back(parse_record(line));
+            local.last_good_offset = consumed;
         } catch (const std::exception&) {
-            ++torn; // a crash's torn tail (or foreign garbage): skip, count
+            ++local.skipped_lines; // a crash's torn tail (or garbage): skip, count
         }
     }
-    if (torn_lines != nullptr) *torn_lines = torn;
+    if (stats != nullptr) *stats = local;
     return records;
 }
 
@@ -224,8 +280,9 @@ std::set<std::string> completed_job_ids(const std::string& path, std::string_vie
     std::ifstream probe(path, std::ios::binary);
     if (!probe) return ids; // fresh run: nothing to skip
     probe.close();
+    // Quarantined records never enter the skip set — resume retries them.
     for (const auto& record : read_results(path)) {
-        if (record.spec_hash == spec_hash) ids.insert(record.job_id);
+        if (record.spec_hash == spec_hash && !record.failed()) ids.insert(record.job_id);
     }
     return ids;
 }
@@ -258,16 +315,64 @@ ResultWriter::~ResultWriter() {
 }
 
 void ResultWriter::append(const JobRecord& record) {
+    // A previous append may have left an unterminated torn line (injected
+    // fault or real short write). Terminate it first so the retried record
+    // starts on its own line and the fragment stays a skipped torn line —
+    // the in-process twin of the constructor's reopen recovery.
+    if (dirty_) {
+        if (std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+            throw SpecError("write failed for results file: " + path_);
+        }
+        dirty_ = false;
+    }
     const std::string line = to_jsonl(record) + "\n";
+    if (injector_ != nullptr) {
+        switch (injector_->next_store_fault()) {
+            case fi::Injector::StoreFault::none:
+                break;
+            case fi::Injector::StoreFault::fail:
+                throw fi::InjectedFault(fi::FaultPoint::store_write_fail,
+                                        "injected store write failure");
+            case fi::Injector::StoreFault::torn:
+                // Half a line, no newline, then "crash": exactly the torn
+                // tail a killed process leaves behind.
+                (void)std::fwrite(line.data(), 1, line.size() / 2, file_);
+                (void)std::fflush(file_);
+                dirty_ = true;
+                throw fi::InjectedFault(fi::FaultPoint::torn_write, "injected torn write");
+        }
+    }
     // One durable line per job is the crash-safety unit — a short write or
     // failed flush (ENOSPC, I/O error) must surface, not count as done.
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
+        dirty_ = true; // unknown how much landed: treat the tail as torn
         throw SpecError("write failed for results file: " + path_);
     }
 }
 
-std::string render_report(const std::vector<JobRecord>& records) {
+std::string render_report(const std::vector<JobRecord>& all_records) {
+    // Quarantined records carry no result: keep them (and their superseded
+    // duplicates) out of every aggregate, and account for them in the
+    // fault-tolerance footer instead.
+    std::vector<JobRecord> records;
+    std::vector<const JobRecord*> quarantined;
+    std::set<std::string> completed_ids;
+    int retried_jobs = 0;
+    long long retry_attempts = 0;
+    for (const auto& r : all_records) {
+        if (r.failed()) {
+            quarantined.push_back(&r);
+            continue;
+        }
+        records.push_back(r);
+        completed_ids.insert(r.job_id);
+        if (r.attempts > 1) {
+            ++retried_jobs;
+            retry_attempts += r.attempts - 1;
+        }
+    }
+
     std::string out;
     char buf[256];
     std::snprintf(buf, sizeof buf, "%-24s %-28s %7s %8s %10s %10s %10s %15s\n", "scenario",
@@ -369,6 +474,31 @@ std::string render_report(const std::vector<JobRecord>& records) {
         }
         out += '\n';
     }
+
+    // Fault-tolerance footer: what the run survived. Quarantined jobs that
+    // a later record completed (a resume retried them) are distinguished
+    // from ones still missing a result.
+    if (!quarantined.empty() || retry_attempts > 0) {
+        int open = 0;
+        for (const JobRecord* q : quarantined) {
+            if (completed_ids.count(q->job_id) == 0) ++open;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "\nfault tolerance: %zu quarantined record(s) (%d unresolved), "
+                      "%lld retried attempt(s) across %d job(s)\n",
+                      quarantined.size(), open, retry_attempts, retried_jobs);
+        out += buf;
+        for (const JobRecord* q : quarantined) {
+            const bool recovered = completed_ids.count(q->job_id) != 0;
+            std::snprintf(buf, sizeof buf, "  %-22s %-24s %s after %d attempt(s): %s%s\n",
+                          q->job_id.c_str(), q->scenario.c_str(),
+                          q->error_class.empty() ? "failed" : q->error_class.c_str(),
+                          q->attempts, q->error_message.c_str(),
+                          recovered ? " [completed by a later run]"
+                                    : " [unresolved — rerun 'ropuf resume']");
+            out += buf;
+        }
+    }
     return out;
 }
 
@@ -387,6 +517,7 @@ std::string render_matrix(const std::vector<JobRecord>& records) {
         if (std::find(order.begin(), order.end(), name) == order.end()) order.push_back(name);
     };
     for (const auto& r : records) {
+        if (r.failed()) continue; // quarantined: no outcome histogram to add
         const std::string defense = r.params.defense.empty() ? "none" : r.params.defense;
         remember(scenarios, r.scenario);
         remember(defenses, defense);

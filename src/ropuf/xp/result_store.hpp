@@ -14,7 +14,18 @@
 // All of the above is bitwise-reproducible from the spec alone. Host-bound
 // measurements (wall clock, workers used, throughput) are isolated in one
 // trailing "timing" key so readers — and the golden-file tests — can
-// compare records by their deterministic prefix.
+// compare records by their deterministic prefix. Fault-tolerance metadata
+// (attempt counts, quarantine error class/message) lives in an optional
+// "fault" key *after* timing: it describes how the job ran on this host,
+// not what the experiment computed, so it is excluded from deterministic
+// comparison exactly like timing — and first-attempt successes carry no
+// fault key at all, keeping pre-existing records byte-identical.
+//
+// A job the executor quarantined (every attempt failed) still gets a line:
+// identity + point + a top-level `"outcome":"job_failed"` + fault details,
+// with no result object. Such records do not count as completed — resume
+// retries them — and a later successful record for the same job ID
+// supersedes them.
 //
 // Crash safety: the writer appends one flushed line per record, so a killed
 // run loses at most its in-flight job; the reader skips unparseable lines
@@ -29,7 +40,12 @@
 #include <vector>
 
 #include "ropuf/core/campaign.hpp"
+#include "ropuf/core/errors.hpp"
 #include "ropuf/xp/planner.hpp"
+
+namespace ropuf::fi {
+class Injector;
+}
 
 namespace ropuf::xp {
 
@@ -61,10 +77,22 @@ struct JobRecord {
     double measurements_per_s = 0.0;
     std::string simd;             ///< kernel dispatch path the run executed on
     int hardware_concurrency = 0; ///< host CPU count at record time
+    // fault tolerance (host-bound side-fields, excluded like timing)
+    std::string outcome = "ok";   ///< "ok" | "job_failed" (quarantined)
+    int attempts = 1;             ///< executor attempts spent on this job
+    std::string error_class;      ///< job_failed only: taxonomy class name
+    std::string error_message;    ///< job_failed only: captured message
+
+    bool failed() const { return outcome == "job_failed"; }
 };
 
 /// Builds the record for one finished job.
 JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSummary& summary);
+
+/// Builds the quarantine record for a job whose every attempt failed:
+/// identity + point + outcome=job_failed + the classified error.
+JobRecord make_failed_record(const Plan& plan, const Job& job, const core::JobError& error,
+                             int attempts);
 
 /// One-line JSON serialization; "timing" is always the final key.
 std::string to_jsonl(const JobRecord& record);
@@ -78,13 +106,23 @@ std::string_view deterministic_prefix(std::string_view line);
 /// input (readers that must tolerate torn lines catch per line).
 JobRecord parse_record(std::string_view line);
 
+/// What the reader saw besides the parseable records. skipped_lines counts
+/// torn crash tails and foreign garbage; last_good_offset is the byte
+/// offset just past the last line that parsed (0 when none did) — where a
+/// salvage tool would truncate.
+struct ReadStats {
+    int skipped_lines = 0;
+    long long last_good_offset = 0;
+};
+
 /// Every parseable record of a results file, in file order. Unparseable
-/// lines are counted into `*torn_lines` (crash tails), never fatal.
-/// Throws SpecError when the file cannot be opened.
-std::vector<JobRecord> read_results(const std::string& path, int* torn_lines = nullptr);
+/// lines are counted into `*stats` (crash tails), never fatal. Throws
+/// SpecError when the file cannot be opened.
+std::vector<JobRecord> read_results(const std::string& path, ReadStats* stats = nullptr);
 
 /// The job IDs already completed for `spec_hash` — the resume skip set.
-/// A missing file is an empty set (fresh run), not an error.
+/// Quarantined (`outcome=job_failed`) records do not count: resume retries
+/// them. A missing file is an empty set (fresh run), not an error.
 std::set<std::string> completed_job_ids(const std::string& path, std::string_view spec_hash);
 
 /// Append-only writer: one flushed line per record.
@@ -97,16 +135,30 @@ public:
     ResultWriter(const ResultWriter&) = delete;
     ResultWriter& operator=(const ResultWriter&) = delete;
 
+    /// Appends one flushed record line. Throws SpecError on real I/O
+    /// failure and fi::InjectedFault when the installed injector fires; in
+    /// both cases the writer remembers a possibly-torn tail and terminates
+    /// it with a newline before the next append, so a retried record never
+    /// merges into the fragment (the reader skips the fragment as a torn
+    /// line, same as a crash tail).
     void append(const JobRecord& record);
     const std::string& path() const { return path_; }
+
+    /// Installs (or clears, with nullptr) the store-seam fault injector.
+    void set_fault_injector(fi::Injector* injector) { injector_ = injector; }
 
 private:
     std::string path_;
     std::FILE* file_ = nullptr;
+    fi::Injector* injector_ = nullptr;
+    bool dirty_ = false; ///< last append left an unterminated torn line
 };
 
 /// Fixed-width per-record table plus a per-scenario rollup — the
-/// `ropuf report` view.
+/// `ropuf report` view. Quarantined records are kept out of the tables
+/// (they carry no result) and surface in a fault-tolerance footer instead,
+/// alongside the retry totals from the records' fault side-fields; a
+/// quarantined job that a later record completed is reported as recovered.
 std::string render_report(const std::vector<JobRecord>& records);
 
 /// Attack x defense outcome matrix — the `ropuf report --matrix` view.

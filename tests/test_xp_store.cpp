@@ -165,10 +165,11 @@ TEST(ResultStore, ReaderSkipsTornTailAndCountsIt) {
         std::ofstream out(path, std::ios::app | std::ios::binary);
         out << xp::to_jsonl(sample_record()).substr(0, 40);
     }
-    int torn = 0;
-    const auto records = xp::read_results(path, &torn);
+    xp::ReadStats stats;
+    const auto records = xp::read_results(path, &stats);
     EXPECT_EQ(records.size(), 2u);
-    EXPECT_EQ(torn, 1);
+    EXPECT_EQ(stats.skipped_lines, 1);
+    EXPECT_GT(stats.last_good_offset, 0);
 
     // Re-opening for append (what resume does) must newline-terminate the
     // torn fragment first: the next record may never merge into it.
@@ -176,10 +177,10 @@ TEST(ResultStore, ReaderSkipsTornTailAndCountsIt) {
         xp::ResultWriter writer(path, /*truncate=*/false);
         writer.append(sample_record());
     }
-    torn = 0;
-    const auto after_resume = xp::read_results(path, &torn);
+    stats = {};
+    const auto after_resume = xp::read_results(path, &stats);
     EXPECT_EQ(after_resume.size(), 3u);
-    EXPECT_EQ(torn, 1);
+    EXPECT_EQ(stats.skipped_lines, 1);
     std::remove(path.c_str());
 }
 

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Compare two ropuf results JSONL files by their deterministic content.
 
-The record schema isolates host-bound measurements in one "timing" key;
-everything else is a pure function of (spec, job index). This tool drops
-the timing key from every record, keys records by job ID, and fails when
-the two files disagree — the CI proof that an interrupted run plus
-`ropuf resume` equals one uninterrupted run.
+The record schema isolates host-bound measurements in side keys:
+"timing" (wall clock, workers, throughput) and "fault" (attempt counts,
+quarantine error details) describe how a job ran on one host, not what
+the experiment computed. This tool drops those keys from every record,
+skips quarantined `outcome=job_failed` records (they carry no result —
+a later run supersedes them), keys the rest by job ID, and fails when
+the two files disagree — the CI proof that an interrupted, faulted, or
+resumed run equals one clean uninterrupted run.
 
 Usage:
   diff_results.py a.jsonl b.jsonl [--expect-count N]
@@ -15,10 +18,15 @@ import argparse
 import json
 import sys
 
+# Host-bound side keys excluded from deterministic comparison. Grows in
+# lockstep with the C++ deterministic_prefix() contract.
+IGNORED_KEYS = ("timing", "fault")
+
 
 def load(path):
     records = {}
     torn = 0
+    quarantined = 0
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -29,13 +37,35 @@ def load(path):
             except json.JSONDecodeError:
                 torn += 1  # a crash's torn tail: the reader contract skips it
                 continue
-            record.pop("timing", None)
-            records[record.get("job", f"?{len(records)}")] = json.dumps(
-                record, sort_keys=True
-            )
+            if record.get("outcome") == "job_failed":
+                quarantined += 1  # no result payload; resume supersedes it
+                continue
+            for key in IGNORED_KEYS:
+                record.pop(key, None)
+            records[record.get("job", f"?{len(records)}")] = record
     if torn:
         print(f"note: {path}: skipped {torn} unparseable line(s)")
+    if quarantined:
+        print(f"note: {path}: skipped {quarantined} quarantined job_failed record(s)")
     return records
+
+
+def field_diffs(a, b, prefix=""):
+    """Recursive per-field comparison: names exactly what disagrees."""
+    diffs = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            path = f"{prefix}.{key}" if prefix else key
+            if key not in a:
+                diffs.append(f"    {path}: missing in first file (second: {b[key]!r})")
+            elif key not in b:
+                diffs.append(f"    {path}: missing in second file (first: {a[key]!r})")
+            else:
+                diffs.extend(field_diffs(a[key], b[key], path))
+        return diffs
+    if a != b:
+        diffs.append(f"    {prefix or '<record>'}: {a!r} != {b!r}")
+    return diffs
 
 
 def main():
@@ -57,12 +87,13 @@ def main():
             failures.append(f"{job}: only in {args.a}")
         elif a[job] != b[job]:
             failures.append(f"{job}: deterministic content differs")
+            failures.extend(field_diffs(a[job], b[job]))
     if args.expect_count is not None and len(a) != args.expect_count:
         failures.append(f"{args.a}: {len(a)} records, expected {args.expect_count}")
 
     if failures:
         print("\n".join(failures))
-        sys.exit(f"FAIL: {len(failures)} discrepancy(ies) between {args.a} and {args.b}")
+        sys.exit(f"FAIL: discrepancies between {args.a} and {args.b}")
     print(f"OK: {len(a)} records, deterministic content identical")
 
 

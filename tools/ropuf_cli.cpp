@@ -8,14 +8,23 @@
 //   ropuf report <results> --matrix    attack x defense outcome matrix
 //
 // run/resume options:
-//   -o <file>        results path (default: <spec name>.jsonl)
-//   --workers <n>    campaign worker threads (0 = hardware concurrency)
-//   --max-jobs <n>   stop after executing n jobs (interruption testing)
-//   --quiet          suppress per-job progress lines
+//   -o <file>            results path (default: <spec name>.jsonl)
+//   --workers <n>        campaign worker threads (0 = hardware concurrency)
+//   --max-jobs <n>       stop after executing n jobs (interruption testing)
+//   --max-attempts <n>   per-job attempts before quarantine (default 3)
+//   --job-timeout-ms <n> per-attempt watchdog timeout (0 = none)
+//   --fi <plan>          fault-injection plan (chaos testing); overrides the
+//                        ROPUF_FI environment variable
+//   --quiet              suppress per-job progress lines
 //
 // `run` refuses an existing results file (use `resume`, or a new -o path):
 // results are append-only and content-addressed by the spec hash, so
 // silently mixing two runs in one file is never what anyone wants.
+//
+// Exit codes: 0 = every requested job done (a --max-jobs-limited run that
+// did its quota is "done"); 1 = operational error; 2 = usage error;
+// 3 = incomplete-but-resumable (SIGINT, injected worker_abort, or
+// quarantined jobs) — `ropuf resume` finishes the file.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +34,8 @@
 #include "ropuf/attack/scenarios.hpp"
 #include "ropuf/core/attack_engine.hpp"
 #include "ropuf/defense/registry.hpp"
+#include "ropuf/fi/fault_plan.hpp"
+#include "ropuf/fi/injector.hpp"
 #include "ropuf/xp/executor.hpp"
 #include "ropuf/xp/planner.hpp"
 #include "ropuf/xp/result_store.hpp"
@@ -46,10 +57,16 @@ int usage(std::FILE* out) {
         "  report <results> --matrix  render the attack x defense outcome matrix\n"
         "\n"
         "run/resume options:\n"
-        "  -o <file>       results path (run only; default <spec name>.jsonl)\n"
-        "  --workers <n>   campaign worker threads (0 = hardware concurrency)\n"
-        "  --max-jobs <n>  stop after executing n jobs\n"
-        "  --quiet         suppress per-job progress\n",
+        "  -o <file>            results path (run only; default <spec name>.jsonl)\n"
+        "  --workers <n>        campaign worker threads (0 = hardware concurrency)\n"
+        "  --max-jobs <n>       stop after executing n jobs\n"
+        "  --max-attempts <n>   per-job attempts before quarantine (default 3)\n"
+        "  --job-timeout-ms <n> per-attempt watchdog timeout in ms (0 = none)\n"
+        "  --fi <plan>          fault-injection plan (see README; overrides $ROPUF_FI)\n"
+        "  --quiet              suppress per-job progress\n"
+        "\n"
+        "exit codes: 0 done, 1 error, 2 usage,\n"
+        "            3 incomplete but resumable (interrupt/abort/quarantine)\n",
         out);
     return out == stderr ? 2 : 0;
 }
@@ -58,6 +75,10 @@ struct CliOptions {
     std::string output;
     int workers = 0;
     int max_jobs = -1;
+    int max_attempts = 3;
+    int job_timeout_ms = 0;
+    std::string fi_plan;
+    bool fi_given = false; ///< --fi seen (even empty/"none" overrides $ROPUF_FI)
     bool quiet = false;
 };
 
@@ -95,6 +116,26 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start, CliO
         } else if (arg == "--max-jobs") {
             const std::string* v = next("--max-jobs");
             if (v == nullptr || !parse_int_arg(*v, "--max-jobs", &opts.max_jobs)) return false;
+        } else if (arg == "--max-attempts") {
+            const std::string* v = next("--max-attempts");
+            if (v == nullptr || !parse_int_arg(*v, "--max-attempts", &opts.max_attempts)) {
+                return false;
+            }
+            if (opts.max_attempts < 1) {
+                std::fprintf(stderr, "ropuf: --max-attempts must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--job-timeout-ms") {
+            const std::string* v = next("--job-timeout-ms");
+            if (v == nullptr ||
+                !parse_int_arg(*v, "--job-timeout-ms", &opts.job_timeout_ms)) {
+                return false;
+            }
+        } else if (arg == "--fi") {
+            const std::string* v = next("--fi");
+            if (v == nullptr) return false;
+            opts.fi_plan = *v;
+            opts.fi_given = true;
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else {
@@ -187,36 +228,72 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
         return 1;
     }
 
+    // Fault plan: --fi wins (even --fi none, to silence the env), else
+    // $ROPUF_FI, else none. Parsed before the writer opens so a bad plan
+    // fails fast without touching the results file.
+    std::string fi_text;
+    if (opts.fi_given) {
+        fi_text = opts.fi_plan;
+    } else if (const char* env = std::getenv("ROPUF_FI"); env != nullptr) {
+        fi_text = env;
+    }
+    const fi::FaultPlan fault_plan = fi::parse_fault_plan(fi_text);
+    fi::Injector injector(fault_plan);
+
     xp::ResultWriter writer(results_path, /*truncate=*/false);
     xp::RunOptions run_opts;
     run_opts.workers = opts.workers;
     run_opts.max_jobs = opts.max_jobs;
     run_opts.progress = opts.quiet ? nullptr : stdout;
+    run_opts.max_attempts = opts.max_attempts;
+    run_opts.job_timeout_ms = static_cast<double>(opts.job_timeout_ms);
+    if (!fault_plan.empty()) {
+        run_opts.injector = &injector;
+        writer.set_fault_injector(&injector);
+    }
+    xp::install_sigint_handler();
+    run_opts.stop = &xp::sigint_stop_flag();
 
     std::printf("spec %s  hash %s  %zu jobs -> %s%s\n", plan.spec_name.c_str(),
                 plan.hash.c_str(), plan.jobs.size(), results_path.c_str(),
                 resume ? " (resume)" : "");
+    if (!fault_plan.empty()) {
+        std::printf("fault plan %s  %s\n", fi::fault_plan_hash(fault_plan).c_str(),
+                    fi::canonical_fault_plan(fault_plan).c_str());
+    }
     if (resume && !skip.empty()) {
         std::printf("resume: %zu job(s) already complete, skipping\n", skip.size());
     }
     const xp::RunStats stats = xp::execute_plan(plan, attack::default_registry(), skip, writer,
                                                 run_opts);
-    std::printf("done: %d executed, %d skipped, %d total\n", stats.executed, stats.skipped,
-                stats.total);
-    if (stats.executed + stats.skipped < stats.total) {
-        std::printf("note: %d job(s) remain — rerun 'ropuf resume %s %s'\n",
-                    stats.total - stats.executed - stats.skipped, spec_path.c_str(),
-                    results_path.c_str());
+    std::printf("done: %d executed, %d skipped, %d quarantined, %d total\n", stats.executed,
+                stats.skipped, stats.failed, stats.total);
+    if (stats.retries > 0 || stats.store_retries > 0) {
+        std::printf("fault tolerance: %d job retr%s, %d store append retr%s\n", stats.retries,
+                    stats.retries == 1 ? "y" : "ies", stats.store_retries,
+                    stats.store_retries == 1 ? "y" : "ies");
     }
-    return 0;
+    if (stats.stopped) std::printf("interrupted: stopped on SIGINT, results flushed\n");
+    if (stats.aborted) std::printf("aborted: injected worker_abort, results flushed\n");
+    const int remaining = stats.total - stats.executed - stats.skipped;
+    if (remaining > 0) {
+        std::printf("note: %d job(s) remain — rerun 'ropuf resume %s %s'\n", remaining,
+                    spec_path.c_str(), results_path.c_str());
+    }
+    // A --max-jobs-limited run that hit its quota cleanly still exits 0
+    // (scripted interruption tests depend on it); only interrupt, abort,
+    // or quarantine signal "incomplete but resumable".
+    return (stats.stopped || stats.aborted || stats.failed > 0) ? 3 : 0;
 }
 
 int cmd_report(const std::string& results_path, bool matrix) {
-    int torn = 0;
-    const auto records = xp::read_results(results_path, &torn);
-    if (torn > 0) {
-        std::fprintf(stderr, "warning: skipped %d unparseable line(s) (torn crash tail?)\n",
-                     torn);
+    xp::ReadStats read_stats;
+    const auto records = xp::read_results(results_path, &read_stats);
+    if (read_stats.skipped_lines > 0) {
+        std::fprintf(stderr,
+                     "warning: skipped %d unparseable line(s) (torn crash tail?); last good "
+                     "record ends at byte %lld\n",
+                     read_stats.skipped_lines, read_stats.last_good_offset);
     }
     if (records.empty()) {
         std::fprintf(stderr, "ropuf: no records in %s\n", results_path.c_str());
