@@ -17,6 +17,7 @@
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
 #include "ropuf/group/group_puf.hpp"
 #include "ropuf/hash/sha256.hpp"
+#include "ropuf/obs/metrics.hpp"
 #include "ropuf/rng/gaussian.hpp"
 #include "ropuf/sim/ro_fleet.hpp"
 #include "ropuf/simd/simd.hpp"
@@ -147,6 +148,25 @@ void BM_RoArrayBatchedScan(benchmark::State& state) {
 }
 BENCHMARK(BM_RoArrayBatchedScan)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_RoArrayBatchedScanObs(benchmark::State& state) {
+    // BM_RoArrayBatchedScan with a metrics registry installed — the obs-on
+    // arm of the overhead contract. check_bench_regression.py --compare
+    // pairs each Arg with its base benchmark and holds the ratio to 3%.
+    const int cols = static_cast<int>(state.range(0));
+    const sim::RoArray chip({cols, 8}, sim::ProcessParams{}, 14);
+    rng::Xoshiro256pp rng(15);
+    std::vector<double> scan;
+    obs::Registry reg;
+    obs::install(&reg);
+    for (auto _ : state) {
+        chip.measure_all_into(sim::Condition{}, rng, scan);
+        benchmark::DoNotOptimize(scan.data());
+    }
+    obs::install(nullptr);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * chip.count());
+}
+BENCHMARK(BM_RoArrayBatchedScanObs)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_RoArrayMeasureBatch(benchmark::State& state) {
     // measure_batch_into amortizes `range` scans into one noise block + one
     // condition sweep (bit-identical to that many measure_all_into calls).
@@ -181,6 +201,26 @@ void BM_SimdMeasure(benchmark::State& state) {
                             static_cast<std::int64_t>(devices) * kScans * count);
 }
 BENCHMARK(BM_SimdMeasure)->Arg(1)->Arg(8);
+
+void BM_SimdMeasureObs(benchmark::State& state) {
+    // BM_SimdMeasure with a metrics registry installed (obs-on arm; see
+    // BM_RoArrayBatchedScanObs).
+    const auto devices = static_cast<std::size_t>(state.range(0));
+    constexpr int kScans = 64;
+    sim::RoFleet fleet({64, 8}, sim::ProcessParams{}, 14, devices);
+    const auto count = static_cast<std::int64_t>(fleet.chip(0).count());
+    std::vector<std::vector<double>> out;
+    obs::Registry reg;
+    obs::install(&reg);
+    for (auto _ : state) {
+        fleet.measure_batch(sim::Condition{}, kScans, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    obs::install(nullptr);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(devices) * kScans * count);
+}
+BENCHMARK(BM_SimdMeasureObs)->Arg(1)->Arg(8);
 
 void BM_MajorityVote(benchmark::State& state) {
     // Bit-sliced majority vote kernel over `range` packed scan rows; items =

@@ -13,6 +13,7 @@
 #include "ropuf/core/oracle.hpp"
 #include "ropuf/defense/registry.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
+#include "ropuf/obs/metrics.hpp"
 #include "ropuf/pairing/neighbor_chain.hpp"
 
 namespace ropuf::attack {
@@ -113,6 +114,22 @@ AttackReport drive(Session& session, OracleStack& stack, const ScenarioParams& p
                       p.trace ? &trace : nullptr);
 
     const auto stats = stack.oracle.stats();
+    if (obs::Registry* reg = obs::registry()) {
+        // Per-defense-token oracle traffic. Tokens are few (one per matrix
+        // column) and change per trial at most, so the locked name intern
+        // here is off every inner loop.
+        const std::string token =
+            (p.defense.empty() || p.defense == "none") ? "none" : p.defense;
+        reg->add(reg->counter("oracle.queries{defense=" + token + "}"),
+                 static_cast<double>(stats.queries));
+        reg->add(reg->counter("oracle.measurements{defense=" + token + "}"),
+                 static_cast<double>(stats.measurements));
+        reg->add(reg->counter("oracle.refused{defense=" + token + "}"),
+                 static_cast<double>(stats.refused));
+        if (stack.applied.locked()) {
+            reg->add(reg->counter("oracle.lockouts{defense=" + token + "}"), 1.0);
+        }
+    }
     const auto key = session.partial_key();
     const bool resolved = session.done() && session.resolved();
     report.key_bits = static_cast<int>(truth.size());

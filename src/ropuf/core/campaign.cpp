@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "ropuf/fi/injector.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/obs/trace.hpp"
 #include "ropuf/rng/xoshiro.hpp"
 
 namespace ropuf::core {
@@ -54,6 +56,7 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
     std::exception_ptr first_error;
 
     const auto worker_loop = [&] {
+        if (obs::TraceSink* sink = obs::trace()) sink->set_thread_name("worker");
         for (;;) {
             const int t = next_trial.fetch_add(1, std::memory_order_relaxed);
             if (t >= trials) return;
@@ -63,8 +66,28 @@ CampaignSummary CampaignRunner::run(std::string_view scenario_name,
                 }
                 ScenarioParams params = config.base;
                 params.seed = seeds[static_cast<std::size_t>(t)];
-                reports[static_cast<std::size_t>(t)] = run_scenario(*scenario, params);
+                {
+                    const obs::Span trial_span("trial");
+                    reports[static_cast<std::size_t>(t)] = run_scenario(*scenario, params);
+                }
+                ROPUF_OBS_COUNT("campaign.trials", 1);
+                ROPUF_OBS_OBSERVE("campaign.trial_wall_ms",
+                                  reports[static_cast<std::size_t>(t)].wall_ms);
             } catch (...) {
+                if (obs::TraceSink* sink = obs::trace()) {
+                    // Surface fi-injected trial faults on the worker's track;
+                    // the rethrow keeps the handled exception intact for the
+                    // error path below.
+                    try {
+                        throw;
+                    } catch (const fi::InjectedFault& e) {
+                        std::string args = "{\"what\":\"";
+                        obs::append_trace_escaped(args, e.what());
+                        args += "\"}";
+                        sink->instant("fi:injected_fault", std::move(args));
+                    } catch (...) {
+                    }
+                }
                 const std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error) first_error = std::current_exception();
             }

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "ropuf/obs/metrics.hpp"
+
 namespace ropuf::ecc {
 
 namespace {
@@ -166,6 +168,7 @@ std::optional<std::vector<int>> BchCode::syndromes(const bits::BitVec& received)
     // GF(2^m) step instead of one table lookup per set bit.
     const auto bytes = bits::pack_bytes(received);
     std::vector<int> s(static_cast<std::size_t>(2 * t_), 0);
+    ROPUF_OBS_COUNT("simd.calls.bch_syndromes", 1);
     simd::kernels().bch_syndromes(bytes.data(), bytes.size(), horner_view(), s.data());
     bool any = false;
     for (const int v : s) any |= (v != 0);

@@ -1,0 +1,160 @@
+#include "ropuf/obs/progress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ropuf::obs {
+
+namespace {
+
+// 412, 41.2k, 4.1M — compact throughput rendering.
+std::string compact(double v) {
+    char buf[32];
+    if (v >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+    } else if (v >= 1e4) {
+        std::snprintf(buf, sizeof(buf), "%.0fk", v / 1e3);
+    } else if (v >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+    } else if (v >= 10) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f", v);
+    }
+    return buf;
+}
+
+std::string format_eta(double seconds) {
+    if (!(seconds >= 0.0) || seconds > 86400.0 * 9) return "--:--";
+    const auto total = static_cast<long>(seconds + 0.5);
+    char buf[32];
+    if (total >= 3600) {
+        std::snprintf(buf, sizeof(buf), "%ld:%02ld:%02ld", total / 3600,
+                      (total % 3600) / 60, total % 60);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%ld:%02ld", total / 60, total % 60);
+    }
+    return buf;
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter(const Registry& registry)
+    : ProgressReporter(registry, Config{}) {}
+
+ProgressReporter::ProgressReporter(const Registry& registry, Config config)
+    : registry_(registry), config_(config) {}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::start() {
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void ProgressReporter::stop() {
+    if (!running_) return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    running_ = false;
+    tick(/*final_tick=*/true);
+}
+
+void ProgressReporter::loop() {
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.05, config_.interval_s));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_requested_) {
+        if (cv_.wait_for(lock, interval, [this] { return stop_requested_; }))
+            break;
+        lock.unlock();
+        tick(/*final_tick=*/false);
+        lock.lock();
+    }
+}
+
+void ProgressReporter::tick(bool final_tick) {
+    const Snapshot snap = registry_.snapshot();
+    const auto now = std::chrono::steady_clock::now();
+    const double jobs = snap.counter_or("xp.jobs_done", 0.0) +
+                        snap.counter_or("xp.jobs_quarantined", 0.0);
+    const double trials = snap.counter_or("campaign.trials", 0.0);
+    if (have_last_) {
+        const double dt =
+            std::chrono::duration<double>(now - last_tick_).count();
+        if (dt > 1e-3) {
+            constexpr double kAlpha = 0.3;
+            const double jobs_s = (jobs - last_jobs_) / dt;
+            const double trials_s = (trials - last_trials_) / dt;
+            ema_jobs_s_ = ema_jobs_s_ == 0.0
+                              ? jobs_s
+                              : kAlpha * jobs_s + (1.0 - kAlpha) * ema_jobs_s_;
+            ema_trials_s_ =
+                ema_trials_s_ == 0.0
+                    ? trials_s
+                    : kAlpha * trials_s + (1.0 - kAlpha) * ema_trials_s_;
+        }
+    }
+    last_jobs_ = jobs;
+    last_trials_ = trials;
+    last_tick_ = now;
+    have_last_ = true;
+
+    const std::string line = render(snap);
+    if (config_.ansi) {
+        std::fprintf(config_.out, "\r%s\x1b[K", line.c_str());
+        if (final_tick) std::fputc('\n', config_.out);
+    } else {
+        std::fprintf(config_.out, "%s\n", line.c_str());
+    }
+    std::fflush(config_.out);
+}
+
+std::string ProgressReporter::render(const Snapshot& snap) const {
+    const double total = snap.gauge_or("xp.jobs_total", 0.0);
+    const double skipped = snap.gauge_or("xp.jobs_skipped", 0.0);
+    const double done = snap.counter_or("xp.jobs_done", 0.0);
+    const double quarantined = snap.counter_or("xp.jobs_quarantined", 0.0);
+    const double retries = snap.counter_or("xp.retries", 0.0);
+    const double trials_s = ema_trials_s_;
+    const double finished = done + quarantined + skipped;
+
+    std::string line = "jobs ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f/%.0f", finished,
+                  std::max(total, finished));
+    line += buf;
+    if (total > 0) {
+        std::snprintf(buf, sizeof(buf), " (%d%%)",
+                      static_cast<int>(100.0 * finished / total));
+        line += buf;
+    }
+    line += " | ";
+    line += compact(ema_jobs_s_);
+    line += " job/s | ";
+    line += compact(trials_s);
+    line += " trial/s | retries ";
+    std::snprintf(buf, sizeof(buf), "%.0f", retries);
+    line += buf;
+    line += " | quarantined ";
+    std::snprintf(buf, sizeof(buf), "%.0f", quarantined);
+    line += buf;
+    line += " | eta ";
+    const double remaining = total - finished;
+    if (remaining <= 0) {
+        line += "0:00";
+    } else if (ema_jobs_s_ > 1e-9) {
+        line += format_eta(remaining / ema_jobs_s_);
+    } else {
+        line += "--:--";
+    }
+    return line;
+}
+
+} // namespace ropuf::obs

@@ -1,0 +1,70 @@
+// ropuf::obs — live campaign progress on stderr.
+//
+// A heartbeat thread wakes every ~quarter second, takes a metrics
+// Snapshot, and redraws one status line:
+//
+//   jobs 37/56 (66%) | 1.8 job/s | 412k trial/s | retries 3 | quarantined 1 | eta 0:11
+//
+// Throughput is an exponential moving average over snapshot deltas, ETA is
+// remaining-jobs / EMA. The reporter only *reads* the registry — all state
+// it displays comes from the same metric names the executor and campaign
+// workers publish (xp.jobs_total, xp.jobs_done, campaign.trials, ...), so
+// it needs no hooks into the execution path at all.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ropuf/obs/metrics.hpp"
+
+namespace ropuf::obs {
+
+class ProgressReporter {
+public:
+    struct Config {
+        std::FILE* out = stderr;
+        double interval_s = 0.25;
+        bool ansi = true; ///< \r + erase-to-eol redraw; false = newline per tick
+    };
+
+    /// The registry must outlive the reporter. Call start() to begin.
+    /// (Two overloads rather than a `= {}` default: GCC cannot evaluate a
+    /// nested aggregate's member initializers inside its enclosing class's
+    /// default arguments, PR 88165.)
+    explicit ProgressReporter(const Registry& registry);
+    ProgressReporter(const Registry& registry, Config config);
+    ~ProgressReporter(); ///< stops if still running
+
+    void start();
+    /// Joins the heartbeat and prints a final line (with trailing newline).
+    void stop();
+
+    /// One rendered status line (no \r / newline). Exposed for tests.
+    std::string render(const Snapshot& snap) const;
+
+private:
+    void loop();
+    void tick(bool final_tick);
+
+    const Registry& registry_;
+    const Config config_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_requested_ = false;
+    bool running_ = false;
+
+    // EMA state, touched only from the heartbeat thread (and stop()).
+    double ema_jobs_s_ = 0.0;
+    double ema_trials_s_ = 0.0;
+    double last_jobs_ = 0.0;
+    double last_trials_ = 0.0;
+    std::chrono::steady_clock::time_point last_tick_{};
+    bool have_last_ = false;
+};
+
+} // namespace ropuf::obs

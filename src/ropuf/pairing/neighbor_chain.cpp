@@ -3,6 +3,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "ropuf/obs/metrics.hpp"
 #include "ropuf/simd/simd.hpp"
 
 namespace ropuf::pairing {
@@ -60,6 +61,7 @@ bits::BitVec evaluate_pairs(const std::vector<IndexPair>& pairs,
     assert_pairs_in_range(pairs, values.size());
 #endif
     bits::BitVec out(pairs.size());
+    ROPUF_OBS_COUNT("simd.calls.compare_pairs", 1);
     simd::kernels().compare_pairs(values.data(), flat_pairs(pairs), pairs.size(),
                                   out.data());
     return out;
@@ -71,6 +73,7 @@ std::vector<std::uint64_t> evaluate_pairs_packed(const std::vector<IndexPair>& p
     assert_pairs_in_range(pairs, values.size());
 #endif
     std::vector<std::uint64_t> out((pairs.size() + 63) / 64);
+    ROPUF_OBS_COUNT("simd.calls.compare_pairs_packed", 1);
     simd::kernels().compare_pairs_packed(values.data(), flat_pairs(pairs),
                                          pairs.size(), out.data());
     return out;
@@ -87,11 +90,13 @@ bits::BitVec evaluate_pairs_majority(const std::vector<IndexPair>& pairs,
 #ifndef NDEBUG
         assert_pairs_in_range(pairs, stride);
 #endif
+        ROPUF_OBS_COUNT("simd.calls.compare_pairs_packed", 1);
         simd::kernels().compare_pairs_packed(
             values.data() + static_cast<std::size_t>(s) * stride, flat_pairs(pairs),
             pairs.size(), rows.data() + static_cast<std::size_t>(s) * words);
     }
     std::vector<std::uint64_t> voted(words);
+    ROPUF_OBS_COUNT("simd.calls.majority_vote_packed", 1);
     simd::kernels().majority_vote_packed(rows.data(), words, scans, voted.data());
     bits::BitVec out(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "ropuf/rng/gaussian.hpp"
 
+#include "ropuf/obs/metrics.hpp"
 #include "ropuf/simd/simd.hpp"
 #include "ropuf/simd/zig_tables.hpp"
 
@@ -16,6 +17,7 @@ double gaussian_zig(Xoshiro256pp& rng) noexcept {
 
 void fill_gaussian(Xoshiro256pp& rng, double mean, double sd, double* out,
                    std::size_t n) noexcept {
+    ROPUF_OBS_COUNT("simd.calls.fill_gaussian", 1);
     simd::kernels().fill_gaussian(rng, mean, sd, out, n);
 }
 

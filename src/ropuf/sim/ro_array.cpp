@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "ropuf/obs/metrics.hpp"
 #include "ropuf/rng/gaussian.hpp"
 #include "ropuf/simd/simd.hpp"
 
@@ -84,6 +85,7 @@ void RoArray::measure_all_into(const Condition& c, rng::Xoshiro256pp& rng,
     const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
     // The fused kernel draws the same noise stream and rounds the same two
     // terms as the historic fill-then-affine pair of passes.
+    ROPUF_OBS_COUNT("simd.calls.measure_scans", 1);
     simd::kernels().measure_scans(soa_view(), dt, dv, 0.0, params_.sigma_noise_mhz,
                                   1, rng, out.data());
     if (params_.quantize_counters) {
@@ -112,6 +114,7 @@ void RoArray::measure_batch_into(const Condition& c, int scans, rng::Xoshiro256p
     }
     const double dt = c.temperature_c - params_.t_ref_c;
     const double dv = params_.vco_mhz_per_v * (c.voltage_v - params_.v_ref_v);
+    ROPUF_OBS_COUNT("simd.calls.measure_scans", 1);
     simd::kernels().measure_scans(soa_view(), dt, dv, 0.0, params_.sigma_noise_mhz,
                                   scans, rng, out.data());
 }

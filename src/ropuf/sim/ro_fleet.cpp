@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ropuf/obs/metrics.hpp"
+
 namespace ropuf::sim {
 
 RoFleet::RoFleet(const ArrayGeometry& geometry, const ProcessParams& params,
@@ -35,6 +37,7 @@ void RoFleet::measure_batch(const Condition& c, int scans,
     }
 
     const double sigma = chips_[0].params().sigma_noise_mhz;
+    ROPUF_OBS_COUNT("simd.calls.measure_fleet", 1);
     simd::kernels().measure_fleet(base_ptrs.data(), devices, n, scans, 0.0, sigma,
                                   streams_, out_ptrs.data());
 

@@ -11,6 +11,9 @@
 
 #include "ropuf/core/campaign.hpp"
 #include "ropuf/fi/injector.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/obs/trace.hpp"
+#include "ropuf/simd/simd.hpp"
 
 namespace ropuf::xp {
 
@@ -23,6 +26,8 @@ void backoff_sleep(double base_ms, int completed_attempts) {
     if (base_ms <= 0.0) return;
     const int shift = std::min(completed_attempts - 1, 10);
     const double ms = std::min(1000.0, base_ms * static_cast<double>(1 << shift));
+    ROPUF_OBS_COUNT("xp.backoff_ms", ms);
+    const obs::Span backoff_span("backoff");
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
@@ -117,9 +122,19 @@ void append_with_retry(ResultWriter& writer, const JobRecord& record,
         try {
             writer.append(record);
             return;
-        } catch (const std::exception&) {
+        } catch (const std::exception& e) {
+            if (obs::TraceSink* sink = obs::trace()) {
+                std::string args = "{\"what\":\"";
+                obs::append_trace_escaped(args, e.what());
+                args += "\"}";
+                sink->instant(dynamic_cast<const fi::InjectedFault*>(&e) != nullptr
+                                  ? "fi:store_fault"
+                                  : "store_error",
+                              std::move(args));
+            }
             if (attempt >= max_attempts) throw;
             ++stats.store_retries;
+            ROPUF_OBS_COUNT("xp.store_append_retries", 1);
             backoff_sleep(options.backoff_base_ms, attempt);
         }
     }
@@ -134,6 +149,22 @@ RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
     RunStats stats;
     stats.total = static_cast<int>(plan.jobs.size());
     const int max_attempts = std::max(1, options.max_attempts);
+
+    obs::Registry* const reg = obs::registry();
+    if (reg != nullptr) {
+        int will_skip = 0;
+        for (const Job& job : plan.jobs) {
+            if (skip.count(job.id) != 0) ++will_skip;
+        }
+        reg->set(reg->gauge("xp.jobs_total"), static_cast<double>(stats.total));
+        reg->set(reg->gauge("xp.jobs_skipped"), static_cast<double>(will_skip));
+        // One 0/1 gauge per dispatch path keeps path identity greppable in
+        // snapshots without a string-valued metric type.
+        reg->set(reg->gauge("simd.path." +
+                            std::string(simd::path_name(simd::active_path()))),
+                 1.0);
+    }
+    if (obs::TraceSink* sink = obs::trace()) sink->set_thread_name("executor");
 
     // Timed-out attempt threads; joined (reverse declaration order) before
     // `runner` dies, so a late-finishing attempt never touches a dead runner.
@@ -172,6 +203,18 @@ RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
         config.injector = options.injector;
         config.fi_job_index = job.index;
 
+        std::string job_args;
+        if (obs::trace() != nullptr) {
+            job_args = "{\"job\":\"";
+            obs::append_trace_escaped(job_args, job.id);
+            job_args += "\",\"scenario\":\"";
+            obs::append_trace_escaped(job_args, job.scenario);
+            job_args += "\",\"trials\":" + std::to_string(job.trials) + "}";
+        }
+        const obs::Span job_span("job", std::move(job_args));
+        obs::Snapshot obs_before;
+        if (reg != nullptr) obs_before = reg->snapshot();
+
         bool ok = false;
         bool stopped_mid_job = false;
         int attempts_used = 0;
@@ -180,15 +223,41 @@ RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
         for (int attempt = 1; attempt <= max_attempts; ++attempt) {
             attempts_used = attempt;
             config.fi_attempt = attempt;
-            AttemptResult result = run_attempt(runner, job, config, options, zombies);
+            AttemptResult result;
+            {
+                std::string attempt_args;
+                if (obs::trace() != nullptr) {
+                    attempt_args = "{\"attempt\":" + std::to_string(attempt) + "}";
+                }
+                const obs::Span attempt_span("attempt", std::move(attempt_args));
+                result = run_attempt(runner, job, config, options, zombies);
+            }
             if (result.ok) {
                 summary = std::move(result.summary);
                 ok = true;
                 break;
             }
             last_error = std::move(result.error);
+            if (last_error.cls == core::JobErrorClass::timeout) {
+                ROPUF_OBS_COUNT("xp.watchdog_timeouts", 1);
+                if (obs::TraceSink* sink = obs::trace()) {
+                    std::string args = "{\"what\":\"";
+                    obs::append_trace_escaped(args, last_error.message);
+                    args += "\"}";
+                    sink->instant("watchdog_timeout", std::move(args));
+                }
+            } else if (last_error.cls == core::JobErrorClass::injected_fault) {
+                ROPUF_OBS_COUNT("fi.injected_faults", 1);
+                if (obs::TraceSink* sink = obs::trace()) {
+                    std::string args = "{\"what\":\"";
+                    obs::append_trace_escaped(args, last_error.message);
+                    args += "\"}";
+                    sink->instant("fi:injected_fault", std::move(args));
+                }
+            }
             if (attempt < max_attempts) {
                 ++stats.retries;
+                ROPUF_OBS_COUNT("xp.retries", 1);
                 backoff_sleep(options.backoff_base_ms, attempt);
                 if (stop_requested(options)) {
                     stopped_mid_job = true;
@@ -206,11 +275,39 @@ RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
         JobRecord record = ok ? make_record(plan, job, summary)
                               : make_failed_record(plan, job, last_error, attempts_used);
         record.attempts = attempts_used;
+        if (reg != nullptr) {
+            // This job's slice of the metrics: everything the attempts (and
+            // their campaign workers) recorded since the pre-job snapshot.
+            const obs::Snapshot delta = obs::diff(reg->snapshot(), obs_before);
+            record.obs.present = true;
+            for (const auto& c : delta.counters) {
+                if (c.value != 0.0) record.obs.counters[c.name] = c.value;
+            }
+            for (const auto& h : delta.hists) {
+                if (h.count == 0) continue;
+                record.obs.hists[h.name] =
+                    ObsHistSummary{h.count,          h.mean(),
+                                   h.quantile(0.50), h.quantile(0.95),
+                                   h.quantile(0.99), h.max};
+            }
+        }
         append_with_retry(writer, record, options, stats);
         if (ok) {
             ++stats.executed;
+            ROPUF_OBS_COUNT("xp.jobs_done", 1);
+            ROPUF_OBS_OBSERVE("xp.job_wall_ms", summary.wall_ms);
         } else {
             ++stats.failed;
+            ROPUF_OBS_COUNT("xp.jobs_quarantined", 1);
+            if (obs::TraceSink* sink = obs::trace()) {
+                std::string args = "{\"class\":\"";
+                obs::append_trace_escaped(
+                    args, core::job_error_class_name(last_error.cls));
+                args += "\",\"what\":\"";
+                obs::append_trace_escaped(args, last_error.message);
+                args += "\"}";
+                sink->instant("quarantined", std::move(args));
+            }
         }
 
         if (options.progress != nullptr) {

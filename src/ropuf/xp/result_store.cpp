@@ -1,12 +1,15 @@
 #include "ropuf/xp/result_store.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <thread>
 
 #include "ropuf/fi/injector.hpp"
+#include "ropuf/obs/metrics.hpp"
 #include "ropuf/simd/simd.hpp"
 #include "ropuf/xp/json.hpp"
 
@@ -178,6 +181,42 @@ std::string to_jsonl(const JobRecord& r) {
         }
         out += '}';
     }
+    // The obs metrics delta is the last side-key: only present when a
+    // registry was installed for the run, so obs-off output is byte-for-byte
+    // what pre-obs builds wrote.
+    if (r.obs.present) {
+        out += ",\"obs\":{\"counters\":{";
+        bool first = true;
+        for (const auto& [name, value] : r.obs.counters) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            core::append_json_escaped(out, name);
+            out += "\":";
+            append_number(out, value);
+        }
+        out += "},\"hist\":{";
+        first = true;
+        for (const auto& [name, h] : r.obs.hists) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            core::append_json_escaped(out, name);
+            out += "\":{\"count\":" + std::to_string(h.count);
+            out += ",\"mean\":";
+            append_number(out, h.mean);
+            out += ",\"p50\":";
+            append_number(out, h.p50);
+            out += ",\"p95\":";
+            append_number(out, h.p95);
+            out += ",\"p99\":";
+            append_number(out, h.p99);
+            out += ",\"max\":";
+            append_number(out, h.max);
+            out += '}';
+        }
+        out += "}}";
+    }
     out += '}';
     return out;
 }
@@ -248,6 +287,31 @@ JobRecord parse_record(std::string_view line) {
         r.attempts = static_cast<int>(fault->number_or("attempts", 1));
         r.error_class = fault->string_or("class", "");
         r.error_message = fault->string_or("message", "");
+    }
+    if (const JsonValue* obs = doc.find("obs"); obs != nullptr && obs->is_object()) {
+        r.obs.present = true;
+        if (const JsonValue* counters = obs->find("counters");
+            counters != nullptr && counters->is_object()) {
+            for (const auto& [name, value] : counters->as_object()) {
+                if (value.type() == JsonValue::Type::Number) {
+                    r.obs.counters[name] = value.as_number();
+                }
+            }
+        }
+        if (const JsonValue* hists = obs->find("hist");
+            hists != nullptr && hists->is_object()) {
+            for (const auto& [name, value] : hists->as_object()) {
+                if (!value.is_object()) continue;
+                ObsHistSummary h;
+                h.count = value.u64_or("count", 0);
+                h.mean = value.number_or("mean", 0.0);
+                h.p50 = value.number_or("p50", 0.0);
+                h.p95 = value.number_or("p95", 0.0);
+                h.p99 = value.number_or("p99", 0.0);
+                h.max = value.number_or("max", 0.0);
+                r.obs.hists[name] = h;
+            }
+        }
     }
     return r;
 }
@@ -344,11 +408,32 @@ void ResultWriter::append(const JobRecord& record) {
     }
     // One durable line per job is the crash-safety unit — a short write or
     // failed flush (ENOSPC, I/O error) must surface, not count as done.
+    obs::Registry* reg = obs::registry();
+    const auto t0 = reg != nullptr ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
         dirty_ = true; // unknown how much landed: treat the tail as torn
         throw SpecError("write failed for results file: " + path_);
     }
+    if (reg != nullptr) {
+        const auto t1 = std::chrono::steady_clock::now();
+        const double flush_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        ROPUF_OBS_COUNT("store.bytes_written", line.size());
+        ROPUF_OBS_OBSERVE("store.flush_ms", flush_ms);
+    }
+}
+
+std::string salvage_warning(const ReadStats& stats) {
+    if (stats.skipped_lines == 0) return {};
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "warning: skipped %d unparseable line(s) — torn crash tail or "
+                  "foreign data; last good record ends at byte %lld (truncate "
+                  "there to salvage)",
+                  stats.skipped_lines, stats.last_good_offset);
+    return buf;
 }
 
 std::string render_report(const std::vector<JobRecord>& all_records) {
@@ -498,6 +583,112 @@ std::string render_report(const std::vector<JobRecord>& all_records) {
                                     : " [unresolved — rerun 'ropuf resume']");
             out += buf;
         }
+    }
+    return out;
+}
+
+namespace {
+
+// Nearest-rank percentile over an already-sorted sample vector.
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto rank = std::min<std::size_t>(
+        sorted.size(),
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(sorted.size())))));
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+std::string render_timings(const std::vector<JobRecord>& all_records) {
+    struct Group {
+        std::vector<double> wall_ms;
+        // Count-weighted aggregate of the records' obs trial-wall summaries.
+        std::uint64_t trials = 0;
+        double mean_w = 0.0;
+        double p50_w = 0.0;
+        double p95_w = 0.0;
+        double p99_w = 0.0;
+        double trial_max = 0.0;
+    };
+    std::map<std::string, Group> groups;
+    std::map<int, int> attempts_hist; // attempts spent -> jobs
+    long long retried_attempts = 0;
+    int quarantined = 0;
+    int missing_obs = 0;
+
+    for (const auto& r : all_records) {
+        attempts_hist[r.attempts] += 1;
+        if (r.attempts > 1) retried_attempts += r.attempts - 1;
+        if (r.failed()) {
+            ++quarantined; // no result, no meaningful wall time
+            continue;
+        }
+        Group& g = groups[r.scenario];
+        g.wall_ms.push_back(r.wall_ms);
+        const auto it = r.obs.hists.find("campaign.trial_wall_ms");
+        if (!r.obs.present || it == r.obs.hists.end()) {
+            ++missing_obs; // pre-obs or obs-off record: skip the trial section
+            continue;
+        }
+        const ObsHistSummary& h = it->second;
+        const auto n = static_cast<double>(h.count);
+        g.trials += h.count;
+        g.mean_w += h.mean * n;
+        g.p50_w += h.p50 * n;
+        g.p95_w += h.p95 * n;
+        g.p99_w += h.p99 * n;
+        g.trial_max = std::max(g.trial_max, h.max);
+    }
+
+    std::string out;
+    char buf[256];
+    out += "per-job wall time (timing side-key)\n";
+    std::snprintf(buf, sizeof buf, "%-28s %6s %11s %11s %11s %11s\n", "scenario", "jobs",
+                  "p50 ms", "p95 ms", "p99 ms", "max ms");
+    out += buf;
+    for (auto& [scenario, g] : groups) {
+        std::sort(g.wall_ms.begin(), g.wall_ms.end());
+        std::snprintf(buf, sizeof buf, "%-28s %6zu %11.2f %11.2f %11.2f %11.2f\n",
+                      scenario.c_str(), g.wall_ms.size(),
+                      sorted_percentile(g.wall_ms, 0.50),
+                      sorted_percentile(g.wall_ms, 0.95),
+                      sorted_percentile(g.wall_ms, 0.99),
+                      g.wall_ms.empty() ? 0.0 : g.wall_ms.back());
+        out += buf;
+    }
+
+    out += "\nattempts per job (fault side-key):";
+    for (const auto& [attempts, jobs] : attempts_hist) {
+        std::snprintf(buf, sizeof buf, "  %dx%d", attempts, jobs);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "   (retried attempts: %lld, quarantined: %d)\n",
+                  retried_attempts, quarantined);
+    out += buf;
+
+    out += "\nper-trial wall time (obs side-key; bucketed quantiles, ~12.5%)\n";
+    std::snprintf(buf, sizeof buf, "%-28s %10s %10s %10s %10s %10s %10s\n", "scenario",
+                  "trials", "mean ms", "~p50 ms", "~p95 ms", "~p99 ms", "max ms");
+    out += buf;
+    for (const auto& [scenario, g] : groups) {
+        if (g.trials == 0) continue;
+        const auto n = static_cast<double>(g.trials);
+        std::snprintf(buf, sizeof buf,
+                      "%-28s %10llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                      scenario.c_str(), static_cast<unsigned long long>(g.trials),
+                      g.mean_w / n, g.p50_w / n, g.p95_w / n, g.p99_w / n,
+                      g.trial_max);
+        out += buf;
+    }
+    if (missing_obs > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "%d record(s) carry no obs side-key (obs-off or pre-obs "
+                      "run) — skipped from the trial section\n",
+                      missing_obs);
+        out += buf;
     }
     return out;
 }

@@ -27,6 +27,13 @@
 // retries them — and a later successful record for the same job ID
 // supersedes them.
 //
+// A third optional side-key, "obs", rides after "fault": the per-job delta
+// of the ropuf::obs metrics registry (counter deltas plus histogram
+// summaries), captured only when a registry is installed for the run. Like
+// timing and fault it is host-bound and excluded from deterministic
+// comparison; obs-off runs emit no obs key at all, so pre-obs records (and
+// the golden files) stay byte-identical.
+//
 // Crash safety: the writer appends one flushed line per record, so a killed
 // run loses at most its in-flight job; the reader skips unparseable lines
 // (the torn tail of a crash) instead of failing, and resume re-runs exactly
@@ -34,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
@@ -48,6 +56,26 @@ class Injector;
 }
 
 namespace ropuf::xp {
+
+/// Summary of one obs histogram as recorded in a job's "obs" side-key.
+/// Quantiles come from the registry's log-bucketed histograms (~12.5%
+/// resolution); count and mean are exact.
+struct ObsHistSummary {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/// The per-job metrics delta riding in the "obs" side-key. Absent (present
+/// == false) for obs-off runs and for every pre-obs record.
+struct ObsData {
+    bool present = false;
+    std::map<std::string, double> counters;         ///< nonzero deltas only
+    std::map<std::string, ObsHistSummary> hists;    ///< histograms with samples
+};
 
 /// One JSONL record: a job identity plus its campaign outcome.
 struct JobRecord {
@@ -82,6 +110,8 @@ struct JobRecord {
     int attempts = 1;             ///< executor attempts spent on this job
     std::string error_class;      ///< job_failed only: taxonomy class name
     std::string error_message;    ///< job_failed only: captured message
+    // observability (host-bound side-key, excluded like timing/fault)
+    ObsData obs;
 
     bool failed() const { return outcome == "job_failed"; }
 };
@@ -94,7 +124,8 @@ JobRecord make_record(const Plan& plan, const Job& job, const core::CampaignSumm
 JobRecord make_failed_record(const Plan& plan, const Job& job, const core::JobError& error,
                              int attempts);
 
-/// One-line JSON serialization; "timing" is always the final key.
+/// One-line JSON serialization; the host-bound side-keys always come last,
+/// in the order timing, fault (if any), obs (if any).
 std::string to_jsonl(const JobRecord& record);
 
 /// The record line up to (excluding) its ",\"timing\":" suffix — the
@@ -114,6 +145,11 @@ struct ReadStats {
     int skipped_lines = 0;
     long long last_good_offset = 0;
 };
+
+/// The user-facing salvage warning for a read that skipped lines, naming
+/// both skipped_lines and last_good_offset (where a salvage tool would
+/// truncate). Empty when nothing was skipped.
+std::string salvage_warning(const ReadStats& stats);
 
 /// Every parseable record of a results file, in file order. Unparseable
 /// lines are counted into `*stats` (crash tails), never fatal. Throws
@@ -160,6 +196,15 @@ private:
 /// alongside the retry totals from the records' fault side-fields; a
 /// quarantined job that a later record completed is reported as recovered.
 std::string render_report(const std::vector<JobRecord>& records);
+
+/// Per-scenario wall-time and retry profile — the `ropuf report --timings`
+/// view. Job wall p50/p95/p99 are exact order statistics over the records'
+/// timing side-keys; the attempts histogram comes from the fault side-keys;
+/// per-trial wall percentiles are count-weighted aggregates of the obs
+/// side-keys' bucketed summaries (approximate, labeled as such). Records
+/// without an obs key — anything written obs-off or pre-obs — are skipped
+/// from the trial section and counted.
+std::string render_timings(const std::vector<JobRecord>& records);
 
 /// Attack x defense outcome matrix — the `ropuf report --matrix` view.
 /// Rows are scenarios, columns defenses (both in first-appearance order);

@@ -1,0 +1,519 @@
+// ropuf::obs — the telemetry subsystem's contracts: sharded metric merge
+// correctness across threads, per-site id caching across registry
+// reinstalls, safe degradation at capacity ceilings, bucketed histogram
+// quantile bounds, snapshot diffs, the Chrome-trace sink's structural
+// invariants (balanced spans, monotonic per-track timestamps, event cap),
+// the progress renderer, and — the hard one — the zero-overhead / bitwise
+// determinism contract: an executor run with the full obs stack installed
+// produces deterministic prefixes byte-identical to an obs-off run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ropuf/attack/scenarios.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/obs/progress.hpp"
+#include "ropuf/obs/trace.hpp"
+#include "ropuf/xp/executor.hpp"
+#include "ropuf/xp/json.hpp"
+#include "ropuf/xp/planner.hpp"
+#include "ropuf/xp/result_store.hpp"
+#include "ropuf/xp/sweep_spec.hpp"
+
+namespace {
+
+using namespace ropuf;
+
+std::string temp_path(const char* stem, const char* ext = ".jsonl") {
+    return testing::TempDir() + stem + std::to_string(::getpid()) + ext;
+}
+
+// Every test leaves the process with obs uninstalled, so test order can
+// never leak a registry into an unrelated case.
+class ObsTest : public testing::Test {
+protected:
+    void TearDown() override {
+        obs::install_trace(nullptr);
+        obs::install(nullptr);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CountersMergeAcrossThreads) {
+    obs::Registry reg;
+    obs::install(&reg);
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 10000;
+    std::vector<std::thread> pool;
+    for (int i = 0; i < kThreads; ++i) {
+        pool.emplace_back([] {
+            for (int n = 0; n < kIncrements; ++n) ROPUF_OBS_COUNT("test.hits", 1);
+        });
+    }
+    for (auto& t : pool) t.join();
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counter_or("test.hits", -1.0),
+                     static_cast<double>(kThreads) * kIncrements);
+    // Shards recycle through the freelist on thread exit; since the threads
+    // above overlap arbitrarily, the registry needs at most kThreads shards.
+    EXPECT_LE(reg.shard_count(), static_cast<std::size_t>(kThreads));
+    EXPECT_EQ(reg.dropped_registrations(), 0u);
+}
+
+TEST_F(ObsTest, MacrosAreNoOpsWithoutARegistry) {
+    // No install(): the macros must silently do nothing (this is the
+    // zero-overhead branch) — and Span must tolerate a missing sink.
+    ROPUF_OBS_COUNT("off.count", 1);
+    ROPUF_OBS_SET("off.gauge", 5);
+    ROPUF_OBS_OBSERVE("off.hist", 1.5);
+    { const obs::Span span("off.span"); }
+    obs::Registry reg;
+    obs::install(&reg);
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.hists.empty());
+}
+
+TEST_F(ObsTest, CachedIdsSurviveRegistryReinstall) {
+    // The macro caches (epoch, id) per call site; a second registry has a
+    // different epoch, so the same site must re-intern instead of writing
+    // into the old registry's slot.
+    auto bump = [] { ROPUF_OBS_COUNT("reinstall.hits", 1); };
+    obs::Registry first;
+    obs::install(&first);
+    bump();
+    bump();
+    obs::install(nullptr);
+    obs::Registry second;
+    obs::install(&second);
+    bump();
+    EXPECT_DOUBLE_EQ(first.snapshot().counter_or("reinstall.hits", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(second.snapshot().counter_or("reinstall.hits", -1.0), 1.0);
+}
+
+TEST_F(ObsTest, KindMismatchAndCapacityDegradeToInvalid) {
+    obs::Registry reg;
+    const obs::MetricId c = reg.counter("name.shared");
+    EXPECT_NE(c, obs::kInvalidMetric);
+    // Same name under a different kind: refused, not aliased.
+    EXPECT_EQ(reg.gauge("name.shared"), obs::kInvalidMetric);
+    EXPECT_EQ(reg.histogram("name.shared"), obs::kInvalidMetric);
+    // Registering past the gauge ceiling: dead handles, counted, harmless.
+    for (std::size_t i = 0; i < obs::Registry::kMaxGauges; ++i) {
+        EXPECT_NE(reg.gauge("g." + std::to_string(i)), obs::kInvalidMetric);
+    }
+    const obs::MetricId overflow = reg.gauge("g.overflow");
+    EXPECT_EQ(overflow, obs::kInvalidMetric);
+    EXPECT_GE(reg.dropped_registrations(), 1u);
+    // Updates through dead handles must be safe no-ops.
+    reg.set(overflow, 42.0);
+    reg.add(obs::kInvalidMetric, 1.0);
+    reg.observe(obs::kInvalidMetric, 1.0);
+    // A re-lookup of an existing name returns the same id (no duplicate).
+    EXPECT_EQ(reg.counter("name.shared"), c);
+}
+
+TEST_F(ObsTest, HistogramQuantilesAreBucketAccurate) {
+    obs::Registry reg;
+    const obs::MetricId h = reg.histogram("h.ms");
+    std::vector<double> values;
+    for (int i = 1; i <= 1000; ++i) values.push_back(static_cast<double>(i) * 0.1);
+    for (double v : values) reg.observe(h, v);
+    const obs::Snapshot snap = reg.snapshot();
+    const obs::Snapshot::Hist* hist = snap.find_hist("h.ms");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, values.size());
+    EXPECT_DOUBLE_EQ(hist->min, 0.1);
+    EXPECT_DOUBLE_EQ(hist->max, 100.0);
+    EXPECT_NEAR(hist->mean(), 50.05, 1e-9);
+    // Buckets quantize at 4 per octave — ~12.5% width — so a quantile may
+    // land one bucket off its exact order statistic: allow 2x/0.5x slack.
+    const double p50 = hist->quantile(0.50);
+    EXPECT_GE(p50, 50.05 * 0.5);
+    EXPECT_LE(p50, 50.05 * 2.0);
+    const double p99 = hist->quantile(0.99);
+    EXPECT_GE(p99, 99.0 * 0.5);
+    EXPECT_LE(p99, 100.0); // clamped into [min, max]
+    EXPECT_GE(hist->quantile(1.0), hist->quantile(0.0));
+}
+
+TEST_F(ObsTest, HistogramBucketIndexCoversTheRange) {
+    // Degenerate inputs land in bucket 0; the mapping is monotone.
+    EXPECT_EQ(obs::hist_bucket_index(0.0), 0);
+    EXPECT_EQ(obs::hist_bucket_index(-3.0), 0);
+    int last = -1;
+    for (double v = 1e-7; v < 1e8; v *= 1.9) {
+        const int idx = obs::hist_bucket_index(v);
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, obs::kHistBuckets);
+        EXPECT_GE(idx, last);
+        last = idx;
+    }
+}
+
+TEST_F(ObsTest, DiffSubtractsCountersAndHistograms) {
+    obs::Registry reg;
+    const obs::MetricId c = reg.counter("d.count");
+    const obs::MetricId h = reg.histogram("d.hist");
+    const obs::MetricId g = reg.gauge("d.gauge");
+    reg.add(c, 5.0);
+    reg.observe(h, 2.0);
+    reg.set(g, 1.0);
+    const obs::Snapshot before = reg.snapshot();
+    reg.add(c, 7.0);
+    reg.observe(h, 8.0);
+    reg.observe(h, 8.0);
+    reg.set(g, 3.0);
+    const obs::Snapshot delta = obs::diff(reg.snapshot(), before);
+    EXPECT_DOUBLE_EQ(delta.counter_or("d.count", -1.0), 7.0);
+    EXPECT_DOUBLE_EQ(delta.gauge_or("d.gauge", -1.0), 3.0); // gauges keep `later`
+    const obs::Snapshot::Hist* hist = delta.find_hist("d.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 2u);
+    EXPECT_DOUBLE_EQ(hist->sum, 16.0);
+    // min/max of a diff are bucket-derived: both samples were 8.0, so both
+    // bounds sit in the bucket containing 8.
+    EXPECT_GE(hist->max, 8.0 * 0.8);
+    EXPECT_LE(hist->min, 8.0 * 1.2);
+}
+
+TEST_F(ObsTest, SnapshotToJsonIsParseable) {
+    obs::Registry reg;
+    reg.add(reg.counter("j.count"), 3.0);
+    reg.set(reg.gauge("j.gauge"), 2.5);
+    reg.observe(reg.histogram("j.hist"), 10.0);
+    // A name needing escaping must not corrupt the document.
+    reg.add(reg.counter("j.quote\"brace{"), 1.0);
+    const xp::JsonValue doc = xp::parse_json(reg.snapshot().to_json());
+    ASSERT_TRUE(doc.is_object());
+    const xp::JsonValue* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->number_or("j.count", -1.0), 3.0);
+    EXPECT_DOUBLE_EQ(counters->number_or("j.quote\"brace{", -1.0), 1.0);
+    const xp::JsonValue* gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->number_or("j.gauge", -1.0), 2.5);
+    const xp::JsonValue* hists = doc.find("hist");
+    ASSERT_NE(hists, nullptr);
+    const xp::JsonValue* h = hists->find("j.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->u64_or("count", 0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink
+// ---------------------------------------------------------------------------
+
+// Loads a written trace file and returns its traceEvents array.
+xp::JsonValue load_trace(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return xp::parse_json(buf.str());
+}
+
+TEST_F(ObsTest, TraceFileIsBalancedAndMonotonic) {
+    const std::string path = temp_path("trace", ".json");
+    {
+        obs::TraceSink sink(path);
+        obs::install_trace(&sink);
+        sink.set_thread_name("main");
+        {
+            const obs::Span outer("job", "{\"job\":\"j1\"}");
+            { const obs::Span inner("attempt"); }
+            sink.instant("fi:injected_fault", "{\"what\":\"test\"}");
+        }
+        std::thread other([&] {
+            obs::TraceSink* s = obs::trace();
+            ASSERT_NE(s, nullptr);
+            s->set_thread_name("worker");
+            s->begin("trial");
+            s->end();
+        });
+        other.join();
+        obs::install_trace(nullptr);
+        EXPECT_TRUE(sink.close());
+        EXPECT_TRUE(sink.close()); // idempotent
+    }
+    const xp::JsonValue doc = load_trace(path);
+    ASSERT_TRUE(doc.is_object());
+    const xp::JsonValue* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+
+    std::map<std::uint64_t, std::vector<std::string>> stacks; // tid -> open B names
+    std::map<std::uint64_t, double> last_ts;
+    int spans = 0, instants = 0, metas = 0;
+    for (const auto& ev : events->as_array()) {
+        const std::string ph = ev.string_or("ph", "?");
+        const std::uint64_t tid = ev.u64_or("tid", 9999);
+        if (ph == "M") {
+            ++metas;
+            continue;
+        }
+        const double ts = ev.number_or("ts", -1.0);
+        ASSERT_GE(ts, 0.0);
+        auto it = last_ts.find(tid);
+        if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+        last_ts[tid] = ts;
+        if (ph == "B") {
+            ++spans;
+            stacks[tid].push_back(ev.string_or("name", ""));
+        } else if (ph == "E") {
+            ASSERT_FALSE(stacks[tid].empty()) << "dangling E";
+            stacks[tid].pop_back();
+        } else if (ph == "i") {
+            ++instants;
+            EXPECT_EQ(ev.string_or("s", ""), "t");
+        }
+    }
+    for (const auto& [tid, stack] : stacks) EXPECT_TRUE(stack.empty()) << "unclosed B";
+    EXPECT_EQ(spans, 3);    // job, attempt, trial
+    EXPECT_EQ(instants, 1);
+    EXPECT_GE(metas, 2);    // both named tracks
+    EXPECT_EQ(last_ts.size(), 2u); // two tracks: main + worker
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceEventCapDropsWithoutDanglingEnds) {
+    const std::string path = temp_path("capped", ".json");
+    {
+        obs::TraceSink sink(path, /*max_events=*/4);
+        obs::install_trace(&sink);
+        for (int i = 0; i < 10; ++i) {
+            const obs::Span span("busy");
+        }
+        obs::install_trace(nullptr);
+        EXPECT_GT(sink.dropped(), 0u);
+        EXPECT_TRUE(sink.close());
+    }
+    const xp::JsonValue doc = load_trace(path);
+    const xp::JsonValue* other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_GT(other->u64_or("dropped_events", 0), 0u);
+    int opens = 0;
+    for (const auto& ev : doc.find("traceEvents")->as_array()) {
+        const std::string ph = ev.string_or("ph", "?");
+        if (ph == "B") ++opens;
+        if (ph == "E") {
+            ASSERT_GT(opens, 0) << "dangling E after cap";
+            --opens;
+        }
+    }
+    EXPECT_EQ(opens, 0);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceCloseAutoClosesOpenSpans) {
+    const std::string path = temp_path("autoclose", ".json");
+    {
+        obs::TraceSink sink(path);
+        obs::install_trace(&sink);
+        sink.begin("left.open");
+        sink.begin("nested.open");
+        obs::install_trace(nullptr);
+        EXPECT_TRUE(sink.close());
+    }
+    const xp::JsonValue doc = load_trace(path);
+    int b = 0, e = 0;
+    for (const auto& ev : doc.find("traceEvents")->as_array()) {
+        const std::string ph = ev.string_or("ph", "?");
+        if (ph == "B") ++b;
+        if (ph == "E") ++e;
+    }
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(e, 2);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporter
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ProgressRenderShowsJobsThroughputAndCounts) {
+    obs::Registry reg;
+    reg.set(reg.gauge("xp.jobs_total"), 56.0);
+    reg.add(reg.counter("xp.jobs_done"), 37.0);
+    reg.add(reg.counter("xp.retries"), 3.0);
+    reg.add(reg.counter("xp.jobs_quarantined"), 1.0);
+    reg.add(reg.counter("campaign.trials"), 1234.0);
+    const obs::ProgressReporter reporter(reg);
+    const std::string line = reporter.render(reg.snapshot());
+    EXPECT_NE(line.find("38/56"), std::string::npos) << line; // done + quarantined
+    EXPECT_NE(line.find("retries 3"), std::string::npos) << line;
+    EXPECT_NE(line.find("quarantined 1"), std::string::npos) << line;
+}
+
+TEST_F(ObsTest, ProgressHeartbeatWritesToItsStream) {
+    obs::Registry reg;
+    obs::install(&reg);
+    reg.set(reg.gauge("xp.jobs_total"), 4.0);
+    const std::string path = temp_path("progress", ".txt");
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    {
+        obs::ProgressReporter::Config config;
+        config.out = out;
+        config.interval_s = 0.01;
+        config.ansi = false;
+        obs::ProgressReporter reporter(reg, config);
+        reporter.start();
+        reg.add(reg.counter("xp.jobs_done"), 2.0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        reporter.stop();
+        reporter.stop(); // idempotent
+    }
+    std::fclose(out);
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("jobs"), std::string::npos) << buf.str();
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The determinism + overhead contract, end to end
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSpecText =
+    "name = obs_contract\n"
+    "scenarios = seqpair/swap, fuzzy/reference\n"
+    "sigma_noise_mhz = 0.02, 0.05\n"
+    "trials = 2\n"
+    "master_seed = 3\n";
+
+std::vector<std::string> deterministic_lines(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) lines.emplace_back(xp::deterministic_prefix(line));
+    }
+    return lines;
+}
+
+void run_plan_into(const xp::Plan& plan, const std::string& path) {
+    xp::ResultWriter writer(path, /*truncate=*/true);
+    xp::RunOptions opts;
+    opts.workers = 1;
+    (void)xp::execute_plan(plan, attack::default_registry(), {}, writer, opts);
+}
+
+TEST_F(ObsTest, ObsOnRunIsBitwiseIdenticalToObsOffAndCarriesObsKeys) {
+    const xp::SweepSpec spec = xp::parse_spec(kSpecText);
+    const xp::Plan plan = xp::plan_spec(spec, attack::default_registry());
+    const std::string off_path = temp_path("obsoff");
+    const std::string on_path = temp_path("obson");
+    const std::string trace_path = temp_path("obstrace", ".json");
+
+    run_plan_into(plan, off_path); // no registry installed
+
+    {
+        obs::Registry reg;
+        obs::TraceSink sink(trace_path);
+        obs::install(&reg);
+        obs::install_trace(&sink);
+        run_plan_into(plan, on_path);
+        obs::install_trace(nullptr);
+        obs::install(nullptr);
+        EXPECT_TRUE(sink.close());
+        // The instrumented run recorded real work.
+        const obs::Snapshot snap = reg.snapshot();
+        EXPECT_DOUBLE_EQ(snap.counter_or("xp.jobs_done", -1.0), 4.0);
+        EXPECT_DOUBLE_EQ(snap.counter_or("campaign.trials", -1.0), 8.0);
+        EXPECT_NE(snap.find_hist("campaign.trial_wall_ms"), nullptr);
+        EXPECT_GT(sink.events(), 0u);
+    }
+
+    // The hard contract: obs-on deterministic content == obs-off.
+    EXPECT_EQ(deterministic_lines(off_path), deterministic_lines(on_path));
+
+    // Obs-off records carry no obs key; obs-on records each carry one, and
+    // it parses back with the per-job trial counter.
+    std::ifstream off_in(off_path);
+    std::string line;
+    while (std::getline(off_in, line)) {
+        EXPECT_EQ(line.find("\"obs\":"), std::string::npos);
+    }
+    std::ifstream on_in(on_path);
+    int with_obs = 0;
+    while (std::getline(on_in, line)) {
+        if (line.empty()) continue;
+        EXPECT_NE(line.find("\"obs\":"), std::string::npos) << line;
+        const xp::JobRecord record = xp::parse_record(line);
+        ASSERT_TRUE(record.obs.present);
+        EXPECT_DOUBLE_EQ(record.obs.counters.at("campaign.trials"), 2.0);
+        ++with_obs;
+    }
+    EXPECT_EQ(with_obs, 4);
+
+    // The trace the run produced is structurally sound and shows the
+    // executor's job/attempt spans plus the workers' trial spans.
+    const xp::JsonValue doc = load_trace(trace_path);
+    std::map<std::uint64_t, int> depth;
+    bool saw_job = false, saw_attempt = false, saw_trial = false;
+    for (const auto& ev : doc.find("traceEvents")->as_array()) {
+        const std::string ph = ev.string_or("ph", "?");
+        const std::uint64_t tid = ev.u64_or("tid", 9999);
+        const std::string name = ev.string_or("name", "");
+        if (ph == "B") {
+            ++depth[tid];
+            saw_job |= name == "job";
+            saw_attempt |= name == "attempt";
+            saw_trial |= name == "trial";
+        } else if (ph == "E") {
+            ASSERT_GT(depth[tid], 0);
+            --depth[tid];
+        }
+    }
+    for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0);
+    EXPECT_TRUE(saw_job);
+    EXPECT_TRUE(saw_attempt);
+    EXPECT_TRUE(saw_trial);
+
+    std::remove(off_path.c_str());
+    std::remove(on_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
+TEST_F(ObsTest, InstalledRegistryOverheadIsBounded) {
+    // Sanity bound, not the real perf gate (CI's bench compare holds the
+    // 3% contract on release binaries): an installed registry must not make
+    // the measurement hot path pathologically slower even in debug builds.
+    // The generous 2.5x ceiling catches accidental locks/allocations on the
+    // update path while staying robust to CI noise.
+    const xp::SweepSpec spec = xp::parse_spec(kSpecText);
+    const xp::Plan plan = xp::plan_spec(spec, attack::default_registry());
+    const std::string path = temp_path("overhead");
+
+    auto timed_run = [&] {
+        const auto t0 = std::chrono::steady_clock::now();
+        run_plan_into(plan, path);
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    timed_run(); // warm-up: page in code + data once
+    const double off_s = timed_run();
+    obs::Registry reg;
+    obs::install(&reg);
+    const double on_s = timed_run();
+    obs::install(nullptr);
+    EXPECT_LT(on_s, off_s * 2.5 + 0.05)
+        << "obs-on " << on_s << "s vs obs-off " << off_s << "s";
+    std::remove(path.c_str());
+}
+
+} // namespace

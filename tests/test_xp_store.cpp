@@ -184,6 +184,94 @@ TEST(ResultStore, ReaderSkipsTornTailAndCountsIt) {
     std::remove(path.c_str());
 }
 
+TEST(ResultStore, SalvageWarningNamesSkippedCountAndOffset) {
+    const std::string path = temp_path("salvage");
+    std::string good_line;
+    {
+        xp::ResultWriter writer(path, /*truncate=*/true);
+        writer.append(sample_record());
+        writer.append(sample_record());
+    }
+    {
+        // Truncate the file mid-record: keep line 1 whole, cut line 2 short.
+        std::ifstream in(path);
+        ASSERT_TRUE(std::getline(in, good_line));
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << good_line << "\n" << good_line.substr(0, 50);
+    }
+    xp::ReadStats stats;
+    const auto records = xp::read_results(path, &stats);
+    EXPECT_EQ(records.size(), 1u);
+    EXPECT_EQ(stats.skipped_lines, 1);
+    EXPECT_EQ(stats.last_good_offset, static_cast<long long>(good_line.size()) + 1);
+
+    // The user-facing warning must name both figures — a torn file is only
+    // salvageable if the report tells the operator where to truncate.
+    const std::string warning = xp::salvage_warning(stats);
+    EXPECT_NE(warning.find("1 unparseable line"), std::string::npos) << warning;
+    EXPECT_NE(warning.find(std::to_string(stats.last_good_offset)), std::string::npos)
+        << warning;
+    EXPECT_TRUE(xp::salvage_warning(xp::ReadStats{}).empty());
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, ObsSideKeyRoundTripsAndStaysOutOfThePrefix) {
+    xp::JobRecord r = sample_record();
+    r.attempts = 2; // force a fault key so obs must serialize after it
+    r.obs.present = true;
+    r.obs.counters["campaign.trials"] = 10.0;
+    r.obs.counters["simd.calls.measure_scans"] = 640.0;
+    r.obs.hists["campaign.trial_wall_ms"] = {10, 4.5, 4.0, 8.0, 9.0, 9.5};
+    const std::string line = xp::to_jsonl(r);
+
+    // Side-key order: timing, then fault, then obs — deterministic_prefix
+    // cuts at timing, so obs can never leak into the compared content.
+    const auto timing_pos = line.find("\"timing\":");
+    const auto fault_pos = line.find("\"fault\":");
+    const auto obs_pos = line.find("\"obs\":");
+    ASSERT_NE(timing_pos, std::string::npos);
+    ASSERT_NE(fault_pos, std::string::npos);
+    ASSERT_NE(obs_pos, std::string::npos);
+    EXPECT_LT(timing_pos, fault_pos);
+    EXPECT_LT(fault_pos, obs_pos);
+    EXPECT_EQ(xp::deterministic_prefix(line).find("\"obs\":"), std::string_view::npos);
+
+    const xp::JobRecord back = xp::parse_record(line);
+    ASSERT_TRUE(back.obs.present);
+    EXPECT_DOUBLE_EQ(back.obs.counters.at("campaign.trials"), 10.0);
+    EXPECT_DOUBLE_EQ(back.obs.counters.at("simd.calls.measure_scans"), 640.0);
+    const xp::ObsHistSummary& h = back.obs.hists.at("campaign.trial_wall_ms");
+    EXPECT_EQ(h.count, 10u);
+    EXPECT_DOUBLE_EQ(h.mean, 4.5);
+    EXPECT_DOUBLE_EQ(h.p50, 4.0);
+    EXPECT_DOUBLE_EQ(h.p95, 8.0);
+    EXPECT_DOUBLE_EQ(h.p99, 9.0);
+    EXPECT_DOUBLE_EQ(h.max, 9.5);
+
+    // An obs-off record has no obs key and parses with present == false.
+    const xp::JobRecord plain = xp::parse_record(xp::to_jsonl(sample_record()));
+    EXPECT_FALSE(plain.obs.present);
+}
+
+TEST(ResultStore, PreObsRecordsTolerateASplicedObsKey) {
+    // Forward-compat guard: a reader from before this PR would have choked
+    // on an unknown key only if parsing were strict — ours ignores unknown
+    // members. The inverse (this reader on a future record with extra obs
+    // content) must also hold: splice an obs key into a plain record and
+    // parse it.
+    std::string line = xp::to_jsonl(sample_record());
+    ASSERT_EQ(line.back(), '}');
+    line.insert(line.size() - 1,
+                ",\"obs\":{\"counters\":{\"campaign.trials\":20},\"hist\":{},"
+                "\"future_field\":[1,2]}");
+    const xp::JobRecord back = xp::parse_record(line);
+    ASSERT_TRUE(back.obs.present);
+    EXPECT_DOUBLE_EQ(back.obs.counters.at("campaign.trials"), 20.0);
+    EXPECT_TRUE(back.obs.hists.empty());
+}
+
 TEST(ResultStore, ExactIntegerReadsRejectOutOfRangeDoubles) {
     // A hand-edited/corrupted seed in exponent form exceeds 2^64: the read
     // must fall back (here to 0), never feed an out-of-range double into a

@@ -22,6 +22,14 @@ consulted. A file whose ropuf_build_type is "debug" or missing is a hard
 error unless --allow-debug is given: figures recorded from -O0 binaries
 are the methodology bug this guard exists to prevent.
 
+A second mode, --compare BASE_PREFIX --with-prefix VARIANT_PREFIX,
+pairs benchmarks *within one file* (--current) by the suffix after the
+prefix: BM_SimdMeasure/8 pairs with BM_SimdMeasureObs/8. The geomean
+of variant/base ratios is held to the same floor — the obs
+zero-overhead guard, where the variant is the identically-shaped
+benchmark run with a metrics registry installed. --baseline is not
+consulted in this mode.
+
 Usage:
   check_bench_regression.py --baseline BENCH_micro.baseline.json \
       --current BENCH_micro.json --max-drop 0.30
@@ -29,6 +37,9 @@ Usage:
   # BM_MajorityVote, BM_BchSyndrome; override with repeated --benchmark
   check_bench_regression.py --baseline a.json --current b.json \
       --benchmark campaign/
+  # obs overhead guard (within-file pairing):
+  check_bench_regression.py --current BENCH_micro.json \
+      --compare BM_SimdMeasure --with-prefix BM_SimdMeasureObs --max-drop 0.03
 """
 
 import argparse
@@ -84,9 +95,51 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def compare_within(args):
+    """--compare mode: pair BASE_PREFIX/... with VARIANT_PREFIX/... inside
+    --current and hold the variant/base throughput geomean to the floor."""
+    all_names = throughputs(load(args.current, args.allow_debug), [""])
+    base_p, var_p = args.compare, args.with_prefix
+    pairs = []
+    for name, value in sorted(all_names.items()):
+        if not name.startswith(base_p):
+            continue
+        # The variant's name usually extends the base prefix
+        # (BM_SimdMeasureObs startswith BM_SimdMeasure) — keep those out
+        # of the base set so each suffix pairs exactly once.
+        if var_p.startswith(base_p) and name.startswith(var_p):
+            continue
+        variant_name = var_p + name[len(base_p):]
+        if variant_name in all_names:
+            pairs.append((name, variant_name, value, all_names[variant_name]))
+    if not pairs:
+        sys.exit(
+            f"ERROR: no {base_p}*/{var_p}* benchmark pairs found in "
+            f"{args.current} — the guarded pair was renamed or not run"
+        )
+
+    print(f"{'benchmark':<36} {'base':>14} {'variant':>14} {'ratio':>8}")
+    for base_name, variant_name, base_v, var_v in pairs:
+        print(f"{base_name:<36} {base_v:>12.3e} {var_v:>12.3e} "
+              f"{var_v / base_v:>8.3f}")
+
+    ratio = geomean([var_v / base_v for _, _, base_v, var_v in pairs])
+    floor = 1.0 - args.max_drop
+    print(f"\ngeometric-mean throughput ratio ({var_p} / {base_p}): "
+          f"{ratio:.3f} (floor {floor:.2f})")
+    if ratio < floor:
+        sys.exit(
+            f"FAIL: {var_p} throughput is more than {args.max_drop:.0%} "
+            f"below {base_p} — overhead contract violated"
+        )
+    print("OK: within regression budget")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline",
+                        help="committed baseline file (required unless "
+                             "--compare)")
     parser.add_argument("--current", required=True)
     parser.add_argument("--benchmark", action="append", default=None,
                         metavar="PREFIX",
@@ -96,7 +149,19 @@ def main():
                         help="maximum allowed fractional throughput drop")
     parser.add_argument("--allow-debug", action="store_true",
                         help="permit figures recorded from debug builds")
+    parser.add_argument("--compare", metavar="BASE_PREFIX",
+                        help="within-file mode: base benchmark name prefix")
+    parser.add_argument("--with-prefix", metavar="VARIANT_PREFIX",
+                        help="within-file mode: variant prefix paired with "
+                             "--compare by name suffix")
     args = parser.parse_args()
+    if (args.compare is None) != (args.with_prefix is None):
+        parser.error("--compare and --with-prefix must be given together")
+    if args.compare is not None:
+        compare_within(args)
+        return
+    if args.baseline is None:
+        parser.error("--baseline is required (unless using --compare)")
     prefixes = args.benchmark if args.benchmark else DEFAULT_PREFIXES
 
     base = throughputs(load(args.baseline, args.allow_debug), prefixes)

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a ropuf Chrome trace-event JSON file (--trace-out output).
+
+Checks the structural contract the obs::TraceSink promises:
+
+  * the file is a JSON object with a "traceEvents" array;
+  * every event carries ph, ts, pid, tid, name with sane types, and
+    ph is one of B / E / i / M (the sink emits nothing else);
+  * instant events ("i") carry scope "s": "t" (thread scope);
+  * timestamps are monotonically non-decreasing per (pid, tid) track
+    (the sink stamps them under one mutex from one steady clock, so
+    they are globally monotonic — per-track is the weaker invariant
+    Perfetto needs);
+  * B/E events are balanced per track, with matching names in LIFO
+    order (no dangling E, no unclosed B).
+
+--require-span NAME / --require-instant NAME (repeatable) additionally
+assert that at least one B span / instant event with that exact name
+exists anywhere in the trace — the CI hook that proves chaos runs
+actually surface fi:injected_fault instants and job/attempt spans.
+
+Exits nonzero with a per-violation listing on any failure.
+
+Usage:
+  check_trace.py trace.json [--require-span job] [--require-instant fi:injected_fault]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+VALID_PH = {"B", "E", "i", "M"}
+
+
+def check(path, require_spans, require_instants):
+    errors = []
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return [f"not valid JSON: {e}"], 0
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["top level must be an object with a traceEvents array"], 0
+    events = doc["traceEvents"]
+
+    last_ts = {}               # (pid, tid) -> last timestamp seen
+    open_stacks = collections.defaultdict(list)  # (pid, tid) -> [B names]
+    span_names = set()
+    instant_names = set()
+    counts = collections.Counter()
+
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            if field not in ev:
+                errors.append(f"{where}: missing required field {field!r}")
+        ph = ev.get("ph")
+        if ph not in VALID_PH:
+            errors.append(f"{where}: unexpected ph {ph!r} (want one of {sorted(VALID_PH)})")
+            continue
+        counts[ph] += 1
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: name must be a non-empty string, got {name!r}")
+            name = "?"
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: ts must be a number, got {ts!r}")
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+
+        if ph == "M":
+            continue  # metadata (thread_name) carries no timeline semantics
+
+        prev = last_ts.get(track)
+        if prev is not None and ts < prev:
+            errors.append(
+                f"{where}: ts {ts} < previous ts {prev} on track pid={track[0]} tid={track[1]}")
+        last_ts[track] = ts
+
+        if ph == "B":
+            open_stacks[track].append((name, i))
+            span_names.add(name)
+        elif ph == "E":
+            stack = open_stacks[track]
+            if not stack:
+                errors.append(
+                    f"{where}: E {name!r} with no open B on track pid={track[0]} tid={track[1]}")
+            else:
+                open_name, open_idx = stack.pop()
+                if open_name != name:
+                    errors.append(
+                        f"{where}: E {name!r} closes B {open_name!r} (event {open_idx}) "
+                        f"on track pid={track[0]} tid={track[1]} — span names must nest LIFO")
+        elif ph == "i":
+            instant_names.add(name)
+            if ev.get("s") != "t":
+                errors.append(f"{where}: instant {name!r} missing thread scope (\"s\": \"t\")")
+
+    for track, stack in open_stacks.items():
+        for open_name, open_idx in stack:
+            errors.append(
+                f"event {open_idx}: B {open_name!r} never closed on track "
+                f"pid={track[0]} tid={track[1]}")
+
+    for want in require_spans:
+        if want not in span_names:
+            errors.append(f"required span {want!r} not found "
+                          f"(spans present: {sorted(span_names) or 'none'})")
+    for want in require_instants:
+        if want not in instant_names:
+            errors.append(f"required instant {want!r} not found "
+                          f"(instants present: {sorted(instant_names) or 'none'})")
+
+    summary = (f"{len(events)} events on {len(last_ts)} track(s): "
+               f"{counts['B']} B / {counts['E']} E / {counts['i']} i / {counts['M']} M")
+    return errors, summary
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME", help="assert a B span with this name exists")
+    parser.add_argument("--require-instant", action="append", default=[],
+                        metavar="NAME", help="assert an instant event with this name exists")
+    args = parser.parse_args()
+
+    errors, summary = check(args.trace, args.require_span, args.require_instant)
+    if errors:
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(f"FAIL: {args.trace}: {len(errors)} violation(s)")
+    print(f"OK: {args.trace}: {summary}")
+
+
+if __name__ == "__main__":
+    main()

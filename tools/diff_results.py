@@ -2,9 +2,10 @@
 """Compare two ropuf results JSONL files by their deterministic content.
 
 The record schema isolates host-bound measurements in side keys:
-"timing" (wall clock, workers, throughput) and "fault" (attempt counts,
-quarantine error details) describe how a job ran on one host, not what
-the experiment computed. This tool drops those keys from every record,
+"timing" (wall clock, workers, throughput), "fault" (attempt counts,
+quarantine error details) and "obs" (per-job metrics deltas) describe
+how a job ran on one host, not what the experiment computed. This tool
+drops those keys from every record,
 skips quarantined `outcome=job_failed` records (they carry no result —
 a later run supersedes them), keys the rest by job ID, and fails when
 the two files disagree — the CI proof that an interrupted, faulted, or
@@ -20,7 +21,7 @@ import sys
 
 # Host-bound side keys excluded from deterministic comparison. Grows in
 # lockstep with the C++ deterministic_prefix() contract.
-IGNORED_KEYS = ("timing", "fault")
+IGNORED_KEYS = ("timing", "fault", "obs")
 
 
 def load(path):

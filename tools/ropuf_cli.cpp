@@ -6,6 +6,7 @@
 //   ropuf resume <spec> <results>      run exactly the missing job IDs
 //   ropuf report <results>             aggregate a results file into tables
 //   ropuf report <results> --matrix    attack x defense outcome matrix
+//   ropuf report <results> --timings   wall-time percentiles + retry histogram
 //
 // run/resume options:
 //   -o <file>            results path (default: <spec name>.jsonl)
@@ -16,6 +17,15 @@
 //   --fi <plan>          fault-injection plan (chaos testing); overrides the
 //                        ROPUF_FI environment variable
 //   --quiet              suppress per-job progress lines
+//   --obs                install the metrics registry (adds the per-job "obs"
+//                        record side-key); implied by --progress/--trace-out
+//   --progress           live one-line status on stderr (auto-on when stderr
+//                        is a TTY; --no-progress suppresses)
+//   --trace-out <file>   write a Chrome trace-event JSON of the run
+//
+// Observability never changes results: the obs side-key rides outside the
+// deterministic record prefix, so an obs-on run is byte-identical (per
+// diff_results.py) to an obs-off run.
 //
 // `run` refuses an existing results file (use `resume`, or a new -o path):
 // results are append-only and content-addressed by the spec hash, so
@@ -28,14 +38,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "ropuf/attack/scenarios.hpp"
 #include "ropuf/core/attack_engine.hpp"
 #include "ropuf/defense/registry.hpp"
 #include "ropuf/fi/fault_plan.hpp"
 #include "ropuf/fi/injector.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/obs/progress.hpp"
+#include "ropuf/obs/trace.hpp"
 #include "ropuf/xp/executor.hpp"
 #include "ropuf/xp/planner.hpp"
 #include "ropuf/xp/result_store.hpp"
@@ -55,6 +71,7 @@ int usage(std::FILE* out) {
         "  resume <spec> <results>    complete the job IDs missing from <results>\n"
         "  report <results>           render summary tables from a results file\n"
         "  report <results> --matrix  render the attack x defense outcome matrix\n"
+        "  report <results> --timings render wall-time percentiles + retry histogram\n"
         "\n"
         "run/resume options:\n"
         "  -o <file>            results path (run only; default <spec name>.jsonl)\n"
@@ -64,6 +81,10 @@ int usage(std::FILE* out) {
         "  --job-timeout-ms <n> per-attempt watchdog timeout in ms (0 = none)\n"
         "  --fi <plan>          fault-injection plan (see README; overrides $ROPUF_FI)\n"
         "  --quiet              suppress per-job progress\n"
+        "  --obs                metrics registry on (adds the 'obs' record side-key)\n"
+        "  --progress           live status line on stderr (auto-on for a TTY;\n"
+        "                       --no-progress suppresses)\n"
+        "  --trace-out <file>   write Chrome trace-event JSON (Perfetto-loadable)\n"
         "\n"
         "exit codes: 0 done, 1 error, 2 usage,\n"
         "            3 incomplete but resumable (interrupt/abort/quarantine)\n",
@@ -80,6 +101,10 @@ struct CliOptions {
     std::string fi_plan;
     bool fi_given = false; ///< --fi seen (even empty/"none" overrides $ROPUF_FI)
     bool quiet = false;
+    bool obs = false;          ///< --obs: metrics registry without progress/trace
+    bool progress = false;     ///< --progress: force the live status line on
+    bool no_progress = false;  ///< --no-progress: suppress even on a TTY
+    std::string trace_out;     ///< --trace-out: Chrome trace JSON path
 };
 
 /// Whole-token integer parse: "abc" and "3x" must be errors, never a
@@ -138,6 +163,16 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start, CliO
             opts.fi_given = true;
         } else if (arg == "--quiet") {
             opts.quiet = true;
+        } else if (arg == "--obs") {
+            opts.obs = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--no-progress") {
+            opts.no_progress = true;
+        } else if (arg == "--trace-out") {
+            const std::string* v = next("--trace-out");
+            if (v == nullptr) return false;
+            opts.trace_out = *v;
         } else {
             std::fprintf(stderr, "ropuf: unknown option '%s'\n", arg.c_str());
             return false;
@@ -254,6 +289,37 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
     xp::install_sigint_handler();
     run_opts.stop = &xp::sigint_stop_flag();
 
+    // Observability: the registry goes in when any obs surface is wanted;
+    // progress auto-enables on a TTY stderr. The teardown guard uninstalls
+    // the process-wide pointers on every exit path (including a thrown
+    // fatal store error) before the sink/registry objects die.
+    const bool progress_live =
+        !opts.no_progress && (opts.progress || isatty(fileno(stderr)) != 0);
+    const bool obs_on = opts.obs || progress_live || !opts.trace_out.empty();
+    std::unique_ptr<obs::Registry> metrics;
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    std::unique_ptr<obs::ProgressReporter> reporter;
+    struct ObsTeardown {
+        std::unique_ptr<obs::ProgressReporter>& reporter;
+        ~ObsTeardown() {
+            if (reporter != nullptr) reporter->stop();
+            obs::install_trace(nullptr);
+            obs::install(nullptr);
+        }
+    } obs_teardown{reporter};
+    if (obs_on) {
+        metrics = std::make_unique<obs::Registry>();
+        obs::install(metrics.get());
+    }
+    if (!opts.trace_out.empty()) {
+        trace_sink = std::make_unique<obs::TraceSink>(opts.trace_out);
+        obs::install_trace(trace_sink.get());
+    }
+    if (progress_live) {
+        reporter = std::make_unique<obs::ProgressReporter>(*metrics);
+        reporter->start();
+    }
+
     std::printf("spec %s  hash %s  %zu jobs -> %s%s\n", plan.spec_name.c_str(),
                 plan.hash.c_str(), plan.jobs.size(), results_path.c_str(),
                 resume ? " (resume)" : "");
@@ -266,6 +332,18 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
     }
     const xp::RunStats stats = xp::execute_plan(plan, attack::default_registry(), skip, writer,
                                                 run_opts);
+    if (reporter != nullptr) reporter->stop(); // final line before the summary
+    obs::install_trace(nullptr);
+    if (trace_sink != nullptr) {
+        if (trace_sink->close()) {
+            std::printf("trace: %s (%zu events%s)\n", trace_sink->path().c_str(),
+                        trace_sink->events(),
+                        trace_sink->dropped() > 0 ? ", capped" : "");
+        } else {
+            std::fprintf(stderr, "ropuf: warning: failed to write trace file %s\n",
+                         trace_sink->path().c_str());
+        }
+    }
     std::printf("done: %d executed, %d skipped, %d quarantined, %d total\n", stats.executed,
                 stats.skipped, stats.failed, stats.total);
     if (stats.retries > 0 || stats.store_retries > 0) {
@@ -286,20 +364,24 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
     return (stats.stopped || stats.aborted || stats.failed > 0) ? 3 : 0;
 }
 
-int cmd_report(const std::string& results_path, bool matrix) {
+int cmd_report(const std::string& results_path, bool matrix, bool timings) {
     xp::ReadStats read_stats;
     const auto records = xp::read_results(results_path, &read_stats);
-    if (read_stats.skipped_lines > 0) {
-        std::fprintf(stderr,
-                     "warning: skipped %d unparseable line(s) (torn crash tail?); last good "
-                     "record ends at byte %lld\n",
-                     read_stats.skipped_lines, read_stats.last_good_offset);
-    }
+    const std::string warning = xp::salvage_warning(read_stats);
+    if (!warning.empty()) std::fprintf(stderr, "%s\n", warning.c_str());
     if (records.empty()) {
         std::fprintf(stderr, "ropuf: no records in %s\n", results_path.c_str());
         return 1;
     }
-    std::printf("%s", (matrix ? xp::render_matrix(records) : xp::render_report(records)).c_str());
+    std::string rendered;
+    if (matrix) {
+        rendered = xp::render_matrix(records);
+    } else if (timings) {
+        rendered = xp::render_timings(records);
+    } else {
+        rendered = xp::render_report(records);
+    }
+    std::printf("%s", rendered.c_str());
     return 0;
 }
 
@@ -339,18 +421,21 @@ int main(int argc, char** argv) {
         }
         if (command == "report") {
             bool matrix = false;
+            bool timings = false;
             std::string path;
             for (std::size_t i = 1; i < args.size(); ++i) {
                 if (args[i] == "--matrix") {
                     matrix = true;
+                } else if (args[i] == "--timings") {
+                    timings = true;
                 } else if (path.empty()) {
                     path = args[i];
                 } else {
                     return usage(stderr);
                 }
             }
-            if (path.empty()) return usage(stderr);
-            return cmd_report(path, matrix);
+            if (path.empty() || (matrix && timings)) return usage(stderr);
+            return cmd_report(path, matrix, timings);
         }
         std::fprintf(stderr, "ropuf: %s\n",
                      ropuf::core::unknown_name_message(
