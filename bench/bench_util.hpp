@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "ropuf/core/sanitizer.hpp"
+
 namespace benchutil {
 
 /// True when the library and bench were compiled with NDEBUG (assertions
@@ -37,14 +39,23 @@ inline bool warn_if_debug_build(const char* bench_name) {
 }
 
 /// JSON context fields every BENCH_*.json emitter should include: the build
-/// type, and an explicit machine-readable warning when it is a debug build.
+/// type, the sanitizer the binary was compiled under ("none" for a real
+/// timing build — tools/check_bench_regression.py refuses anything else,
+/// since TSan/ASan slowdowns make throughput figures fiction), and an
+/// explicit machine-readable warning when it is a debug build.
 inline std::string json_build_context() {
     std::string out = "\"ropuf_build_type\":\"";
     out += ropuf_build_type();
+    out += "\",\"ropuf_sanitizer\":\"";
+    out += ropuf::core::sanitizer_name();
     out += '"';
     if (!optimized_build()) {
         out += ",\"warning\":\"DEBUG BUILD - timings unreliable, rebuild with "
                "CMAKE_BUILD_TYPE=Release\"";
+    }
+    if (ropuf::core::sanitized_build()) {
+        out += ",\"warning_sanitizer\":\"SANITIZED BUILD - timings distorted, "
+               "do not record as baselines\"";
     }
     return out;
 }

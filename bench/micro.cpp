@@ -13,6 +13,7 @@
 #include "ropuf/attack/scenarios.hpp"
 #include "ropuf/attack/seqpair_attack.hpp"
 #include "ropuf/core/campaign.hpp"
+#include "ropuf/core/sanitizer.hpp"
 #include "ropuf/distiller/regression.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
 #include "ropuf/group/group_puf.hpp"
@@ -364,11 +365,17 @@ int main(int argc, char** argv) {
     // methodology slip (recording perf figures from -O0 binaries) is visible
     // in both the artifact and the log.
     benchmark::AddCustomContext("ropuf_build_type", benchutil::ropuf_build_type());
+    benchmark::AddCustomContext("ropuf_sanitizer", ropuf::core::sanitizer_name());
     benchmark::AddCustomContext("ropuf_simd",
                                 ropuf::simd::path_name(ropuf::simd::active_path()));
     if (benchutil::warn_if_debug_build("bench_micro")) {
         benchmark::AddCustomContext(
             "warning", "DEBUG BUILD - timings unreliable, rebuild with Release");
+    }
+    if (ropuf::core::sanitized_build()) {
+        benchmark::AddCustomContext("warning_sanitizer",
+                                    "SANITIZED BUILD - timings distorted, do not "
+                                    "record as baselines");
     }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -98,7 +98,10 @@ struct Scenario {
     /// incompatible (scenario, defense) grid point at plan time instead of
     /// aborting — and permanently wedging resume of — a half-finished
     /// sweep; `run` still throws as the backstop.
-    std::vector<std::string> allowed_defenses;
+    /// Defaulted so registration sites may omit it (the common "any
+    /// defense" case) without tripping -Wmissing-field-initializers
+    /// under the -Werror CI legs.
+    std::vector<std::string> allowed_defenses = {};
 };
 
 class ScenarioRegistry {

@@ -1,0 +1,68 @@
+// Compile-time sanitizer detection — one place that answers "which
+// sanitizer is this binary running under?" for both GCC and Clang.
+//
+// Why a header and not a CMake define: the ROPUF_SANITIZE CMake preset is
+// one way to get a sanitized build, but CI also injects raw
+// -fsanitize=... flags through CMAKE_CXX_FLAGS, and a developer may hand
+// the compiler flags directly. Detecting the instrumentation the compiler
+// actually applied (GCC's __SANITIZE_*__ macros, Clang's __has_feature)
+// is the only stamp that cannot drift from reality.
+//
+// Consumers:
+//   * bench_util.hpp stamps ropuf_sanitizer() into every BENCH_*.json
+//     context, and tools/check_bench_regression.py hard-fails any
+//     ingested baseline whose stamp is not "none" — sanitizer-recorded
+//     throughput figures are as misleading as debug-recorded ones.
+//   * tests that need sanitizer-conditional timeouts or iteration counts
+//     branch on ROPUF_TSAN_ENABLED / ROPUF_ASAN_ENABLED instead of
+//     guessing from NDEBUG.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define ROPUF_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ROPUF_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef ROPUF_TSAN_ENABLED
+#define ROPUF_TSAN_ENABLED 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ROPUF_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ROPUF_ASAN_ENABLED 1
+#endif
+#endif
+#ifndef ROPUF_ASAN_ENABLED
+#define ROPUF_ASAN_ENABLED 0
+#endif
+
+#if ROPUF_TSAN_ENABLED && ROPUF_ASAN_ENABLED
+#error "ThreadSanitizer and AddressSanitizer cannot instrument one binary; \
+pick one (ROPUF_SANITIZE=thread xor ROPUF_SANITIZE=address)."
+#endif
+
+namespace ropuf::core {
+
+/// Machine-readable stamp for bench/result contexts: "thread", "address"
+/// or "none". (UBSan rides along with ASan in CI but carries no runtime
+/// instrumentation worth stamping separately — the perf distortion that
+/// matters comes from the memory/race instrumentation.)
+inline constexpr const char* sanitizer_name() {
+#if ROPUF_TSAN_ENABLED
+    return "thread";
+#elif ROPUF_ASAN_ENABLED
+    return "address";
+#else
+    return "none";
+#endif
+}
+
+inline constexpr bool sanitized_build() {
+    return ROPUF_TSAN_ENABLED != 0 || ROPUF_ASAN_ENABLED != 0;
+}
+
+} // namespace ropuf::core

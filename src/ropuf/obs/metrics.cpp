@@ -376,6 +376,26 @@ MetricId Registry::intern_slow(CachedId& cache, MetricKind kind,
 
 // ---------------------------------------------------------------------------
 // Hot-path updates: owner-thread-only relaxed load/store on sharded slots.
+//
+// Why relaxed is sound here (the TSan leg checks this argument, not just
+// the comment):
+//  * Every counter/histogram slot has exactly ONE writer — the shard's
+//    owner thread (local_shard() hands a thread its own shard; the
+//    recycling destructor only re-issues a shard after the previous owner
+//    exited, with the handoff ordered by live_mutex()). A load/store pair
+//    on a single-writer atomic is not a RMW race: no other thread's write
+//    can interleave between the load and the store.
+//  * The concurrent reader (snapshot(), below) only ever *loads*. Relaxed
+//    atomicity guarantees it sees some complete previously-stored value —
+//    possibly stale, never torn. Staleness is acceptable by contract:
+//    a snapshot is a point-in-time-ish view, and the final accounting
+//    snapshot runs after the instrumented threads are joined, where the
+//    join (or the mutex_ acquisition) provides the happens-before edge
+//    that makes the last stores visible.
+//  * Gauges are last-write-wins by definition, so cross-thread set() needs
+//    no ordering either.
+// Anything stronger (seq_cst, or fetch_add) would put a lock-prefixed RMW
+// in the measurement hot loop for no additional guarantee anyone reads.
 // ---------------------------------------------------------------------------
 
 void Registry::add(MetricId id, double delta) {

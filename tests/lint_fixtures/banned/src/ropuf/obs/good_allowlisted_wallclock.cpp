@@ -1,0 +1,16 @@
+// Fixture: src/ropuf/obs/ is on the banned-symbol allowlist — wall-clock
+// reads here only feed host-bound telemetry timestamps, never a
+// deterministic record byte. The same system_clock call that is a finding
+// in sim/ must be silent here.
+#include <chrono>
+
+namespace ropuf::obs {
+
+long long good_heartbeat_timestamp_ms() {
+    const auto wall = std::chrono::system_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               wall.time_since_epoch())
+        .count();
+}
+
+} // namespace ropuf::obs

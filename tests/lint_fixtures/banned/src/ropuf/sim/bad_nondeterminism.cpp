@@ -1,0 +1,23 @@
+// Fixture: every nondeterminism source the banned-symbol rule must catch
+// in library code. (Never compiled.)
+#include <cstdlib>
+#include <ctime>
+#include <chrono>
+#include <random>
+
+namespace ropuf::sim {
+
+unsigned bad_seed_sources() {
+    unsigned seed = 0;
+    seed ^= static_cast<unsigned>(std::rand());                // lint-expect: banned-symbol
+    seed ^= static_cast<unsigned>(rand());                     // lint-expect: banned-symbol
+    std::random_device dev;                                    // lint-expect: banned-symbol
+    seed ^= dev();
+    seed ^= static_cast<unsigned>(std::time(nullptr));         // lint-expect: banned-symbol
+    seed ^= static_cast<unsigned>(time(nullptr));              // lint-expect: banned-symbol
+    const auto wall = std::chrono::system_clock::now();        // lint-expect: banned-symbol
+    seed ^= static_cast<unsigned>(wall.time_since_epoch().count());
+    return seed;
+}
+
+} // namespace ropuf::sim

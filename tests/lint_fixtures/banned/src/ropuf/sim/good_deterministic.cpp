@@ -1,0 +1,26 @@
+// Fixture: the idioms library code is SUPPOSED to use — seeded streams and
+// steady_clock — plus the identifiers that once produced false positives
+// (wall_time(), mean_time(), operand()). Must lint clean.
+#include <chrono>
+#include <cstdint>
+
+namespace ropuf::sim {
+
+double wall_time();
+double mean_time(int samples);
+int operand(int index);
+
+std::uint64_t good_clock_and_rng_usage(std::uint64_t seed) {
+    // steady_clock is allowed everywhere: it only ever feeds the
+    // host-bound "timing" side-key, never a deterministic byte.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull;
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)(t1 - t0);
+    // Identifiers merely ENDING in the banned names must not match.
+    const double w = wall_time() + mean_time(4);
+    return state ^ static_cast<std::uint64_t>(w) ^
+           static_cast<std::uint64_t>(operand(0));
+}
+
+} // namespace ropuf::sim

@@ -1,0 +1,6 @@
+# Stand-in for tools/diff_results.py during `ropuf_lint.py --self-test`:
+# the jsonl-key-registry rule reads the IGNORED_KEYS tuple (the host-bound
+# side keys of the JSONL record contract) from here via ast.literal_eval,
+# so the fixture suite does not depend on the real tool's tuple staying
+# byte-identical.
+IGNORED_KEYS = ("timing", "fault", "obs")

@@ -1,0 +1,19 @@
+// Fixture emitter for the jsonl-key-registry rule: during --self-test the
+// rule runs against THIS file (basename `result_store_fixture.cpp`)
+// instead of the real src/ropuf/xp/result_store.cpp, with side keys read
+// from ../diff_results_fixture.py. Registered keys (deterministic-prefix
+// contract, side-key tuple, side fields) must pass; an unregistered key
+// must be flagged on its line.
+#include <string>
+
+namespace ropuf::fixture {
+
+void to_jsonl(std::string& out) {
+    out += "{\"v\":1,\"spec\":\"demo\",\"job\":\"j0\",\"index\":0,";
+    out += "\"scenario\":\"seqpair/swap\",\"trials\":2,\"root_seed\":3,";
+    out += "\"timing\":{\"wall_ms\":1.5,\"workers\":2},";
+    out += "\"sneaky_new_key\":42,";                    // lint-expect: jsonl-key-registry
+    out += "\"outcome\":\"recovered\"}";
+}
+
+} // namespace ropuf::fixture

@@ -1,0 +1,16 @@
+// Fixture: core exercising exactly its declared dependency set (bits, fi,
+// helperdata, obs, rng, sim) plus an intra-layer include and a system
+// header — all clean.
+#include <vector>
+
+#include "ropuf/bits/bitvec.hpp"
+#include "ropuf/core/campaign.hpp"
+#include "ropuf/fi/injector.hpp"
+#include "ropuf/helperdata/helper_data.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/rng/stream.hpp"
+#include "ropuf/sim/ro_array.hpp"
+
+namespace ropuf::core {
+void fixture_uses_declared_deps();
+} // namespace ropuf::core

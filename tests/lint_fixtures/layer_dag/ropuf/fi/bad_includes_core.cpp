@@ -1,0 +1,8 @@
+// Fixture: fi may depend ONLY on rng (fault plans must stay injectable
+// beneath everything) — including core from fi inverts the layering.
+#include "ropuf/rng/stream.hpp"
+#include "ropuf/core/campaign.hpp" // lint-expect: layer-dag
+
+namespace ropuf::fi {
+void fixture_uses_campaign();
+} // namespace ropuf::fi

@@ -1,0 +1,4 @@
+// lint-expect: layer-dag — a layer absent from ALLOWED_DEPS: new layers must declare their dependency set in tools/ropuf_lint.py before they exist.
+namespace ropuf::mystery {
+void fixture_new_layer();
+} // namespace ropuf::mystery

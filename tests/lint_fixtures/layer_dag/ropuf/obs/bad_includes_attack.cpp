@@ -1,0 +1,8 @@
+// Fixture: obs depends on NOTHING — that is what lets every other layer
+// instrument itself without cycles. An obs -> attack include would make
+// telemetry un-linkable from the layers below attack.
+#include "ropuf/attack/scenarios.hpp" // lint-expect: layer-dag
+
+namespace ropuf::obs {
+void fixture_uses_attack();
+} // namespace ropuf::obs

@@ -1,0 +1,9 @@
+// Fixture: the canonical layer-dag violation — the simulator reaching UP
+// into the experiment layer. `xp` is a sink: nothing under src/ropuf may
+// include it.
+#include "ropuf/rng/stream.hpp"
+#include "ropuf/xp/executor.hpp" // lint-expect: layer-dag
+
+namespace ropuf::sim {
+void fixture_uses_executor();
+} // namespace ropuf::sim

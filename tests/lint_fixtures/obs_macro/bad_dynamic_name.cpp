@@ -1,0 +1,14 @@
+// Fixture: ROPUF_OBS_* with a runtime-built name — the macro caches the
+// interned metric id per call site, so the first name passed wins and
+// every later call silently misattributes. Must be flagged.
+#include <string>
+
+namespace ropuf::fixture {
+
+void record(const std::string& metric_name, double value) {
+    ROPUF_OBS_COUNT(metric_name, 1);                    // lint-expect: obs-macro-literal
+    ROPUF_OBS_OBSERVE(metric_name + ".latency", value); // lint-expect: obs-macro-literal
+    ROPUF_OBS_SET(metric_name.c_str(), value);          // lint-expect: obs-macro-literal
+}
+
+} // namespace ropuf::fixture

@@ -1,0 +1,24 @@
+// Fixture: literal metric names — the only sanctioned way to use the
+// ROPUF_OBS_* macros — plus the Registry handle API, which is how dynamic
+// names are supposed to be recorded. Must lint clean.
+#include <string>
+
+namespace ropuf::obs {
+struct Registry {
+    double* counter(const std::string& name);
+};
+Registry* registry();
+} // namespace ropuf::obs
+
+namespace ropuf::fixture {
+
+void record(const std::string& dynamic_name, double value) {
+    ROPUF_OBS_COUNT("fixture.events", 1);
+    ROPUF_OBS_OBSERVE("fixture.latency_ms", value);
+    ROPUF_OBS_SET("fixture.level", value);
+    if (ropuf::obs::Registry* reg = ropuf::obs::registry()) {
+        *reg->counter(dynamic_name) += 1.0;
+    }
+}
+
+} // namespace ropuf::fixture

@@ -1,0 +1,29 @@
+// Fixture: range-for over an unordered container inside a serializing
+// function — the exact bug class the unordered-iteration rule exists for
+// (hash-seed-dependent byte order in emitted JSON).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void append_json_escaped(std::string& out, const std::string& value);
+
+namespace ropuf::fixture {
+
+void serialize_counters(std::string& out,
+                        const std::unordered_map<std::string, double>& counters) {
+    out += "(";
+    for (const auto& entry : counters) {                // lint-expect: unordered-iteration
+        append_json_escaped(out, entry.first);
+    }
+    out += ")";
+}
+
+void serialize_names(std::string& out) {
+    std::unordered_set<std::string> names;
+    names.insert("a");
+    for (const auto& name : names) {                    // lint-expect: unordered-iteration
+        append_json_escaped(out, name);
+    }
+}
+
+} // namespace ropuf::fixture

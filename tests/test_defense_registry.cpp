@@ -105,7 +105,7 @@ TEST(DefenseRegistry, DuplicateAddThrowsAndBuiltinsAreIdempotent) {
     const std::size_t size = registry.size();
     defense::register_builtin_defenses(registry); // add_or_replace: no growth
     EXPECT_EQ(registry.size(), size);
-    EXPECT_THROW(registry.add({"none", "", "", 0, {}, {}}), std::invalid_argument);
+    EXPECT_THROW(registry.add({"none", "", "", 0, {}, {}, {}}), std::invalid_argument);
     EXPECT_GE(size, 7u); // none, sanity, crc, mac, lockout, ratelimit, noisyrefusal
 }
 

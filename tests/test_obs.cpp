@@ -267,7 +267,9 @@ TEST_F(ObsTest, TraceFileIsBalancedAndMonotonic) {
         const double ts = ev.number_or("ts", -1.0);
         ASSERT_GE(ts, 0.0);
         auto it = last_ts.find(tid);
-        if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+        if (it != last_ts.end()) {
+            EXPECT_GE(ts, it->second);
+        }
         last_ts[tid] = ts;
         if (ph == "B") {
             ++spans;

@@ -66,6 +66,22 @@ def load(path, allow_debug):
             "libbenchmark's own build stamp and is ignored.) Re-record "
             "with CMAKE_BUILD_TYPE=Release or pass --allow-debug."
         )
+    # Sanitizer policy: a TSan/ASan-instrumented binary runs 2-20x slower
+    # in ways that are NOT uniform across kernels, so a sanitizer-recorded
+    # file is useless both as a baseline and as a current measurement.
+    # Baselines committed before the stamp existed carry no key; treat
+    # missing as "none" so they stay ingestible. There is deliberately no
+    # --allow-sanitizer escape hatch: unlike a debug build (sometimes
+    # useful for a smoke comparison), a sanitized figure has no legitimate
+    # consumer here.
+    sanitizer = data.get("context", {}).get("ropuf_sanitizer", "none")
+    if sanitizer != "none":
+        sys.exit(
+            f"ERROR: {path} was recorded under -fsanitize={sanitizer} "
+            "(context.ropuf_sanitizer); sanitizer instrumentation distorts "
+            "throughput non-uniformly, so the figures are not comparable. "
+            "Re-record with ROPUF_SANITIZE=none."
+        )
     return data
 
 

@@ -226,7 +226,7 @@ int cmd_plan(const std::string& spec_path) {
         if (job.params.ecc_m > 0) {
             std::snprintf(ecc, sizeof ecc, "%d,%d", job.params.ecc_m, job.params.ecc_t);
         }
-        char budget[16] = "inf";
+        char budget[24] = "inf"; // fits any int64 (20 chars + NUL)
         if (job.params.query_budget > 0) {
             std::snprintf(budget, sizeof budget, "%lld",
                           static_cast<long long>(job.params.query_budget));
