@@ -18,6 +18,7 @@
 #include "pt_util.hpp"
 #include "ropuf/attack/scenarios.hpp"
 #include "ropuf/core/errors.hpp"
+#include "ropuf/core/sanitizer.hpp"
 #include "ropuf/fi/fault_plan.hpp"
 #include "ropuf/fi/injector.hpp"
 #include "ropuf/xp/executor.hpp"
@@ -44,6 +45,14 @@ std::string temp_path(const char* stem) {
 xp::Plan make_plan() {
     return xp::plan_spec(xp::parse_spec(kSpecText), attack::default_registry());
 }
+
+// Sanitizer instrumentation slows a healthy attempt ~10x, which would turn
+// a tight watchdog budget into spurious timeouts (and burned attempts) on
+// jobs that never hung. Tests that pit a hang against a watchdog scale
+// BOTH so the intended relation — hang >> timeout >> honest attempt —
+// holds on every CI leg. Decision-only injector tests (no real sleeping)
+// stay unscaled.
+constexpr double kTimeScale = ropuf::core::sanitized_build() ? 10.0 : 1.0;
 
 struct ChaosRun {
     xp::RunStats stats;
@@ -149,7 +158,9 @@ TEST(Injector, StoreFaultSequenceReproducesBitwise) {
         ASSERT_EQ(static_cast<int>(fa), static_cast<int>(b.next_store_fault())) << "op " << i;
         if (fa != fi::Injector::StoreFault::none) ++faults;
         // torn_write(every=4) alone guarantees a fault at every 4th op.
-        if ((i + 1) % 4 == 0) EXPECT_EQ(fa, fi::Injector::StoreFault::torn);
+        if ((i + 1) % 4 == 0) {
+            EXPECT_EQ(fa, fi::Injector::StoreFault::torn);
+        }
     }
     EXPECT_GT(faults, 50); // p=0.3 plus every 4th: far from silent
     // A different seed realizes a different store-fault sequence.
@@ -302,8 +313,12 @@ TEST(Chaos, WatchdogTimesOutHungAttemptThenRetrySucceeds) {
 
     // Attempt 1 of job 1 sleeps 400 ms under a 60 ms watchdog: the attempt
     // is abandoned as a timeout, attempt 2 runs clean.
-    const xp::RunStats stats = run_with_faults(plan, chaos, "job_hang(ids=1,ms=400,times=1)",
-                                               /*resume=*/false, /*job_timeout_ms=*/60.0);
+    char hang_plan[64];
+    std::snprintf(hang_plan, sizeof hang_plan, "job_hang(ids=1,ms=%d,times=1)",
+                  static_cast<int>(400 * kTimeScale));
+    const xp::RunStats stats = run_with_faults(plan, chaos, hang_plan,
+                                               /*resume=*/false,
+                                               /*job_timeout_ms=*/60.0 * kTimeScale);
     EXPECT_TRUE(stats.complete());
     EXPECT_EQ(stats.retries, 1);
     EXPECT_EQ(ok_content(chaos), ok_content(clean));
