@@ -15,6 +15,7 @@
 #include "ropuf/core/campaign.hpp"
 #include "ropuf/core/sanitizer.hpp"
 #include "ropuf/distiller/regression.hpp"
+#include "ropuf/fleet/population.hpp"
 #include "ropuf/fuzzy/fuzzy_extractor.hpp"
 #include "ropuf/group/group_puf.hpp"
 #include "ropuf/hash/sha256.hpp"
@@ -222,6 +223,36 @@ void BM_SimdMeasureObs(benchmark::State& state) {
                             static_cast<std::int64_t>(devices) * kScans * count);
 }
 BENCHMARK(BM_SimdMeasureObs)->Arg(1)->Arg(8);
+
+void BM_FleetMeasure(benchmark::State& state) {
+    // The fleet campaign's per-shard hot path: manufacture a wafer-correlated
+    // shard of `range` devices (Population::manufacture_shard, the same call
+    // run_fleet_campaign issues per shard) and measure one reconstruction
+    // block through the lane-parallel kernel. Geometry and items match
+    // BM_SimdMeasure, so the throughput delta against it is exactly the
+    // population layer's manufacture + parameter-perturbation overhead.
+    // Arg(64) is the campaign's kShardDevices shape.
+    const auto devices = static_cast<std::size_t>(state.range(0));
+    constexpr int kScans = 15; // majority_wins 5 x trials 3, the smoke shape
+    fleet::FleetSpec spec;
+    spec.name = "bench";
+    spec.devices = devices;
+    spec.cols = 64;
+    spec.rows = 8;
+    spec.base_seed = 21;
+    const fleet::Population population(spec);
+    const auto count = static_cast<std::int64_t>(spec.ro_count());
+    std::vector<std::vector<double>> out;
+    for (auto _ : state) {
+        sim::RoFleet shard = population.manufacture_shard(
+            0, devices, fleet::Population::Phase::campaign);
+        shard.measure_batch(sim::Condition{}, kScans, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(devices) * kScans * count);
+}
+BENCHMARK(BM_FleetMeasure)->Arg(8)->Arg(64);
 
 void BM_MajorityVote(benchmark::State& state) {
     // Bit-sliced majority vote kernel over `range` packed scan rows; items =

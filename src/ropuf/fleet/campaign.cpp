@@ -1,0 +1,469 @@
+#include "ropuf/fleet/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "ropuf/core/attack_engine.hpp" // append_json_escaped
+#include "ropuf/core/errors.hpp"
+#include "ropuf/fi/injector.hpp"
+#include "ropuf/fleet/enroll.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/obs/trace.hpp"
+#include "ropuf/xp/json.hpp"
+
+namespace ropuf::fleet {
+
+namespace {
+
+/// Bounded, pre-filled, fence-free Chase–Lev-style deque.
+///
+/// The buffer is written once, single-threaded, before any worker thread
+/// exists (publication happens-before via thread creation) and is
+/// read-only afterwards, so only the two indices need atomics. Both use
+/// seq_cst: the classic formulation's acquire/release + thread fences is
+/// exactly the pattern TSan cannot model, and this scheduler must pass
+/// the tsan CI leg with an empty suppression file. Shards are coarse
+/// (64 devices ≈ milliseconds of work), so index-op cost is irrelevant.
+class ShardDeque {
+public:
+    enum class Steal { got, empty, contended };
+
+    /// Single-threaded pre-fill; must complete before workers spawn.
+    void fill(std::vector<std::uint64_t> items) {
+        buf_ = std::move(items);
+        top_.store(0);
+        bottom_.store(static_cast<long long>(buf_.size()));
+    }
+
+    /// Owner end (bottom). False = deque empty.
+    bool take(std::uint64_t& out) {
+        const long long b = bottom_.load() - 1;
+        bottom_.store(b);
+        long long t = top_.load();
+        if (t <= b) {
+            out = buf_[static_cast<std::size_t>(b)];
+            if (t == b) {
+                // Last element: race the thieves for it.
+                const bool won = top_.compare_exchange_strong(t, t + 1);
+                bottom_.store(b + 1);
+                return won;
+            }
+            return true;
+        }
+        bottom_.store(b + 1);
+        return false;
+    }
+
+    /// Thief end (top). `contended` means a concurrent take/steal won the
+    /// CAS — the caller should re-sweep, not conclude emptiness.
+    Steal steal(std::uint64_t& out) {
+        long long t = top_.load();
+        const long long b = bottom_.load();
+        if (t >= b) return Steal::empty;
+        out = buf_[static_cast<std::size_t>(t)];
+        return top_.compare_exchange_strong(t, t + 1) ? Steal::got : Steal::contended;
+    }
+
+private:
+    std::vector<std::uint64_t> buf_;
+    std::atomic<long long> top_{0};
+    std::atomic<long long> bottom_{0};
+};
+
+/// Everything one shard reports back: exact integer aggregates plus the
+/// host-bound timing/fault side data.
+struct ShardOutcome {
+    std::uint64_t shard = 0;
+    std::uint64_t device_first = 0;
+    std::uint32_t device_count = 0;
+    std::vector<std::uint32_t> success_hist; // trials+1 bins
+    std::uint32_t devices_ok = 0;
+    std::uint64_t trials_ok = 0;
+    std::uint64_t bit_errors = 0;
+    std::uint64_t measurements = 0;
+    double wall_ms = 0.0;
+    bool stolen = false;
+    bool failed = false;
+    core::JobError error;
+};
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+/// The deterministic record line for one completed shard, xp-style: the
+/// deterministic prefix first, then the "timing" side-key (and "fault"
+/// for quarantines) that diff_results.py / deterministic_prefix() strip.
+std::string shard_record_line(const FleetSpec& spec, const std::string& hash,
+                              const ShardOutcome& o, int workers) {
+    std::string line = "{\"spec\":\"";
+    core::append_json_escaped(line, spec.name);
+    line += "\",\"spec_hash\":\"" + hash + "\",\"job\":\"";
+    line += shard_job_id(spec, o.shard);
+    line += "\",\"shard\":";
+    append_u64(line, o.shard);
+    line += ",\"device_first\":";
+    append_u64(line, o.device_first);
+    line += ",\"device_count\":";
+    append_u64(line, o.device_count);
+    if (!o.failed) {
+        line += ",\"key_bits\":" + std::to_string(spec.key_bits);
+        line += ",\"trials\":" + std::to_string(spec.trials);
+        line += ",\"majority_wins\":" + std::to_string(spec.majority_wins);
+        line += ",\"base_seed\":";
+        append_u64(line, spec.base_seed);
+        line += ",\"devices_ok\":";
+        append_u64(line, o.devices_ok);
+        line += ",\"trials_ok\":";
+        append_u64(line, o.trials_ok);
+        line += ",\"bit_errors\":";
+        append_u64(line, o.bit_errors);
+        line += ",\"success_hist\":[";
+        for (std::size_t k = 0; k < o.success_hist.size(); ++k) {
+            if (k > 0) line += ',';
+            append_u64(line, o.success_hist[k]);
+        }
+        line += "],\"measurements\":";
+        append_u64(line, o.measurements);
+        line += ",\"outcome\":\"ok\"";
+    } else {
+        line += ",\"outcome\":\"job_failed\"";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"timing\":{\"wall_ms\":%.3f,\"workers\":%d",
+                  o.wall_ms, workers);
+    line += buf;
+    line += ",\"stolen\":";
+    line += o.stolen ? "true" : "false";
+    line += ",\"hardware_concurrency\":" +
+            std::to_string(std::thread::hardware_concurrency());
+    line += ",\"simd\":\"";
+    line += simd::path_name(simd::active_path());
+    line += "\"}";
+    if (o.failed) {
+        line += ",\"fault\":{\"attempts\":1,\"class\":\"";
+        line += core::job_error_class_name(o.error.cls);
+        line += "\",\"message\":\"";
+        core::append_json_escaped(line, o.error.message);
+        line += "\"}";
+    }
+    line += "}";
+    return line;
+}
+
+/// Measures one shard and reduces it to integer aggregates. Bitwise
+/// deterministic in (spec, shard): streams are keyed on global device
+/// ids, never on the caller.
+ShardOutcome run_shard(const Population& population, const EnrollmentMap& enrollment,
+                       std::uint64_t shard, std::vector<std::vector<double>>& scratch) {
+    const FleetSpec& spec = population.spec();
+    const std::uint64_t first = shard * kShardDevices;
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kShardDevices, spec.devices - first));
+    const std::size_t n = static_cast<std::size_t>(spec.ro_count());
+    const int trials = spec.trials;
+    const int wins = spec.majority_wins;
+
+    ShardOutcome o;
+    o.shard = shard;
+    o.device_first = first;
+    o.device_count = static_cast<std::uint32_t>(count);
+    o.success_hist.assign(static_cast<std::size_t>(trials) + 1, 0);
+
+    sim::RoFleet fleet =
+        population.manufacture_shard(first, count, Population::Phase::campaign);
+    fleet.measure_batch(sim::Condition{}, trials * wins, scratch);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const EnrollmentRecord rec = enrollment.record(first + i);
+        const std::vector<double>& meas = scratch[i];
+        int ok_trials = 0;
+        for (int t = 0; t < trials; ++t) {
+            std::uint64_t errs = 0;
+            for (int j = 0; j < spec.key_bits; ++j) {
+                const std::size_t p = rec.helper[static_cast<std::size_t>(j)];
+                int votes = 0;
+                for (int s = 0; s < wins; ++s) {
+                    const std::size_t scan = static_cast<std::size_t>(t * wins + s);
+                    votes += meas[scan * n + 2 * p] > meas[scan * n + 2 * p + 1] ? 1 : 0;
+                }
+                const int bit = 2 * votes > wins ? 1 : 0;
+                errs += static_cast<std::uint64_t>(bit != rec.key_bit(j));
+            }
+            o.bit_errors += errs;
+            if (errs == 0) ++ok_trials;
+        }
+        o.trials_ok += static_cast<std::uint64_t>(ok_trials);
+        if (ok_trials == trials) ++o.devices_ok;
+        ++o.success_hist[static_cast<std::size_t>(ok_trials)];
+    }
+    o.measurements = static_cast<std::uint64_t>(count) * n *
+                     static_cast<std::uint64_t>(trials * wins);
+    return o;
+}
+
+/// Commits shard records to the writer in shard order regardless of
+/// completion order, and folds aggregates into the run stats. Pending
+/// lines are bounded by scheduling skew (worst case the shard count, a
+/// few hundred small strings — never O(fleet devices)).
+class Committer {
+public:
+    Committer(xp::ResultWriter& writer, FleetRunStats& stats, int trials_per_device)
+        : writer_(writer), stats_(stats), trials_per_device_(trials_per_device) {}
+
+    void commit(std::size_t order_index, std::string line, const ShardOutcome& o) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.emplace(order_index, std::move(line));
+        fold(o);
+        while (!pending_.empty() && pending_.begin()->first == next_) {
+            try {
+                writer_.append_line(pending_.begin()->second);
+            } catch (const std::exception&) {
+                // Store fault (injected or real): the record is lost, the
+                // shard stays incomplete on disk, resume re-runs it. The
+                // writer has already marked its torn tail.
+                ++stats_.store_faults;
+            }
+            pending_.erase(pending_.begin());
+            ++next_;
+        }
+    }
+
+private:
+    void fold(const ShardOutcome& o) {
+        if (o.failed) {
+            ++stats_.failed;
+            return;
+        }
+        ++stats_.executed;
+        stats_.devices += o.device_count;
+        stats_.devices_ok += o.devices_ok;
+        stats_.trials += static_cast<std::uint64_t>(o.device_count) *
+                         static_cast<std::uint64_t>(trials_per_device_);
+        stats_.trials_ok += o.trials_ok;
+        stats_.bit_errors += o.bit_errors;
+        stats_.measurements += o.measurements;
+        stats_.steals += o.stolen ? 1 : 0;
+        for (std::size_t k = 0; k < o.success_hist.size() && k < stats_.success_hist.size();
+             ++k) {
+            stats_.success_hist[k] += o.success_hist[k];
+        }
+    }
+
+private:
+    xp::ResultWriter& writer_;
+    FleetRunStats& stats_;
+    int trials_per_device_;
+    std::mutex mutex_;
+    std::map<std::size_t, std::string> pending_;
+    std::size_t next_ = 0;
+};
+
+} // namespace
+
+std::uint64_t shard_count(const Population& population) {
+    return (population.devices() + kShardDevices - 1) / kShardDevices;
+}
+
+std::string shard_job_id(const FleetSpec& spec, std::uint64_t shard) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "-s%05llu", static_cast<unsigned long long>(shard));
+    return fleet_spec_hash(spec) + buf;
+}
+
+std::set<std::uint64_t> completed_shards(const std::string& path, const FleetSpec& spec) {
+    std::set<std::uint64_t> done;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return done; // fresh run
+    const std::string hash = fleet_spec_hash(spec);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        try {
+            const xp::JsonValue v = xp::parse_json(line);
+            if (v.string_or("spec_hash", "") != hash) continue;
+            if (v.string_or("outcome", "") != "ok") continue;
+            const double shard = v.number_or("shard", -1.0);
+            if (shard >= 0) done.insert(static_cast<std::uint64_t>(shard));
+        } catch (const std::exception&) {
+            // torn tail / foreign garbage: skip, like the JSONL reader
+        }
+    }
+    return done;
+}
+
+FleetRunStats run_fleet_campaign(const Population& population,
+                                 const EnrollmentMap& enrollment,
+                                 xp::ResultWriter& writer,
+                                 const FleetCampaignOptions& options) {
+    const FleetSpec& spec = population.spec();
+    if (enrollment.header().spec_hash != fleet_spec_hash_u64(spec)) {
+        throw xp::SpecError("enrollment store does not match this fleet spec");
+    }
+    if (enrollment.valid_records() < spec.devices) {
+        throw xp::SpecError(
+            "enrollment store is incomplete (" +
+            std::to_string(enrollment.valid_records()) + " of " +
+            std::to_string(spec.devices) + " devices) — run fleet enroll first");
+    }
+
+    FleetRunStats stats;
+    stats.success_hist.assign(static_cast<std::size_t>(spec.trials) + 1, 0);
+    stats.total_shards = shard_count(population);
+
+    // The dispatch list: pending shards in shard order, optionally
+    // truncated by max_shards — a deterministic interruption point that
+    // does not depend on worker count (unlike "stop after K completions").
+    const std::set<std::uint64_t> done = completed_shards(writer.path(), spec);
+    std::vector<std::uint64_t> pending;
+    for (std::uint64_t s = 0; s < stats.total_shards; ++s) {
+        if (done.count(s) == 0) pending.push_back(s);
+    }
+    stats.skipped = stats.total_shards - pending.size();
+    // A max_shards cut is a clean quota, not an interruption: the caller
+    // sees the remaining shards via total_shards - skipped - executed and
+    // `stopped` stays reserved for SIGINT (exit-code parity with xp's
+    // --max-jobs semantics).
+    if (options.max_shards >= 0 &&
+        pending.size() > static_cast<std::size_t>(options.max_shards)) {
+        pending.resize(static_cast<std::size_t>(options.max_shards));
+    }
+
+    obs::Registry* const reg = obs::registry();
+    if (reg != nullptr) {
+        reg->set(reg->gauge("xp.jobs_total"), static_cast<double>(stats.total_shards));
+        // Same uniform accounting as the xp executor: skipped shards are
+        // finished work credited at dispatch, excluded from the progress
+        // EMA via the parallel xp.jobs_skipped counter.
+        reg->add(reg->counter("xp.jobs_done"), static_cast<double>(stats.skipped));
+        reg->add(reg->counter("xp.jobs_skipped"), static_cast<double>(stats.skipped));
+    }
+
+    const int workers = std::max(1, options.workers);
+    // Shard order index within `pending` → reorder-buffer slot, so output
+    // bytes land in shard order no matter who runs what when.
+    std::map<std::uint64_t, std::size_t> order;
+    for (std::size_t i = 0; i < pending.size(); ++i) order[pending[i]] = i;
+
+    // Pre-fill the deques round-robin before any worker exists. Blocks of
+    // consecutive shards per worker would also work; round-robin keeps
+    // every deque non-empty until the tail, which exercises stealing less
+    // — deliberate, stealing is the slow path for skew, not the default.
+    std::vector<ShardDeque> deques(static_cast<std::size_t>(workers));
+    {
+        std::vector<std::vector<std::uint64_t>> per_worker(
+            static_cast<std::size_t>(workers));
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            per_worker[i % static_cast<std::size_t>(workers)].push_back(pending[i]);
+        }
+        // Owners pop from the bottom: reverse so they run their shards in
+        // ascending order (keeps the reorder buffer shallow).
+        for (std::size_t w = 0; w < per_worker.size(); ++w) {
+            std::reverse(per_worker[w].begin(), per_worker[w].end());
+            deques[w].fill(std::move(per_worker[w]));
+        }
+    }
+
+    Committer committer(writer, stats, spec.trials);
+    const std::string hash = fleet_spec_hash(spec);
+    std::atomic<bool> sigint_seen{false};
+
+    auto worker_loop = [&](int w) {
+        if (obs::TraceSink* sink = obs::trace()) {
+            sink->set_thread_name("fleet-worker-" + std::to_string(w));
+        }
+        std::vector<std::vector<double>> scratch;
+        std::uint64_t shard = 0;
+        for (;;) {
+            if (options.stop != nullptr && options.stop->load()) {
+                sigint_seen.store(true);
+                break;
+            }
+            bool stolen = false;
+            if (!deques[static_cast<std::size_t>(w)].take(shard)) {
+                bool found = false;
+                for (;;) {
+                    bool contended = false;
+                    for (int v = 1; v < workers && !found; ++v) {
+                        const auto r =
+                            deques[static_cast<std::size_t>((w + v) % workers)].steal(shard);
+                        if (r == ShardDeque::Steal::got) {
+                            found = true;
+                            stolen = true;
+                        } else if (r == ShardDeque::Steal::contended) {
+                            contended = true;
+                        }
+                    }
+                    if (found || !contended) break;
+                    // Lost a race against a non-empty deque: sweep again.
+                }
+                // Nothing anywhere and nothing contended: the pre-filled
+                // pool is dry for good (no worker ever pushes), so done.
+                if (!found) break;
+            }
+
+            const auto t0 = std::chrono::steady_clock::now();
+            ShardOutcome o;
+            try {
+                if (options.injector != nullptr) {
+                    const int hang_ms =
+                        options.injector->job_fault(static_cast<int>(shard), 1);
+                    if (hang_ms > 0) {
+                        ROPUF_OBS_COUNT("fi.injected.job_hang", 1);
+                        std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
+                    }
+                }
+                if (obs::TraceSink* sink = obs::trace()) {
+                    sink->begin("fleet.shard", "{\"shard\":" + std::to_string(shard) + "}");
+                }
+                o = run_shard(population, enrollment, shard, scratch);
+                if (obs::TraceSink* sink = obs::trace()) sink->end();
+                ROPUF_OBS_COUNT("xp.jobs_done", 1);
+                ROPUF_OBS_COUNT("fleet.shards_done", 1);
+                ROPUF_OBS_COUNT("fleet.devices_done", o.device_count);
+                ROPUF_OBS_COUNT("campaign.trials",
+                                static_cast<double>(o.device_count) * spec.trials);
+            } catch (const fi::InjectedFault& e) {
+                if (obs::TraceSink* sink = obs::trace()) sink->end();
+                o.shard = shard;
+                o.device_first = shard * kShardDevices;
+                o.device_count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    kShardDevices, spec.devices - o.device_first));
+                o.failed = true;
+                o.error = {core::JobErrorClass::injected_fault, e.what()};
+                ROPUF_OBS_COUNT("xp.jobs_quarantined", 1);
+            } catch (const std::exception& e) {
+                if (obs::TraceSink* sink = obs::trace()) sink->end();
+                o.shard = shard;
+                o.device_first = shard * kShardDevices;
+                o.device_count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    kShardDevices, spec.devices - o.device_first));
+                o.failed = true;
+                o.error = {core::JobErrorClass::scenario_exception, e.what()};
+                ROPUF_OBS_COUNT("xp.jobs_quarantined", 1);
+            }
+            o.stolen = stolen;
+            o.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+            committer.commit(order[shard], shard_record_line(spec, hash, o, workers), o);
+        }
+    };
+
+    if (workers == 1) {
+        worker_loop(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+        for (std::thread& t : threads) t.join();
+    }
+
+    if (sigint_seen.load()) stats.stopped = true;
+    return stats;
+}
+
+} // namespace ropuf::fleet

@@ -1,0 +1,109 @@
+// Fleet campaigns: reconstruction trials over an enrolled population,
+// sharded over devices, scheduled by work stealing, aggregated streaming.
+//
+// Execution model
+// ---------------
+// The population splits into fixed shards of kShardDevices consecutive
+// devices. Shards — not trials, not devices — are the scheduling unit:
+// each worker owns a bounded Chase–Lev-style deque, pre-filled round-robin
+// with the run's pending shards *before* any worker thread starts (so the
+// deque buffers need no atomics: publication happens-before via thread
+// creation). A worker pops its own deque from the bottom; when empty it
+// steals from the top of the other workers' deques. This replaces the xp
+// CampaignRunner's precomputed schedule: a slow shard (or a hang-injected
+// worker) no longer stalls the tail of the run — idle workers steal the
+// victim's remaining shards.
+//
+// Memory ordering: top and bottom use seq_cst atomics throughout, no
+// fences. The textbook Chase–Lev formulation relies on
+// std::atomic_thread_fence, which TSan does not model — this runs under
+// the CI tsan leg with an empty suppression file, so the deque is written
+// in the fence-free style TSan can verify. Steals are rare (only when a
+// deque runs dry) and shards are coarse, so the seq_cst cost is noise.
+//
+// Determinism
+// -----------
+// Bitwise-identical output across worker counts and schedules, by
+// construction:
+//   * every measurement of device d draws from streams keyed on
+//     (campaign phase, d) — never on the worker or the schedule;
+//   * shard aggregates are integers, accumulated per shard;
+//   * shard records are committed to the JSONL writer through a reorder
+//     buffer in shard order, so the bytes on disk are schedule-independent.
+// The {1, 2, 8}-worker and steal-skew pins in tests/test_fleet.cpp hold
+// the property.
+//
+// Fault tolerance mirrors xp: the fi job seams fire per shard (job_hang /
+// job_throw keyed on shard index), a faulted shard writes a quarantine
+// record (`outcome:"job_failed"`) and resume retries it; SIGINT stops
+// dispatch between shards and the run remains resumable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ropuf/fleet/population.hpp"
+#include "ropuf/fleet/store.hpp"
+#include "ropuf/xp/result_store.hpp"
+
+namespace ropuf::fi {
+class Injector;
+}
+
+namespace ropuf::fleet {
+
+struct FleetCampaignOptions {
+    int workers = 1;
+    /// Dispatch at most this many not-yet-done shards (< 0 = all): the
+    /// deterministic interruption knob resume tests drive.
+    long long max_shards = -1;
+    fi::Injector* injector = nullptr;
+    const std::atomic<bool>* stop = nullptr; ///< SIGINT flag (may be null)
+};
+
+/// Streaming aggregates of one run. All device/trial counts are exact
+/// integers — associative and commutative, so worker count cannot change
+/// them.
+struct FleetRunStats {
+    std::uint64_t total_shards = 0;
+    std::uint64_t skipped = 0;    ///< already present (resume)
+    std::uint64_t executed = 0;
+    std::uint64_t failed = 0;     ///< quarantined shards
+    std::uint64_t devices = 0;    ///< devices measured by this run
+    std::uint64_t devices_ok = 0; ///< devices with every trial successful
+    std::uint64_t trials = 0;
+    std::uint64_t trials_ok = 0;
+    std::uint64_t bit_errors = 0;
+    std::uint64_t measurements = 0;
+    std::uint64_t steals = 0;       ///< shards executed off a stolen deque entry
+    std::uint64_t store_faults = 0; ///< records lost to store faults (resume re-runs)
+    /// success_hist[k] = devices for which exactly k trials succeeded.
+    std::vector<std::uint64_t> success_hist;
+    /// SIGINT stopped dispatch early. A max_shards quota does NOT set this
+    /// (it is a clean, deterministic cut); remaining work is
+    /// total_shards - skipped - executed - failed either way.
+    bool stopped = false;
+};
+
+/// Shards of a population: ceil(devices / kShardDevices).
+std::uint64_t shard_count(const Population& population);
+
+/// The JSONL job id of shard s: "<spec_hash>-s<%05d>".
+std::string shard_job_id(const FleetSpec& spec, std::uint64_t shard);
+
+/// Shard ids already completed (outcome "ok") in a results file for this
+/// spec — the resume skip set. Missing file = empty set. Torn lines and
+/// quarantine records are ignored exactly like xp::completed_job_ids.
+std::set<std::uint64_t> completed_shards(const std::string& path, const FleetSpec& spec);
+
+/// Runs (or resumes) the campaign, appending one record per shard to
+/// `writer`. Throws xp::SpecError on setup errors (store/spec mismatch).
+FleetRunStats run_fleet_campaign(const Population& population,
+                                 const EnrollmentMap& enrollment,
+                                 xp::ResultWriter& writer,
+                                 const FleetCampaignOptions& options);
+
+} // namespace ropuf::fleet

@@ -1,0 +1,97 @@
+#include "ropuf/fleet/population.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "ropuf/rng/xoshiro.hpp"
+
+namespace ropuf::fleet {
+
+namespace {
+
+// Stream-family labels: every random decision in the fleet layer derives
+// from (base_seed, family, entity id), so adding a family never perturbs
+// the others and manufacture stays order-independent.
+constexpr std::uint64_t kWaferFamily = 0x57afe700u; ///< per-wafer coefficients
+constexpr std::uint64_t kDieFamily = 0xd1e00000u;   ///< per-die residuals
+constexpr std::uint64_t kChipFamily = 0xc41f0000u;  ///< RoArray manufacture seeds
+constexpr std::uint64_t kMeasFamily = 0x3ea50000u;  ///< measurement-noise streams
+
+} // namespace
+
+Population::Population(FleetSpec spec) : spec_(std::move(spec)) {
+    if (spec_.devices == 0) throw std::invalid_argument("Population: empty fleet spec");
+}
+
+WaferCoeffs Population::wafer_coeffs(std::uint32_t wafer) const {
+    rng::Xoshiro256pp rng(
+        rng::derive_seed(rng::derive_seed(spec_.base_seed, kWaferFamily), wafer));
+    // Fixed draw order — this is part of the population's wire format:
+    // reordering the draws re-manufactures every fleet.
+    const sim::ProcessParams base; // tempco_sigma default as the wafer spread
+    WaferCoeffs wc;
+    wc.f_off_mhz = rng.gaussian(0.0, spec_.wafer_f_sigma_mhz);
+    wc.step_x_mhz = rng.gaussian(0.0, spec_.wafer_f_sigma_mhz / 4.0);
+    wc.step_y_mhz = rng.gaussian(0.0, spec_.wafer_f_sigma_mhz / 4.0);
+    wc.grad_x_mhz = rng.gaussian(0.0, spec_.wafer_grad_sigma_mhz);
+    wc.grad_y_mhz = rng.gaussian(0.0, spec_.wafer_grad_sigma_mhz);
+    wc.tempco_off = rng.gaussian(0.0, base.tempco_sigma);
+    return wc;
+}
+
+sim::ProcessParams Population::device_params(std::uint64_t device) const {
+    const WaferCoeffs wc = wafer_coeffs(wafer_of(device));
+    rng::Xoshiro256pp die(
+        rng::derive_seed(rng::derive_seed(spec_.base_seed, kDieFamily), device));
+
+    // Die position centered on the wafer grid, so the across-wafer trend
+    // is zero-mean over a full wafer.
+    const std::uint32_t wafer_rows = spec_.wafer_size / spec_.wafer_cols;
+    const double cx = static_cast<double>(die_x(device)) -
+                      (static_cast<double>(spec_.wafer_cols) - 1.0) / 2.0;
+    const double cy = static_cast<double>(die_y(device)) -
+                      (static_cast<double>(wafer_rows) - 1.0) / 2.0;
+
+    sim::ProcessParams p; // library defaults; the spec overrides noise
+    p.sigma_noise_mhz = spec_.sigma_noise_mhz;
+    p.f_nominal_mhz += wc.f_off_mhz + wc.step_x_mhz * cx + wc.step_y_mhz * cy +
+                       die.gaussian(0.0, spec_.die_f_sigma_mhz);
+    p.gradient_x_mhz += wc.grad_x_mhz + die.gaussian(0.0, spec_.die_grad_sigma_mhz);
+    p.gradient_y_mhz += wc.grad_y_mhz + die.gaussian(0.0, spec_.die_grad_sigma_mhz);
+    p.tempco_mean += wc.tempco_off;
+    return p;
+}
+
+sim::RoArray Population::manufacture(std::uint64_t device) const {
+    return sim::RoArray(
+        geometry(), device_params(device),
+        rng::derive_seed(rng::derive_seed(spec_.base_seed, kChipFamily), device));
+}
+
+sim::RoFleet Population::manufacture_shard(std::uint64_t first, std::size_t count,
+                                           Phase phase) const {
+    if (first + count > spec_.devices || first + count < first) {
+        throw std::invalid_argument("Population::manufacture_shard: shard out of range");
+    }
+    std::vector<sim::RoArray> chips;
+    chips.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        chips.push_back(manufacture(first + i));
+    }
+    // Streams keyed on (phase, global device id): device d consumes the
+    // same noise words no matter which shard — or worker — measures it,
+    // and enrollment/campaign phases never share a stream.
+    const std::uint64_t phase_base = rng::derive_seed(
+        rng::derive_seed(spec_.base_seed, kMeasFamily), static_cast<std::uint64_t>(phase));
+    simd::FleetStreams streams;
+    streams.main.reserve(count);
+    streams.slow.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t d = first + i;
+        streams.main.emplace_back(rng::derive_seed(phase_base, 2 * d));
+        streams.slow.emplace_back(rng::derive_seed(phase_base, 2 * d + 1));
+    }
+    return sim::RoFleet(std::move(chips), std::move(streams));
+}
+
+} // namespace ropuf::fleet

@@ -1,0 +1,97 @@
+// The manufactured device population: wafer-correlated process variation.
+//
+// A fleet spec names N devices grouped into wafers of `wafer_size` dies
+// laid out on a `wafer_cols`-wide grid. Process variation decomposes into
+// three frequency components, mirroring how real wafer maps decompose
+// (shared low-frequency surface + die residual + within-die randomness):
+//
+//   wafer level (shared by every die of wafer w, drawn from the wafer's
+//   own derived stream):
+//     * a common-mode frequency offset and a linear across-wafer trend
+//       evaluated at the die's grid position (realism: wafers differ in
+//       mean speed; common-mode terms cancel in RO *pair* comparisons);
+//     * a shared perturbation of the within-die gradient (gradient_x/y).
+//       This is the component that correlates *key bits* across dies of
+//       one wafer: adjacent-pair Δf inherits the gradient, so two dies
+//       with the same gradient tilt bias the same pairs the same way;
+//     * a shared temperature-coefficient offset.
+//
+//   die level (per device, keyed on the global device id):
+//     * a residual common-mode offset and residual gradient perturbation.
+//
+//   device level: the RoArray's own per-RO random variation, manufactured
+//   from derive_seed(chip_base, device) exactly as a standalone chip.
+//
+// Everything is deterministic and order-independent: manufacturing device
+// d alone yields bit-identical parameters to manufacturing it as part of
+// any shard, because wafer coefficients come from a per-wafer stream and
+// die residuals from a per-device stream — never from a sequential walk
+// over the population.
+//
+// Measurement streams are keyed on (phase, global device id) so a shard's
+// measurements are independent of shard boundaries and worker schedule,
+// and so enrollment and campaign draw disjoint noise (a device's
+// enrollment scans must not be replayed as its reconstruction scans).
+#pragma once
+
+#include <cstdint>
+
+#include "ropuf/fleet/spec.hpp"
+#include "ropuf/sim/ro_fleet.hpp"
+
+namespace ropuf::fleet {
+
+/// The wafer-level shared coefficients (drawn once per wafer).
+struct WaferCoeffs {
+    double f_off_mhz = 0.0;      ///< common-mode frequency offset
+    double step_x_mhz = 0.0;     ///< across-wafer trend per die column
+    double step_y_mhz = 0.0;     ///< across-wafer trend per die row
+    double grad_x_mhz = 0.0;     ///< shared within-die gradient tilt
+    double grad_y_mhz = 0.0;     ///< shared within-die gradient tilt
+    double tempco_off = 0.0;     ///< shared tempco offset
+};
+
+class Population {
+public:
+    /// Which measurement-noise stream family a fleet draws from.
+    enum class Phase : std::uint64_t { enroll = 0, campaign = 1 };
+
+    explicit Population(FleetSpec spec);
+
+    const FleetSpec& spec() const noexcept { return spec_; }
+    std::uint64_t devices() const noexcept { return spec_.devices; }
+    sim::ArrayGeometry geometry() const {
+        return sim::ArrayGeometry{spec_.cols, spec_.rows};
+    }
+
+    std::uint32_t wafer_of(std::uint64_t device) const {
+        return static_cast<std::uint32_t>(device / spec_.wafer_size);
+    }
+    std::uint32_t die_x(std::uint64_t device) const {
+        return static_cast<std::uint32_t>(device % spec_.wafer_size) % spec_.wafer_cols;
+    }
+    std::uint32_t die_y(std::uint64_t device) const {
+        return static_cast<std::uint32_t>(device % spec_.wafer_size) / spec_.wafer_cols;
+    }
+
+    /// The shared coefficients of one wafer (deterministic in
+    /// (base_seed, wafer); independent of which devices are manufactured).
+    WaferCoeffs wafer_coeffs(std::uint32_t wafer) const;
+
+    /// The fully perturbed process parameters of one device.
+    sim::ProcessParams device_params(std::uint64_t device) const;
+
+    /// One manufactured chip, identical whether made alone or in a shard.
+    sim::RoArray manufacture(std::uint64_t device) const;
+
+    /// A contiguous shard [first, first+count) as a measurable RoFleet.
+    /// Memory is O(count); measurement streams are keyed on (phase, global
+    /// device id), so device d measures identically in every shard that
+    /// contains it. `first + count` must not exceed devices().
+    sim::RoFleet manufacture_shard(std::uint64_t first, std::size_t count, Phase phase) const;
+
+private:
+    FleetSpec spec_;
+};
+
+} // namespace ropuf::fleet

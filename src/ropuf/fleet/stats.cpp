@@ -1,0 +1,106 @@
+#include "ropuf/fleet/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "ropuf/xp/sweep_spec.hpp"
+
+namespace ropuf::fleet {
+
+namespace {
+
+double binary_entropy(double p) {
+    if (p <= 0.0 || p >= 1.0) return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+std::uint64_t hash_words(const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint16_t>& b) {
+    std::string bytes;
+    bytes.reserve(a.size() * 8 + b.size() * 2);
+    for (std::uint64_t w : a) {
+        for (int i = 0; i < 8; ++i) bytes += static_cast<char>(w >> (8 * i));
+    }
+    for (std::uint16_t v : b) {
+        bytes += static_cast<char>(v);
+        bytes += static_cast<char>(v >> 8);
+    }
+    return xp::fnv1a64(bytes);
+}
+
+} // namespace
+
+PopulationStats population_stats(const EnrollmentMap& store) {
+    PopulationStats stats;
+    stats.devices = store.valid_records();
+    stats.key_bits = store.header().key_bits;
+    stats.bit_ones.assign(stats.key_bits, 0);
+
+    std::map<std::uint64_t, std::uint64_t> helper_groups;
+    std::map<std::uint64_t, std::uint64_t> break_groups;
+    for (std::uint64_t d = 0; d < stats.devices; ++d) {
+        const EnrollmentRecord rec = store.record(d);
+        for (std::uint32_t j = 0; j < stats.key_bits; ++j) {
+            stats.bit_ones[j] += static_cast<std::uint64_t>(rec.key_bit(static_cast<int>(j)));
+        }
+        ++helper_groups[hash_words({}, rec.helper)];
+        ++break_groups[hash_words(rec.key_words, rec.helper)];
+    }
+
+    if (stats.devices > 0) {
+        for (std::uint32_t j = 0; j < stats.key_bits; ++j) {
+            const double p = static_cast<double>(stats.bit_ones[j]) /
+                             static_cast<double>(stats.devices);
+            const double h = binary_entropy(p);
+            stats.key_entropy_bits += h;
+            stats.min_bit_entropy = std::min(stats.min_bit_entropy, h);
+        }
+    } else {
+        stats.min_bit_entropy = 0.0;
+    }
+    stats.distinct_helpers = helper_groups.size();
+    stats.helper_collision_devices = stats.devices - stats.distinct_helpers;
+    for (const auto& [h, n] : helper_groups) {
+        stats.largest_helper_group = std::max(stats.largest_helper_group, n);
+    }
+    for (const auto& [h, n] : break_groups) {
+        stats.largest_break_group = std::max(stats.largest_break_group, n);
+        if (n > 1) stats.broken_devices += n;
+    }
+    return stats;
+}
+
+std::string render_population_stats(const PopulationStats& s) {
+    char buf[160];
+    std::string out;
+    std::snprintf(buf, sizeof buf, "devices enrolled      %llu\n",
+                  static_cast<unsigned long long>(s.devices));
+    out += buf;
+    std::snprintf(buf, sizeof buf, "key bits              %u\n", s.key_bits);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "key entropy           %.2f / %u bits (position-wise upper bound)\n",
+                  s.key_entropy_bits, s.key_bits);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "weakest bit entropy   %.4f bits\n", s.min_bit_entropy);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "distinct helpers      %llu\n",
+                  static_cast<unsigned long long>(s.distinct_helpers));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "helper collisions     %llu devices (largest group %llu)\n",
+                  static_cast<unsigned long long>(s.helper_collision_devices),
+                  static_cast<unsigned long long>(s.largest_helper_group));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "break groups          %llu devices share (helper,key); "
+                  "one leak breaks up to %llu\n",
+                  static_cast<unsigned long long>(s.broken_devices),
+                  static_cast<unsigned long long>(s.largest_break_group));
+    out += buf;
+    return out;
+}
+
+} // namespace ropuf::fleet

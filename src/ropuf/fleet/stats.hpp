@@ -1,0 +1,47 @@
+// Population-level metrics over an enrollment store — the questions the
+// fleet exists to answer.
+//
+//   * Key entropy: Σ_j H(p_j) over key-bit positions, p_j the fraction of
+//     devices whose bit j is 1. Independent uniform bits give key_bits;
+//     wafer-correlated process variation pulls it below — the
+//     "population-level key entropy under non-i.i.d. variation" number.
+//     (Position-wise entropy is an upper bound: it ignores inter-bit
+//     correlation, so the true population entropy is at most this.)
+//   * Helper-data collisions: devices sharing an identical helper (the
+//     selected-pair set). Correlated gradients steer different dies
+//     toward the same reliable pairs.
+//   * Break groups: devices sharing helper AND key — the population a
+//     single leaked (helper, key) pattern compromises at once.
+//
+// All metrics stream over the mmap'd store in one pass; memory is
+// O(distinct patterns) for the collision maps and O(key_bits) otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ropuf/fleet/store.hpp"
+
+namespace ropuf::fleet {
+
+struct PopulationStats {
+    std::uint64_t devices = 0;
+    std::uint32_t key_bits = 0;
+    double key_entropy_bits = 0.0;           ///< Σ_j H(p_j), <= key_bits
+    double min_bit_entropy = 1.0;            ///< worst single position
+    std::vector<std::uint64_t> bit_ones;     ///< per-position one counts
+    std::uint64_t distinct_helpers = 0;
+    std::uint64_t helper_collision_devices = 0; ///< devices sharing a helper
+    std::uint64_t largest_helper_group = 0;
+    std::uint64_t broken_devices = 0;        ///< devices sharing (helper, key)
+    std::uint64_t largest_break_group = 0;   ///< one leak breaks this many
+};
+
+/// One streaming pass over the store's valid records.
+PopulationStats population_stats(const EnrollmentMap& store);
+
+/// Human-readable rendering — the `ropuf fleet stats` view.
+std::string render_population_stats(const PopulationStats& stats);
+
+} // namespace ropuf::fleet

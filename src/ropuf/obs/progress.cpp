@@ -82,29 +82,11 @@ void ProgressReporter::loop() {
 void ProgressReporter::tick(bool final_tick) {
     const Snapshot snap = registry_.snapshot();
     const auto now = std::chrono::steady_clock::now();
-    const double jobs = snap.counter_or("xp.jobs_done", 0.0) +
-                        snap.counter_or("xp.jobs_quarantined", 0.0);
-    const double trials = snap.counter_or("campaign.trials", 0.0);
-    if (have_last_) {
-        const double dt =
-            std::chrono::duration<double>(now - last_tick_).count();
-        if (dt > 1e-3) {
-            constexpr double kAlpha = 0.3;
-            const double jobs_s = (jobs - last_jobs_) / dt;
-            const double trials_s = (trials - last_trials_) / dt;
-            ema_jobs_s_ = ema_jobs_s_ == 0.0
-                              ? jobs_s
-                              : kAlpha * jobs_s + (1.0 - kAlpha) * ema_jobs_s_;
-            ema_trials_s_ =
-                ema_trials_s_ == 0.0
-                    ? trials_s
-                    : kAlpha * trials_s + (1.0 - kAlpha) * ema_trials_s_;
-        }
-    }
-    last_jobs_ = jobs;
-    last_trials_ = trials;
+    const double dt = have_last_
+                          ? std::chrono::duration<double>(now - last_tick_).count()
+                          : 0.0;
     last_tick_ = now;
-    have_last_ = true;
+    observe(snap, dt);
 
     const std::string line = render(snap);
     if (config_.ansi) {
@@ -116,14 +98,41 @@ void ProgressReporter::tick(bool final_tick) {
     std::fflush(config_.out);
 }
 
+void ProgressReporter::observe(const Snapshot& snap, double dt_s) {
+    // Rate basis: executed work only. xp.jobs_done counts every finished
+    // job exactly once — including resume-skipped jobs, which the executor
+    // credits in one pre-loop burst — so subtract xp.jobs_skipped to keep
+    // the EMA (and the ETA derived from it) anchored to jobs this host
+    // actually ran, not to how large the resume skip set happened to be.
+    const double jobs = snap.counter_or("xp.jobs_done", 0.0) +
+                        snap.counter_or("xp.jobs_quarantined", 0.0) -
+                        snap.counter_or("xp.jobs_skipped", 0.0);
+    const double trials = snap.counter_or("campaign.trials", 0.0);
+    if (have_last_ && dt_s > 1e-3) {
+        constexpr double kAlpha = 0.3;
+        const double jobs_s = (jobs - last_jobs_) / dt_s;
+        const double trials_s = (trials - last_trials_) / dt_s;
+        ema_jobs_s_ = ema_jobs_s_ == 0.0
+                          ? jobs_s
+                          : kAlpha * jobs_s + (1.0 - kAlpha) * ema_jobs_s_;
+        ema_trials_s_ = ema_trials_s_ == 0.0
+                           ? trials_s
+                           : kAlpha * trials_s + (1.0 - kAlpha) * ema_trials_s_;
+    }
+    last_jobs_ = jobs;
+    last_trials_ = trials;
+    have_last_ = true;
+}
+
 std::string ProgressReporter::render(const Snapshot& snap) const {
     const double total = snap.gauge_or("xp.jobs_total", 0.0);
-    const double skipped = snap.gauge_or("xp.jobs_skipped", 0.0);
     const double done = snap.counter_or("xp.jobs_done", 0.0);
     const double quarantined = snap.counter_or("xp.jobs_quarantined", 0.0);
     const double retries = snap.counter_or("xp.retries", 0.0);
     const double trials_s = ema_trials_s_;
-    const double finished = done + quarantined + skipped;
+    // xp.jobs_done already includes resume-skipped jobs (the executor
+    // credits them at dispatch), so finished needs no separate skip term.
+    const double finished = done + quarantined;
 
     std::string line = "jobs ";
     char buf[64];

@@ -46,6 +46,14 @@ public:
     /// One rendered status line (no \r / newline). Exposed for tests.
     std::string render(const Snapshot& snap) const;
 
+    /// Folds one snapshot into the EMA throughput state as if `dt_s`
+    /// elapsed since the previous observation — the testable core of the
+    /// heartbeat tick. The job/s rate basis is *executed* work only:
+    /// xp.jobs_done + xp.jobs_quarantined − xp.jobs_skipped, because a
+    /// resumed run counts its skipped-completed jobs into xp.jobs_done in
+    /// one pre-loop burst that says nothing about this host's throughput.
+    void observe(const Snapshot& snap, double dt_s);
+
 private:
     void loop();
     void tick(bool final_tick);

@@ -1,6 +1,7 @@
 #include "ropuf/sim/ro_fleet.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "ropuf/obs/metrics.hpp"
 
@@ -13,6 +14,24 @@ RoFleet::RoFleet(const ArrayGeometry& geometry, const ProcessParams& params,
         chips_.emplace_back(geometry, params, rng::derive_seed(base_seed, d));
     }
     streams_ = simd::FleetStreams::from_seed(base_seed, devices);
+}
+
+RoFleet::RoFleet(std::vector<RoArray> chips, simd::FleetStreams streams)
+    : chips_(std::move(chips)), streams_(std::move(streams)) {
+    if (streams_.devices() != chips_.size()) {
+        throw std::invalid_argument("RoFleet: streams/chips device count mismatch");
+    }
+    for (std::size_t d = 1; d < chips_.size(); ++d) {
+        const ProcessParams& p0 = chips_[0].params();
+        const ProcessParams& pd = chips_[d].params();
+        if (chips_[d].count() != chips_[0].count() ||
+            pd.sigma_noise_mhz != p0.sigma_noise_mhz ||
+            pd.quantize_counters != p0.quantize_counters ||
+            pd.counter_window_us != p0.counter_window_us) {
+            throw std::invalid_argument(
+                "RoFleet: chips must share geometry count, noise sigma and quantization");
+        }
+    }
 }
 
 void RoFleet::measure_batch(const Condition& c, int scans,

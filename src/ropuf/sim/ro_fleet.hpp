@@ -29,6 +29,15 @@ public:
     RoFleet(const ArrayGeometry& geometry, const ProcessParams& params,
             std::uint64_t base_seed, std::size_t devices);
 
+    /// Adopts pre-manufactured chips (per-device process params allowed —
+    /// the wafer model in ropuf::fleet perturbs params per device) together
+    /// with explicit measurement streams, so a shard of a larger population
+    /// measures exactly as the whole population would. All chips must share
+    /// geometry count, sigma_noise_mhz and quantization settings (the batch
+    /// kernel takes one shared noise sigma); streams.devices() must equal
+    /// chips.size(). Throws std::invalid_argument otherwise.
+    RoFleet(std::vector<RoArray> chips, simd::FleetStreams streams);
+
     std::size_t devices() const noexcept { return chips_.size(); }
     const RoArray& chip(std::size_t d) const { return chips_[d]; }
 

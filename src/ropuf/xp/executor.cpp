@@ -157,7 +157,15 @@ RunStats execute_plan(const Plan& plan, const core::ScenarioRegistry& registry,
             if (skip.count(job.id) != 0) ++will_skip;
         }
         reg->set(reg->gauge("xp.jobs_total"), static_cast<double>(stats.total));
-        reg->set(reg->gauge("xp.jobs_skipped"), static_cast<double>(will_skip));
+        // Skipped-completed jobs finish "for free" at dispatch: count them
+        // into xp.jobs_done so progress accounting is uniform (every
+        // finished job increments jobs_done exactly once), and into
+        // xp.jobs_skipped so rate consumers can exclude the resume burst
+        // from throughput — the ProgressReporter subtracts it from its EMA
+        // basis, else a resumed run's first heartbeat reads the skip burst
+        // as executed work and the ETA collapses to near zero.
+        reg->add(reg->counter("xp.jobs_done"), static_cast<double>(will_skip));
+        reg->add(reg->counter("xp.jobs_skipped"), static_cast<double>(will_skip));
         // One 0/1 gauge per dispatch path keeps path identity greppable in
         // snapshots without a string-valued metric type.
         reg->set(reg->gauge("simd.path." +

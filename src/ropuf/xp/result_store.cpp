@@ -378,7 +378,9 @@ ResultWriter::~ResultWriter() {
     if (file_ != nullptr) std::fclose(file_);
 }
 
-void ResultWriter::append(const JobRecord& record) {
+void ResultWriter::append(const JobRecord& record) { append_line(to_jsonl(record)); }
+
+void ResultWriter::append_line(const std::string& json_line) {
     // A previous append may have left an unterminated torn line (injected
     // fault or real short write). Terminate it first so the retried record
     // starts on its own line and the fragment stays a skipped torn line —
@@ -389,7 +391,7 @@ void ResultWriter::append(const JobRecord& record) {
         }
         dirty_ = false;
     }
-    const std::string line = to_jsonl(record) + "\n";
+    const std::string line = json_line + "\n";
     if (injector_ != nullptr) {
         switch (injector_->next_store_fault()) {
             case fi::Injector::StoreFault::none:

@@ -178,6 +178,13 @@ public:
     /// merges into the fragment (the reader skips the fragment as a torn
     /// line, same as a crash tail).
     void append(const JobRecord& record);
+
+    /// Appends one flushed pre-serialized JSONL line (no trailing newline).
+    /// Same fault seam, torn-tail bookkeeping and error contract as
+    /// append() — this is the raw unit append() is built on, exposed so
+    /// other layers (fleet campaign shards) can share the writer's
+    /// crash-safety semantics for their own record schemas.
+    void append_line(const std::string& json_line);
     const std::string& path() const { return path_; }
 
     /// Installs (or clears, with nullptr) the store-seam fault injector.

@@ -46,13 +46,22 @@ xp::Plan make_plan() {
     return xp::plan_spec(xp::parse_spec(kSpecText), attack::default_registry());
 }
 
-// Sanitizer instrumentation slows a healthy attempt ~10x, which would turn
+// Sanitizer instrumentation slows a healthy attempt down, which would turn
 // a tight watchdog budget into spurious timeouts (and burned attempts) on
 // jobs that never hung. Tests that pit a hang against a watchdog scale
 // BOTH so the intended relation — hang >> timeout >> honest attempt —
-// holds on every CI leg. Decision-only injector tests (no real sleeping)
-// stay unscaled.
-constexpr double kTimeScale = ropuf::core::sanitized_build() ? 10.0 : 1.0;
+// holds on every CI leg. The factor is per sanitizer: TSan costs ~5-15x
+// real time, ASan/UBSan ~2-3x — inflating ASan budgets by the TSan factor
+// made the chaos tests take far longer than needed and let an injected
+// hang fit inside an honest-attempt budget, weakening the invariant.
+// Decision-only injector tests (no real sleeping) stay unscaled.
+#if ROPUF_TSAN_ENABLED
+constexpr double kTimeScale = 10.0;
+#elif ROPUF_ASAN_ENABLED
+constexpr double kTimeScale = 3.0;
+#else
+constexpr double kTimeScale = 1.0;
+#endif
 
 struct ChaosRun {
     xp::RunStats stats;

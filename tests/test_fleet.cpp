@@ -1,0 +1,462 @@
+// ropuf::fleet — the device-population engine's contracts.
+//
+// The load-bearing properties, each pinned here:
+//   * order independence: a device manufactured / measured / enrolled alone
+//     is bit-identical to the same device inside any shard;
+//   * scheduler determinism: campaign output bytes (deterministic prefixes)
+//     are identical across {1, 2, 8} workers, under forced steal skew
+//     (fi job_hang), and across interrupted-then-resumed runs;
+//   * binary-store crash tolerance: truncating the store at EVERY byte
+//     offset of its tail record loses at most that record, the reader
+//     never throws, and a resumed writer rebuilds the clean file bitwise
+//     (the fixed-width mirror of test_xp_store's torn-line property);
+//   * fleet-scale: a 100k-device population enrolls and campaigns with
+//     shard-local memory, bitwise identical across worker counts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ropuf/fi/fault_plan.hpp"
+#include "ropuf/fi/injector.hpp"
+#include "ropuf/fleet/campaign.hpp"
+#include "ropuf/fleet/enroll.hpp"
+#include "ropuf/fleet/population.hpp"
+#include "ropuf/fleet/spec.hpp"
+#include "ropuf/fleet/stats.hpp"
+#include "ropuf/fleet/store.hpp"
+#include "ropuf/obs/metrics.hpp"
+#include "ropuf/xp/result_store.hpp"
+#include "ropuf/xp/sweep_spec.hpp"
+
+namespace {
+
+using namespace ropuf;
+
+// Three shards (64 + 64 + 32 devices), two wafers, noisy enough that some
+// reconstruction trials flip bits (the aggregate paths beyond "all ok" are
+// exercised), small enough for every sanitizer.
+constexpr const char* kSpecText =
+    "name            = fleet_test\n"
+    "devices         = 160\n"
+    "wafer_size      = 128\n"
+    "wafer_cols      = 16\n"
+    "geometry        = 8x4\n"
+    "key_bits        = 12\n"
+    "enroll_samples  = 5\n"
+    "majority_wins   = 3\n"
+    "trials          = 3\n"
+    "sigma_noise_mhz = 0.25\n"
+    "base_seed       = 99\n";
+
+std::string temp_path(const char* stem, const char* ext = ".jsonl") {
+    return testing::TempDir() + stem + std::to_string(::getpid()) + ext;
+}
+
+std::string read_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::string> deterministic_lines(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) lines.emplace_back(xp::deterministic_prefix(line));
+    }
+    return lines;
+}
+
+void enroll_into(const fleet::Population& population, const std::string& store_path) {
+    fleet::EnrollmentWriter writer(store_path, fleet::make_store_header(population.spec()),
+                                   /*truncate=*/true);
+    fleet::enroll_population(population, writer);
+    ASSERT_EQ(writer.next_device(), population.devices());
+}
+
+fleet::FleetRunStats run_campaign(const fleet::Population& population,
+                                  const std::string& store_path,
+                                  const std::string& results_path, int workers,
+                                  long long max_shards = -1,
+                                  fi::Injector* injector = nullptr) {
+    const fleet::EnrollmentMap enrollment(store_path);
+    xp::ResultWriter writer(results_path, /*truncate=*/false);
+    fleet::FleetCampaignOptions opts;
+    opts.workers = workers;
+    opts.max_shards = max_shards;
+    opts.injector = injector;
+    if (injector != nullptr) writer.set_fault_injector(injector);
+    return fleet::run_fleet_campaign(population, enrollment, writer, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing and content addressing
+// ---------------------------------------------------------------------------
+
+TEST(FleetSpec, CanonicalTextRoundTripsAndHashesStably) {
+    const fleet::FleetSpec spec = fleet::parse_fleet_spec(kSpecText);
+    EXPECT_EQ(spec.devices, 160u);
+    EXPECT_EQ(spec.ro_count(), 32);
+    EXPECT_EQ(spec.wafers(), 2u);
+    // Canonical form is a fixed point: parsing it back changes nothing.
+    const fleet::FleetSpec again = fleet::parse_fleet_spec(fleet::canonical_text(spec));
+    EXPECT_EQ(fleet::canonical_text(again), fleet::canonical_text(spec));
+    EXPECT_EQ(fleet::fleet_spec_hash(again), fleet::fleet_spec_hash(spec));
+    // The raw and hex forms of the hash agree.
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(fleet::fleet_spec_hash_u64(spec)));
+    EXPECT_EQ(fleet::fleet_spec_hash(spec), hex);
+}
+
+TEST(FleetSpec, RejectsInvalidPopulations) {
+    EXPECT_THROW((void)fleet::parse_fleet_spec("name = x\n"), xp::SpecError); // no devices
+    EXPECT_THROW((void)fleet::parse_fleet_spec("devices = 4\n"), xp::SpecError); // no name
+    EXPECT_THROW((void)fleet::parse_fleet_spec("name = x\ndevices = 4\nbogus_key = 1\n"),
+                 xp::SpecError);
+    EXPECT_THROW((void)fleet::parse_fleet_spec(
+                     "name = x\ndevices = 4\ndevices = 5\n"), // duplicate key
+                 xp::SpecError);
+    EXPECT_THROW((void)fleet::parse_fleet_spec(
+                     "name = x\ndevices = 4\ngeometry = 8x4\nkey_bits = 17\n"), // > pairs
+                 xp::SpecError);
+    EXPECT_THROW((void)fleet::parse_fleet_spec(
+                     "name = x\ndevices = 4\nmajority_wins = 4\n"), // even vote
+                 xp::SpecError);
+    EXPECT_THROW((void)fleet::parse_fleet_spec(
+                     "name = x\ndevices = 4\nwafer_size = 10\nwafer_cols = 4\n"),
+                 xp::SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// Population: order independence of manufacture, measurement, enrollment
+// ---------------------------------------------------------------------------
+
+TEST(FleetPopulation, DeviceMeasuresIdenticallyAloneAndInShard) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    // Device 70 sits mid-shard-1; measure it alone and as part of its shard.
+    const std::uint64_t d = 70;
+    std::vector<std::vector<double>> alone, shard;
+    population.manufacture_shard(d, 1, fleet::Population::Phase::campaign)
+        .measure_batch(sim::Condition{}, 9, alone);
+    population.manufacture_shard(64, 64, fleet::Population::Phase::campaign)
+        .measure_batch(sim::Condition{}, 9, shard);
+    ASSERT_EQ(alone.size(), 1u);
+    ASSERT_EQ(shard.size(), 64u);
+    EXPECT_EQ(alone[0], shard[d - 64]); // bitwise: streams key on the global id
+    // The enroll phase must draw different noise than the campaign phase.
+    std::vector<std::vector<double>> enroll_scans;
+    population.manufacture_shard(d, 1, fleet::Population::Phase::enroll)
+        .measure_batch(sim::Condition{}, 9, enroll_scans);
+    EXPECT_NE(alone[0], enroll_scans[0]);
+}
+
+TEST(FleetPopulation, WaferCoeffsSharedWithinAndDistinctAcrossWafers) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    const fleet::WaferCoeffs w0 = population.wafer_coeffs(0);
+    const fleet::WaferCoeffs w1 = population.wafer_coeffs(1);
+    EXPECT_NE(w0.grad_x_mhz, w1.grad_x_mhz);
+    // Devices 0 and 127 share wafer 0: identical shared tilt contribution.
+    EXPECT_EQ(population.wafer_of(0), 0u);
+    EXPECT_EQ(population.wafer_of(127), 0u);
+    EXPECT_EQ(population.wafer_of(128), 1u);
+    const sim::ProcessParams a = population.device_params(0);
+    const sim::ProcessParams b = population.device_params(1);
+    // Per-die residuals differ, but both carry the same wafer tilt: the
+    // difference of their gradients is die-level only, so it is bounded by
+    // a few die_grad sigmas while the wafer tilt itself can be much larger.
+    EXPECT_NE(a.gradient_x_mhz, b.gradient_x_mhz);
+}
+
+TEST(FleetEnroll, SingleDeviceEnrollmentMatchesShardedEnrollment) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    const std::string store_path = temp_path("enr", ".fleet");
+    enroll_into(population, store_path);
+    const fleet::EnrollmentMap store(store_path);
+    ASSERT_EQ(store.valid_records(), population.devices());
+    for (std::uint64_t d : {std::uint64_t{0}, std::uint64_t{63}, std::uint64_t{64},
+                            std::uint64_t{100}, std::uint64_t{159}}) {
+        const fleet::EnrollmentRecord alone = fleet::enroll_device(population, d);
+        const fleet::EnrollmentRecord stored = store.record(d);
+        EXPECT_EQ(stored.device, d);
+        EXPECT_EQ(alone.key_words, stored.key_words) << "device " << d;
+        EXPECT_EQ(alone.helper, stored.helper) << "device " << d;
+    }
+    std::remove(store_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Binary store: torn tails at every byte offset (the fixed-width mirror of
+// test_xp_store's torn-line property)
+// ---------------------------------------------------------------------------
+
+TEST(FleetStore, TruncationAtEveryTailOffsetLosesAtMostOneRecord) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    const std::string store_path = temp_path("torn", ".fleet");
+    enroll_into(population, store_path);
+    const std::string clean = read_bytes(store_path);
+    const std::size_t record_bytes =
+        fleet::record_bytes_for(population.spec().key_bits);
+    ASSERT_EQ(clean.size(), fleet::kStoreHeaderBytes + 160 * record_bytes);
+
+    // Cut the file at every offset inside the last record (including the
+    // empty cut): the reader must expose exactly the 159 intact records.
+    for (std::size_t cut = 0; cut < record_bytes; ++cut) {
+        write_bytes(store_path, clean.substr(0, clean.size() - record_bytes + cut));
+        const fleet::EnrollmentMap store(store_path);
+        EXPECT_EQ(store.valid_records(), 159u) << "cut " << cut;
+        EXPECT_EQ(store.torn_tail_bytes(), cut) << "cut " << cut;
+        EXPECT_EQ(store.record(158).device, 158u);
+    }
+
+    // Resume over a torn tail: the writer re-enrolls the lost record and
+    // the rebuilt file is byte-identical to the never-torn one.
+    write_bytes(store_path, clean.substr(0, clean.size() - record_bytes / 2));
+    {
+        fleet::EnrollmentWriter writer(store_path,
+                                       fleet::make_store_header(population.spec()));
+        EXPECT_EQ(writer.next_device(), 159u);
+        fleet::enroll_population(population, writer);
+        EXPECT_EQ(writer.next_device(), 160u);
+    }
+    EXPECT_EQ(read_bytes(store_path), clean);
+    std::remove(store_path.c_str());
+}
+
+TEST(FleetStore, CorruptedRecordTruncatesTheValidPrefix) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    const std::string store_path = temp_path("corrupt", ".fleet");
+    enroll_into(population, store_path);
+    std::string bytes = read_bytes(store_path);
+    const std::size_t record_bytes =
+        fleet::record_bytes_for(population.spec().key_bits);
+    // Flip one byte inside record 40: records 0..39 stay visible — a fleet
+    // campaign must never reconstruct against a checksum-failed enrollment.
+    bytes[fleet::kStoreHeaderBytes + 40 * record_bytes + 5] ^= 0x01;
+    write_bytes(store_path, bytes);
+    const fleet::EnrollmentMap store(store_path);
+    EXPECT_EQ(store.valid_records(), 40u);
+    std::remove(store_path.c_str());
+}
+
+TEST(FleetStore, ReopenRejectsAMismatchedSpec) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    const std::string store_path = temp_path("mismatch", ".fleet");
+    enroll_into(population, store_path);
+    fleet::FleetSpec other = population.spec();
+    other.base_seed = 1234; // different population, same shape
+    EXPECT_THROW(fleet::EnrollmentWriter(store_path, fleet::make_store_header(other)),
+                 xp::SpecError);
+    std::remove(store_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign: scheduler determinism
+// ---------------------------------------------------------------------------
+
+class FleetCampaignTest : public testing::Test {
+protected:
+    void SetUp() override {
+        population_ = std::make_unique<fleet::Population>(fleet::parse_fleet_spec(kSpecText));
+        store_path_ = temp_path("camp", ".fleet");
+        enroll_into(*population_, store_path_);
+    }
+    void TearDown() override {
+        obs::install(nullptr);
+        std::remove(store_path_.c_str());
+        for (const std::string& p : results_) std::remove(p.c_str());
+    }
+    std::string results_path(const char* stem) {
+        results_.push_back(temp_path(stem));
+        return results_.back();
+    }
+
+    std::unique_ptr<fleet::Population> population_;
+    std::string store_path_;
+    std::vector<std::string> results_;
+};
+
+TEST_F(FleetCampaignTest, OutputIsBitwiseIdenticalAcrossWorkerCounts) {
+    const std::string base = results_path("w1");
+    const auto s1 = run_campaign(*population_, store_path_, base, 1);
+    EXPECT_EQ(s1.executed, 3u);
+    EXPECT_EQ(s1.devices, 160u);
+    EXPECT_EQ(s1.trials, 480u);
+    EXPECT_FALSE(s1.stopped);
+    const auto lines = deterministic_lines(base);
+    ASSERT_EQ(lines.size(), 3u);
+    for (int workers : {2, 8}) {
+        const std::string path =
+            results_path(workers == 2 ? "w2" : "w8");
+        const auto stats = run_campaign(*population_, store_path_, path, workers);
+        EXPECT_EQ(stats.executed, 3u);
+        EXPECT_EQ(stats.devices_ok, s1.devices_ok);
+        EXPECT_EQ(stats.bit_errors, s1.bit_errors);
+        EXPECT_EQ(deterministic_lines(path), lines) << workers << " workers";
+    }
+    // The noisy spec exercises the non-trivial aggregate paths.
+    EXPECT_GT(s1.bit_errors, 0u);
+    EXPECT_LT(s1.devices_ok, s1.devices);
+}
+
+TEST_F(FleetCampaignTest, ForcedStealSkewDoesNotChangeTheBytes) {
+    const std::string base = results_path("nosteal");
+    (void)run_campaign(*population_, store_path_, base, 1);
+
+    // Hang the worker that owns shard 0 long enough that its remaining
+    // shard is stolen: steal-heavy and steal-free schedules must agree.
+    fi::Injector injector(fi::parse_fault_plan("seed(1);job_hang(ids=0,ms=400)"));
+    const std::string skew = results_path("steal");
+    const auto stats = run_campaign(*population_, store_path_, skew, 2,
+                                    /*max_shards=*/-1, &injector);
+    EXPECT_EQ(stats.executed, 3u);
+    EXPECT_GT(stats.steals, 0u);
+    EXPECT_EQ(deterministic_lines(skew), deterministic_lines(base));
+}
+
+TEST_F(FleetCampaignTest, MaxShardsQuotaThenResumeMatchesCleanRun) {
+    const std::string clean = results_path("clean");
+    (void)run_campaign(*population_, store_path_, clean, 2);
+
+    const std::string split = results_path("split");
+    const auto part = run_campaign(*population_, store_path_, split, 2, /*max_shards=*/1);
+    EXPECT_EQ(part.executed, 1u);
+    EXPECT_FALSE(part.stopped); // a quota cut is clean, not an interruption
+    const auto rest = run_campaign(*population_, store_path_, split, 2);
+    EXPECT_EQ(rest.skipped, 1u);
+    EXPECT_EQ(rest.executed, 2u);
+    const auto again = run_campaign(*population_, store_path_, split, 2);
+    EXPECT_EQ(again.skipped, 3u);
+    EXPECT_EQ(again.executed, 0u);
+    EXPECT_EQ(deterministic_lines(split), deterministic_lines(clean));
+}
+
+TEST_F(FleetCampaignTest, QuarantinedShardIsRecordedAndResumeRetriesIt) {
+    const std::string clean = results_path("qclean");
+    (void)run_campaign(*population_, store_path_, clean, 1);
+
+    fi::Injector injector(fi::parse_fault_plan("seed(1);job_throw(ids=1)"));
+    const std::string path = results_path("quar");
+    const auto stats = run_campaign(*population_, store_path_, path, 1,
+                                    /*max_shards=*/-1, &injector);
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_EQ(stats.failed, 1u);
+    bool saw_quarantine = false;
+    for (const auto& line : deterministic_lines(path)) {
+        if (line.find("\"outcome\":\"job_failed\"") != std::string::npos) {
+            saw_quarantine = true;
+        }
+    }
+    EXPECT_TRUE(saw_quarantine);
+
+    // Resume re-runs only the failed shard; the ok records then match the
+    // clean run's (the quarantine line remains as history, like xp).
+    const auto resumed = run_campaign(*population_, store_path_, path, 1);
+    EXPECT_EQ(resumed.skipped, 2u);
+    EXPECT_EQ(resumed.executed, 1u);
+    std::vector<std::string> ok_lines;
+    for (const auto& line : deterministic_lines(path)) {
+        if (line.find("\"outcome\":\"ok\"") != std::string::npos) ok_lines.push_back(line);
+    }
+    std::sort(ok_lines.begin(), ok_lines.end());
+    auto clean_lines = deterministic_lines(clean);
+    std::sort(clean_lines.begin(), clean_lines.end());
+    EXPECT_EQ(ok_lines, clean_lines);
+}
+
+TEST_F(FleetCampaignTest, PublishesSchedulerAndPopulationCounters) {
+    obs::Registry reg;
+    obs::install(&reg);
+    const std::string path = results_path("obs");
+    const auto stats = run_campaign(*population_, store_path_, path, 2);
+    obs::install(nullptr);
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter_or("fleet.shards_done", 0.0), 3.0);
+    EXPECT_EQ(snap.counter_or("fleet.devices_done", 0.0), 160.0);
+    EXPECT_EQ(snap.counter_or("xp.jobs_done", 0.0), 3.0);
+    EXPECT_EQ(snap.counter_or("campaign.trials", 0.0), 480.0);
+    EXPECT_EQ(snap.gauge_or("xp.jobs_total", 0.0), 3.0);
+    EXPECT_EQ(stats.executed, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Population stats
+// ---------------------------------------------------------------------------
+
+TEST(FleetStats, InvariantsHoldOnAnEnrolledPopulation) {
+    const fleet::Population population(fleet::parse_fleet_spec(kSpecText));
+    const std::string store_path = temp_path("stats", ".fleet");
+    enroll_into(population, store_path);
+    const fleet::EnrollmentMap store(store_path);
+    const fleet::PopulationStats s = fleet::population_stats(store);
+    EXPECT_EQ(s.devices, 160u);
+    EXPECT_EQ(s.key_bits, 12u);
+    EXPECT_GT(s.key_entropy_bits, 0.0);
+    EXPECT_LE(s.key_entropy_bits, 12.0);
+    EXPECT_GE(s.min_bit_entropy, 0.0);
+    EXPECT_LE(s.min_bit_entropy, 1.0);
+    ASSERT_EQ(s.bit_ones.size(), 12u);
+    EXPECT_EQ(s.helper_collision_devices, s.devices - s.distinct_helpers);
+    EXPECT_GE(s.largest_helper_group, s.largest_break_group);
+    const std::string rendered = fleet::render_population_stats(s);
+    EXPECT_NE(rendered.find("key entropy"), std::string::npos);
+    std::remove(store_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet scale: 100k devices, O(shard) memory, worker-count independent
+// ---------------------------------------------------------------------------
+
+TEST(FleetScale, HundredThousandDevicesCampaignBitwiseAcrossWorkers) {
+    const fleet::FleetSpec spec = fleet::parse_fleet_spec(
+        "name            = fleet_scale\n"
+        "devices         = 100000\n"
+        "wafer_size      = 256\n"
+        "wafer_cols      = 16\n"
+        "geometry        = 8x4\n"
+        "key_bits        = 12\n"
+        "enroll_samples  = 5\n"
+        "majority_wins   = 3\n"
+        "trials          = 3\n"
+        "sigma_noise_mhz = 0.05\n"
+        "base_seed       = 7\n");
+    const fleet::Population population(spec);
+    const std::string store_path = temp_path("scale", ".fleet");
+    enroll_into(population, store_path);
+    {
+        const fleet::EnrollmentMap store(store_path);
+        EXPECT_EQ(store.valid_records(), 100000u);
+    }
+    const std::string a = temp_path("scale_w1");
+    const std::string b = temp_path("scale_w2");
+    const auto s1 = run_campaign(population, store_path, a, 1);
+    const auto s2 = run_campaign(population, store_path, b, 2);
+    EXPECT_EQ(s1.executed, 1563u);
+    EXPECT_EQ(s1.devices, 100000u);
+    EXPECT_EQ(s1.trials, 300000u);
+    EXPECT_EQ(s2.devices_ok, s1.devices_ok);
+    EXPECT_EQ(s2.bit_errors, s1.bit_errors);
+    EXPECT_EQ(deterministic_lines(a), deterministic_lines(b));
+    std::remove(store_path.c_str());
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+} // namespace

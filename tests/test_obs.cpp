@@ -386,6 +386,43 @@ TEST_F(ObsTest, ProgressHeartbeatWritesToItsStream) {
     std::remove(path.c_str());
 }
 
+TEST_F(ObsTest, ProgressResumeEtaMatchesFreshRunRate) {
+    // Regression: a resumed run credits its skip set into xp.jobs_done in
+    // one pre-loop burst (uniform accounting). The EMA rate basis must
+    // subtract xp.jobs_skipped, or the first moving tick of a resumed run
+    // reads the burst as throughput and the ETA collapses toward zero.
+    //
+    // Fresh run: 0 of 100 done, then 5 jobs land in one 1 s tick.
+    obs::Registry fresh;
+    fresh.set(fresh.gauge("xp.jobs_total"), 100.0);
+    obs::ProgressReporter fresh_reporter(fresh);
+    fresh_reporter.observe(fresh.snapshot(), 0.0); // baseline tick
+    fresh.add(fresh.counter("xp.jobs_done"), 5.0);
+    fresh_reporter.observe(fresh.snapshot(), 1.0);
+    const std::string fresh_line = fresh_reporter.render(fresh.snapshot());
+
+    // Resumed run on the same host: 60 jobs already complete (credited to
+    // both counters at dispatch), then the same 5 executed jobs in 1 s.
+    obs::Registry resumed;
+    resumed.set(resumed.gauge("xp.jobs_total"), 100.0);
+    resumed.add(resumed.counter("xp.jobs_done"), 60.0);
+    resumed.add(resumed.counter("xp.jobs_skipped"), 60.0);
+    obs::ProgressReporter resumed_reporter(resumed);
+    resumed_reporter.observe(resumed.snapshot(), 0.0); // baseline tick
+    resumed.add(resumed.counter("xp.jobs_done"), 5.0);
+    resumed_reporter.observe(resumed.snapshot(), 1.0);
+    const std::string resumed_line = resumed_reporter.render(resumed.snapshot());
+
+    // Both runs executed 5 jobs in 1 s: identical rate, and the resumed
+    // ETA is remaining / that real rate (35 / 5 = 7 s), not a figure
+    // computed from the 60-job credit burst.
+    EXPECT_NE(fresh_line.find("5.0 job/s"), std::string::npos) << fresh_line;
+    EXPECT_NE(resumed_line.find("5.0 job/s"), std::string::npos) << resumed_line;
+    EXPECT_NE(fresh_line.find("eta 0:19"), std::string::npos) << fresh_line;    // 95/5
+    EXPECT_NE(resumed_line.find("eta 0:07"), std::string::npos) << resumed_line; // 35/5
+    EXPECT_NE(resumed_line.find("jobs 65/100"), std::string::npos) << resumed_line;
+}
+
 // ---------------------------------------------------------------------------
 // The determinism + overhead contract, end to end
 // ---------------------------------------------------------------------------

@@ -30,11 +30,22 @@ zero-overhead guard, where the variant is the identically-shaped
 benchmark run with a metrics registry installed. --baseline is not
 consulted in this mode.
 
+Core-count policy: campaign scaling benches (names under "campaign/")
+measure multi-worker throughput, which scales with the host's core count —
+a w4 figure from a 4-core host versus a 1-core host is a hardware diff,
+not a regression. When any guarded benchmark is a campaign bench, the
+baseline and current files must have been recorded on the same logical
+core count (context.hardware_concurrency for campaign files, num_cpus for
+google-benchmark files); a mismatch is a hard error. CI runners with
+drifting shapes can pass --skip-on-core-mismatch to turn the refusal into
+a loud warning + clean exit — a skipped comparison, never a wrong one.
+
 Usage:
   check_bench_regression.py --baseline BENCH_micro.baseline.json \
       --current BENCH_micro.json --max-drop 0.30
   # default guarded set: BM_RoArrayBatchedScan, BM_SimdMeasure,
-  # BM_MajorityVote, BM_BchSyndrome; override with repeated --benchmark
+  # BM_MajorityVote, BM_BchSyndrome, BM_FleetMeasure; override with
+  # repeated --benchmark
   check_bench_regression.py --baseline a.json --current b.json \
       --benchmark campaign/
   # obs overhead guard (within-file pairing):
@@ -52,6 +63,7 @@ DEFAULT_PREFIXES = [
     "BM_SimdMeasure",
     "BM_MajorityVote",
     "BM_BchSyndrome",
+    "BM_FleetMeasure",
 ]
 
 
@@ -83,6 +95,14 @@ def load(path, allow_debug):
             "Re-record with ROPUF_SANITIZE=none."
         )
     return data
+
+
+def core_count(data):
+    """Logical cores the file was recorded on. The campaign runner stamps
+    context.hardware_concurrency; google-benchmark stamps num_cpus."""
+    ctx = data.get("context", {})
+    cores = ctx.get("hardware_concurrency", ctx.get("num_cpus"))
+    return int(cores) if cores is not None else None
 
 
 def throughputs(data, prefixes):
@@ -165,6 +185,11 @@ def main():
                         help="maximum allowed fractional throughput drop")
     parser.add_argument("--allow-debug", action="store_true",
                         help="permit figures recorded from debug builds")
+    parser.add_argument("--skip-on-core-mismatch", action="store_true",
+                        help="when campaign scaling benches are guarded and "
+                             "the baseline/current core counts differ, warn "
+                             "loudly and exit 0 instead of failing (CI "
+                             "escape for runner-shape drift)")
     parser.add_argument("--compare", metavar="BASE_PREFIX",
                         help="within-file mode: base benchmark name prefix")
     parser.add_argument("--with-prefix", metavar="VARIANT_PREFIX",
@@ -180,9 +205,34 @@ def main():
         parser.error("--baseline is required (unless using --compare)")
     prefixes = args.benchmark if args.benchmark else DEFAULT_PREFIXES
 
-    base = throughputs(load(args.baseline, args.allow_debug), prefixes)
-    curr = throughputs(load(args.current, args.allow_debug), prefixes)
+    base_data = load(args.baseline, args.allow_debug)
+    curr_data = load(args.current, args.allow_debug)
+    base = throughputs(base_data, prefixes)
+    curr = throughputs(curr_data, prefixes)
     common = sorted(set(base) & set(curr))
+
+    # Campaign scaling benches are only comparable between equal-core hosts:
+    # measurements_per_s at w>1 scales with physical parallelism, so a core
+    # count diff would surface as a phantom regression (or mask a real one).
+    if any(name.startswith("campaign/") for name in set(base) | set(curr)):
+        base_cores, curr_cores = core_count(base_data), core_count(curr_data)
+        if base_cores is None or curr_cores is None or base_cores != curr_cores:
+            msg = (
+                f"campaign scaling benches recorded on different core counts: "
+                f"baseline {args.baseline} has "
+                f"{base_cores if base_cores is not None else 'no core stamp'}, "
+                f"current {args.current} has "
+                f"{curr_cores if curr_cores is not None else 'no core stamp'}. "
+                "Multi-worker throughput scales with the host shape, so this "
+                "comparison would measure hardware, not code. Re-record the "
+                "baseline on a matching host."
+            )
+            if args.skip_on_core_mismatch:
+                print(f"WARNING: {msg}")
+                print("SKIPPED: core-count mismatch — no comparison performed "
+                      "(--skip-on-core-mismatch)")
+                return
+            sys.exit(f"ERROR: {msg} (or pass --skip-on-core-mismatch in CI)")
     # A guarded prefix that matches nothing in common is itself an error:
     # a silently renamed or dropped benchmark must not pass as "no data".
     missing = [

@@ -8,6 +8,12 @@
 //   ropuf report <results> --matrix    attack x defense outcome matrix
 //   ropuf report <results> --timings   wall-time percentiles + retry histogram
 //
+//   ropuf fleet info <spec>            canonical fleet spec, hash, shard table
+//   ropuf fleet enroll <spec>          manufacture + enroll into a binary store
+//   ropuf fleet campaign <spec>        work-stealing campaign over the store
+//   ropuf fleet resume <spec> <res>    run exactly the missing shards
+//   ropuf fleet stats <store>          population entropy / collision metrics
+//
 // run/resume options:
 //   -o <file>            results path (default: <spec name>.jsonl)
 //   --workers <n>        campaign worker threads (0 = hardware concurrency)
@@ -40,6 +46,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -49,6 +56,12 @@
 #include "ropuf/defense/registry.hpp"
 #include "ropuf/fi/fault_plan.hpp"
 #include "ropuf/fi/injector.hpp"
+#include "ropuf/fleet/campaign.hpp"
+#include "ropuf/fleet/enroll.hpp"
+#include "ropuf/fleet/population.hpp"
+#include "ropuf/fleet/spec.hpp"
+#include "ropuf/fleet/stats.hpp"
+#include "ropuf/fleet/store.hpp"
 #include "ropuf/obs/metrics.hpp"
 #include "ropuf/obs/progress.hpp"
 #include "ropuf/obs/trace.hpp"
@@ -73,6 +86,12 @@ int usage(std::FILE* out) {
         "  report <results> --matrix  render the attack x defense outcome matrix\n"
         "  report <results> --timings render wall-time percentiles + retry histogram\n"
         "\n"
+        "  fleet info <spec>          canonical fleet spec, hash & shard table\n"
+        "  fleet enroll <spec>        manufacture + enroll the population store\n"
+        "  fleet campaign <spec>      reconstruction campaign over the store\n"
+        "  fleet resume <spec> <res>  complete the shards missing from <res>\n"
+        "  fleet stats <store>        population entropy / collision metrics\n"
+        "\n"
         "run/resume options:\n"
         "  -o <file>            results path (run only; default <spec name>.jsonl)\n"
         "  --workers <n>        campaign worker threads (0 = hardware concurrency)\n"
@@ -85,6 +104,10 @@ int usage(std::FILE* out) {
         "  --progress           live status line on stderr (auto-on for a TTY;\n"
         "                       --no-progress suppresses)\n"
         "  --trace-out <file>   write Chrome trace-event JSON (Perfetto-loadable)\n"
+        "\n"
+        "fleet enroll/campaign/resume options (plus the above where they apply):\n"
+        "  --store <file>       enrollment store path (default <spec name>.fleet)\n"
+        "  --max-shards <n>     campaign: dispatch at most n pending shards\n"
         "\n"
         "exit codes: 0 done, 1 error, 2 usage,\n"
         "            3 incomplete but resumable (interrupt/abort/quarantine)\n",
@@ -105,6 +128,8 @@ struct CliOptions {
     bool progress = false;     ///< --progress: force the live status line on
     bool no_progress = false;  ///< --no-progress: suppress even on a TTY
     std::string trace_out;     ///< --trace-out: Chrome trace JSON path
+    std::string store;         ///< fleet: --store enrollment store path
+    int max_shards = -1;       ///< fleet: --max-shards dispatch quota (-1 = all)
 };
 
 /// Whole-token integer parse: "abc" and "3x" must be errors, never a
@@ -121,7 +146,8 @@ bool parse_int_arg(const std::string& token, const char* what, int* out) {
     return true;
 }
 
-bool parse_options(const std::vector<std::string>& args, std::size_t start, CliOptions& opts) {
+bool parse_options(const std::vector<std::string>& args, std::size_t start, CliOptions& opts,
+                   bool fleet = false) {
     for (std::size_t i = start; i < args.size(); ++i) {
         const std::string& arg = args[i];
         const auto next = [&](const char* what) -> const std::string* {
@@ -173,6 +199,15 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start, CliO
             const std::string* v = next("--trace-out");
             if (v == nullptr) return false;
             opts.trace_out = *v;
+        } else if (fleet && arg == "--store") {
+            const std::string* v = next("--store");
+            if (v == nullptr) return false;
+            opts.store = *v;
+        } else if (fleet && arg == "--max-shards") {
+            const std::string* v = next("--max-shards");
+            if (v == nullptr || !parse_int_arg(*v, "--max-shards", &opts.max_shards)) {
+                return false;
+            }
         } else {
             std::fprintf(stderr, "ropuf: unknown option '%s'\n", arg.c_str());
             return false;
@@ -241,11 +276,79 @@ int cmd_plan(const std::string& spec_path) {
 
 std::string default_output(const xp::SweepSpec& spec) { return spec.name + ".jsonl"; }
 
+/// Observability scaffolding shared by every run-style command (xp run /
+/// resume and the fleet verbs): metrics registry, optional Chrome trace,
+/// optional live progress line. The registry goes in when any obs surface
+/// is wanted; progress auto-enables on a TTY stderr. The destructor is the
+/// teardown guard — it uninstalls the process-wide pointers on every exit
+/// path (including a thrown fatal store error) before the sink/registry
+/// objects die.
+struct ObsSession {
+    std::unique_ptr<obs::Registry> metrics;
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    std::unique_ptr<obs::ProgressReporter> reporter;
+
+    explicit ObsSession(const CliOptions& opts) {
+        const bool progress_live =
+            !opts.no_progress && (opts.progress || isatty(fileno(stderr)) != 0);
+        const bool obs_on = opts.obs || progress_live || !opts.trace_out.empty();
+        if (obs_on) {
+            metrics = std::make_unique<obs::Registry>();
+            obs::install(metrics.get());
+        }
+        if (!opts.trace_out.empty()) {
+            trace_sink = std::make_unique<obs::TraceSink>(opts.trace_out);
+            obs::install_trace(trace_sink.get());
+        }
+        if (progress_live) {
+            reporter = std::make_unique<obs::ProgressReporter>(*metrics);
+            reporter->start();
+        }
+    }
+    ~ObsSession() {
+        if (reporter != nullptr) reporter->stop();
+        obs::install_trace(nullptr);
+        obs::install(nullptr);
+    }
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    /// Emits the final progress line and flushes the trace — call before
+    /// printing the run summary (stop() is idempotent, so the destructor
+    /// re-running teardown is harmless).
+    void finish() {
+        if (reporter != nullptr) reporter->stop();
+        obs::install_trace(nullptr);
+        if (trace_sink != nullptr) {
+            if (trace_sink->close()) {
+                std::printf("trace: %s (%zu events%s)\n", trace_sink->path().c_str(),
+                            trace_sink->events(),
+                            trace_sink->dropped() > 0 ? ", capped" : "");
+            } else {
+                std::fprintf(stderr, "ropuf: warning: failed to write trace file %s\n",
+                             trace_sink->path().c_str());
+            }
+        }
+    }
+};
+
 bool file_exists(const std::string& path) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) return false;
     std::fclose(f);
     return true;
+}
+
+/// Fault plan resolution: --fi wins (even --fi none, to silence the env),
+/// else $ROPUF_FI, else none.
+fi::FaultPlan resolve_fault_plan(const CliOptions& opts) {
+    std::string fi_text;
+    if (opts.fi_given) {
+        fi_text = opts.fi_plan;
+    } else if (const char* env = std::getenv("ROPUF_FI"); env != nullptr) {
+        fi_text = env;
+    }
+    return fi::parse_fault_plan(fi_text);
 }
 
 int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
@@ -263,16 +366,9 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
         return 1;
     }
 
-    // Fault plan: --fi wins (even --fi none, to silence the env), else
-    // $ROPUF_FI, else none. Parsed before the writer opens so a bad plan
-    // fails fast without touching the results file.
-    std::string fi_text;
-    if (opts.fi_given) {
-        fi_text = opts.fi_plan;
-    } else if (const char* env = std::getenv("ROPUF_FI"); env != nullptr) {
-        fi_text = env;
-    }
-    const fi::FaultPlan fault_plan = fi::parse_fault_plan(fi_text);
+    // Parsed before the writer opens so a bad plan fails fast without
+    // touching the results file.
+    const fi::FaultPlan fault_plan = resolve_fault_plan(opts);
     fi::Injector injector(fault_plan);
 
     xp::ResultWriter writer(results_path, /*truncate=*/false);
@@ -289,36 +385,7 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
     xp::install_sigint_handler();
     run_opts.stop = &xp::sigint_stop_flag();
 
-    // Observability: the registry goes in when any obs surface is wanted;
-    // progress auto-enables on a TTY stderr. The teardown guard uninstalls
-    // the process-wide pointers on every exit path (including a thrown
-    // fatal store error) before the sink/registry objects die.
-    const bool progress_live =
-        !opts.no_progress && (opts.progress || isatty(fileno(stderr)) != 0);
-    const bool obs_on = opts.obs || progress_live || !opts.trace_out.empty();
-    std::unique_ptr<obs::Registry> metrics;
-    std::unique_ptr<obs::TraceSink> trace_sink;
-    std::unique_ptr<obs::ProgressReporter> reporter;
-    struct ObsTeardown {
-        std::unique_ptr<obs::ProgressReporter>& reporter;
-        ~ObsTeardown() {
-            if (reporter != nullptr) reporter->stop();
-            obs::install_trace(nullptr);
-            obs::install(nullptr);
-        }
-    } obs_teardown{reporter};
-    if (obs_on) {
-        metrics = std::make_unique<obs::Registry>();
-        obs::install(metrics.get());
-    }
-    if (!opts.trace_out.empty()) {
-        trace_sink = std::make_unique<obs::TraceSink>(opts.trace_out);
-        obs::install_trace(trace_sink.get());
-    }
-    if (progress_live) {
-        reporter = std::make_unique<obs::ProgressReporter>(*metrics);
-        reporter->start();
-    }
+    ObsSession obs_session(opts);
 
     std::printf("spec %s  hash %s  %zu jobs -> %s%s\n", plan.spec_name.c_str(),
                 plan.hash.c_str(), plan.jobs.size(), results_path.c_str(),
@@ -332,18 +399,7 @@ int run_or_resume(const xp::SweepSpec& spec, const std::string& spec_path,
     }
     const xp::RunStats stats = xp::execute_plan(plan, attack::default_registry(), skip, writer,
                                                 run_opts);
-    if (reporter != nullptr) reporter->stop(); // final line before the summary
-    obs::install_trace(nullptr);
-    if (trace_sink != nullptr) {
-        if (trace_sink->close()) {
-            std::printf("trace: %s (%zu events%s)\n", trace_sink->path().c_str(),
-                        trace_sink->events(),
-                        trace_sink->dropped() > 0 ? ", capped" : "");
-        } else {
-            std::fprintf(stderr, "ropuf: warning: failed to write trace file %s\n",
-                         trace_sink->path().c_str());
-        }
-    }
+    obs_session.finish(); // final progress line + trace before the summary
     std::printf("done: %d executed, %d skipped, %d quarantined, %d total\n", stats.executed,
                 stats.skipped, stats.failed, stats.total);
     if (stats.retries > 0 || stats.store_retries > 0) {
@@ -385,6 +441,242 @@ int cmd_report(const std::string& results_path, bool matrix, bool timings) {
     return 0;
 }
 
+// --------------------------------------------------------------- fleet
+
+std::string default_store(const fleet::FleetSpec& spec) { return spec.name + ".fleet"; }
+
+/// --workers semantics shared with xp: 0 = hardware concurrency.
+int resolved_workers(int workers) {
+    if (workers > 0) return workers;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int cmd_fleet_info(const std::string& spec_path) {
+    const fleet::FleetSpec spec = fleet::load_fleet_spec_file(spec_path);
+    const fleet::Population population(spec);
+    std::printf("fleet %s  hash %s\n", spec.name.c_str(),
+                fleet::fleet_spec_hash(spec).c_str());
+    std::printf("%llu devices on %u wafer(s) of %u (%u x %u dies), %dx%d ROs, key %d bits\n",
+                static_cast<unsigned long long>(spec.devices), spec.wafers(), spec.wafer_size,
+                spec.wafer_cols, spec.wafer_size / spec.wafer_cols, spec.cols, spec.rows,
+                spec.key_bits);
+    std::printf("%llu campaign shard(s) of %zu devices; %d trial(s) x %d scan(s) per device\n",
+                static_cast<unsigned long long>(shard_count(population)),
+                fleet::kShardDevices, spec.trials, spec.majority_wins);
+    const double store_mib =
+        static_cast<double>(fleet::kStoreHeaderBytes +
+                            fleet::record_bytes_for(spec.key_bits) * spec.devices) /
+        (1024.0 * 1024.0);
+    std::printf("store: %zu bytes/record, %.1f MiB fully enrolled\n\n%s",
+                fleet::record_bytes_for(spec.key_bits), store_mib,
+                fleet::canonical_text(spec).c_str());
+    return 0;
+}
+
+int cmd_fleet_stats(const std::string& store_path) {
+    const fleet::EnrollmentMap store(store_path);
+    std::printf("store %s  spec hash %016llx\n", store_path.c_str(),
+                static_cast<unsigned long long>(store.header().spec_hash));
+    if (store.torn_tail_bytes() > 0) {
+        std::fprintf(stderr,
+                     "ropuf: warning: ignoring %llu torn tail byte(s) — rerun fleet enroll\n",
+                     static_cast<unsigned long long>(store.torn_tail_bytes()));
+    }
+    if (store.valid_records() < store.header().devices) {
+        std::printf("note: partial store — %llu of %llu devices enrolled\n",
+                    static_cast<unsigned long long>(store.valid_records()),
+                    static_cast<unsigned long long>(store.header().devices));
+    }
+    std::printf("%s", fleet::render_population_stats(fleet::population_stats(store)).c_str());
+    return 0;
+}
+
+int cmd_fleet_enroll(const std::string& spec_path, const CliOptions& opts) {
+    const fleet::FleetSpec spec = fleet::load_fleet_spec_file(spec_path);
+    const fleet::Population population(spec);
+    const std::string store_path = opts.store.empty() ? default_store(spec) : opts.store;
+
+    const fi::FaultPlan fault_plan = resolve_fault_plan(opts);
+    fi::Injector injector(fault_plan);
+
+    // truncate=false: reopening an existing store resumes at the first
+    // missing (or torn) record — enroll is naturally idempotent.
+    fleet::EnrollmentWriter writer(store_path, fleet::make_store_header(spec));
+    if (!fault_plan.empty()) writer.set_fault_injector(&injector);
+    xp::install_sigint_handler();
+    const std::atomic<bool>& stop = xp::sigint_stop_flag();
+
+    ObsSession obs_session(opts);
+    const std::uint64_t start = writer.next_device();
+    std::printf("fleet %s  hash %s  %llu devices -> %s%s\n", spec.name.c_str(),
+                fleet::fleet_spec_hash(spec).c_str(),
+                static_cast<unsigned long long>(spec.devices), store_path.c_str(),
+                start > 0 ? " (resume)" : "");
+    if (!fault_plan.empty()) {
+        std::printf("fault plan %s  %s\n", fi::fault_plan_hash(fault_plan).c_str(),
+                    fi::canonical_fault_plan(fault_plan).c_str());
+    }
+    if (start > 0) {
+        std::printf("resume: %llu device(s) already enrolled, skipping\n",
+                    static_cast<unsigned long long>(start));
+    }
+
+    int store_retries = 0;
+    int consecutive_faults = 0;
+    while (writer.next_device() < spec.devices && !stop.load()) {
+        const std::uint64_t before = writer.next_device();
+        try {
+            fleet::enroll_population(population, writer, &stop);
+        } catch (const fi::InjectedFault& e) {
+            // Store fault: the writer has re-seeked to the record boundary,
+            // so retrying overwrites the torn bytes. Give up only when no
+            // record at all lands within the attempt budget.
+            ++store_retries;
+            consecutive_faults = writer.next_device() > before ? 1 : consecutive_faults + 1;
+            if (consecutive_faults >= opts.max_attempts) {
+                obs_session.finish();
+                std::fprintf(stderr, "ropuf: store fault persisted across %d attempts: %s\n",
+                             consecutive_faults, e.what());
+                return 1;
+            }
+        }
+    }
+    obs_session.finish();
+    const std::uint64_t done = writer.next_device();
+    std::printf("done: %llu enrolled, %llu skipped, %llu total\n",
+                static_cast<unsigned long long>(done - start),
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(spec.devices));
+    if (store_retries > 0) {
+        std::printf("fault tolerance: %d store append retr%s\n", store_retries,
+                    store_retries == 1 ? "y" : "ies");
+    }
+    if (done < spec.devices) {
+        std::printf("interrupted: %llu device(s) remain — rerun 'ropuf fleet enroll %s'\n",
+                    static_cast<unsigned long long>(spec.devices - done), spec_path.c_str());
+        return 3;
+    }
+    return 0;
+}
+
+int fleet_run_or_resume(const std::string& spec_path, const CliOptions& opts, bool resume,
+                        const std::string& results_arg) {
+    const fleet::FleetSpec spec = fleet::load_fleet_spec_file(spec_path);
+    const fleet::Population population(spec);
+    const std::string store_path = opts.store.empty() ? default_store(spec) : opts.store;
+    const std::string results_path =
+        resume ? results_arg : (opts.output.empty() ? spec.name + ".jsonl" : opts.output);
+
+    if (!resume && file_exists(results_path)) {
+        std::fprintf(stderr,
+                     "ropuf: %s already exists — use 'ropuf fleet resume %s %s' to complete "
+                     "it, or a fresh -o path\n",
+                     results_path.c_str(), spec_path.c_str(), results_path.c_str());
+        return 1;
+    }
+
+    const fi::FaultPlan fault_plan = resolve_fault_plan(opts);
+    fi::Injector injector(fault_plan);
+
+    const fleet::EnrollmentMap enrollment(store_path);
+    xp::ResultWriter writer(results_path, /*truncate=*/false);
+    fleet::FleetCampaignOptions run_opts;
+    run_opts.workers = resolved_workers(opts.workers);
+    run_opts.max_shards = opts.max_shards;
+    if (!fault_plan.empty()) {
+        run_opts.injector = &injector;
+        writer.set_fault_injector(&injector);
+    }
+    xp::install_sigint_handler();
+    run_opts.stop = &xp::sigint_stop_flag();
+
+    ObsSession obs_session(opts);
+    std::printf("fleet %s  hash %s  %llu shard(s) x %zu devices -> %s%s\n", spec.name.c_str(),
+                fleet::fleet_spec_hash(spec).c_str(),
+                static_cast<unsigned long long>(shard_count(population)),
+                fleet::kShardDevices, results_path.c_str(), resume ? " (resume)" : "");
+    if (!fault_plan.empty()) {
+        std::printf("fault plan %s  %s\n", fi::fault_plan_hash(fault_plan).c_str(),
+                    fi::canonical_fault_plan(fault_plan).c_str());
+    }
+    const fleet::FleetRunStats stats =
+        fleet::run_fleet_campaign(population, enrollment, writer, run_opts);
+    obs_session.finish();
+    std::printf("done: %llu executed, %llu skipped, %llu quarantined, %llu total shards\n",
+                static_cast<unsigned long long>(stats.executed),
+                static_cast<unsigned long long>(stats.skipped),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.total_shards));
+    if (stats.devices > 0) {
+        std::printf("population: %llu/%llu devices all-trials-ok, %llu/%llu trials ok, "
+                    "%llu bit error(s)\n",
+                    static_cast<unsigned long long>(stats.devices_ok),
+                    static_cast<unsigned long long>(stats.devices),
+                    static_cast<unsigned long long>(stats.trials_ok),
+                    static_cast<unsigned long long>(stats.trials),
+                    static_cast<unsigned long long>(stats.bit_errors));
+    }
+    if (stats.steals > 0 || stats.store_faults > 0) {
+        std::printf("scheduler: %llu stolen shard(s), %llu store fault(s)\n",
+                    static_cast<unsigned long long>(stats.steals),
+                    static_cast<unsigned long long>(stats.store_faults));
+    }
+    if (stats.stopped) std::printf("interrupted: stopped on SIGINT, results flushed\n");
+    const std::uint64_t remaining =
+        stats.total_shards - stats.skipped - stats.executed;
+    if (remaining > 0) {
+        std::printf("note: %llu shard(s) remain — rerun 'ropuf fleet resume %s %s'\n",
+                    static_cast<unsigned long long>(remaining), spec_path.c_str(),
+                    results_path.c_str());
+    }
+    // Same contract as xp run: a --max-shards quota hit cleanly still exits
+    // 0; only interrupt or quarantine signals "incomplete but resumable".
+    return (stats.stopped || stats.failed > 0) ? 3 : 0;
+}
+
+int cmd_fleet(const std::vector<std::string>& args) {
+    if (args.size() < 2) return usage(stderr);
+    const std::string& verb = args[1];
+    if (verb == "info") {
+        if (args.size() != 3) return usage(stderr);
+        return cmd_fleet_info(args[2]);
+    }
+    if (verb == "stats") {
+        if (args.size() != 3) return usage(stderr);
+        return cmd_fleet_stats(args[2]);
+    }
+    if (verb == "enroll") {
+        if (args.size() < 3) return usage(stderr);
+        CliOptions opts;
+        if (!parse_options(args, 3, opts, /*fleet=*/true)) return 2;
+        return cmd_fleet_enroll(args[2], opts);
+    }
+    if (verb == "campaign") {
+        if (args.size() < 3) return usage(stderr);
+        CliOptions opts;
+        if (!parse_options(args, 3, opts, /*fleet=*/true)) return 2;
+        return fleet_run_or_resume(args[2], opts, /*resume=*/false, "");
+    }
+    if (verb == "resume") {
+        if (args.size() < 4) return usage(stderr);
+        CliOptions opts;
+        if (!parse_options(args, 4, opts, /*fleet=*/true)) return 2;
+        if (!opts.output.empty()) {
+            std::fprintf(stderr,
+                         "ropuf: fleet resume writes to its positional results file; -o is "
+                         "not accepted\n");
+            return 2;
+        }
+        return fleet_run_or_resume(args[2], opts, /*resume=*/true, args[3]);
+    }
+    std::fprintf(stderr, "ropuf: %s\n",
+                 core::unknown_name_message(
+                     "fleet verb", verb, {"info", "enroll", "campaign", "resume", "stats"})
+                     .c_str());
+    return usage(stderr);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -419,6 +711,7 @@ int main(int argc, char** argv) {
             return run_or_resume(xp::load_spec_file(args[1]), args[1], opts, /*resume=*/true,
                                  args[2]);
         }
+        if (command == "fleet") return cmd_fleet(args);
         if (command == "report") {
             bool matrix = false;
             bool timings = false;
@@ -440,7 +733,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ropuf: %s\n",
                      ropuf::core::unknown_name_message(
                          "command", command,
-                         {"list", "plan", "run", "resume", "report", "help"})
+                         {"list", "plan", "run", "resume", "report", "fleet", "help"})
                          .c_str());
         return usage(stderr);
     } catch (const std::exception& e) {

@@ -111,11 +111,13 @@ LAYER_PATH = re.compile(r"(?:^|/)(?:src/)?ropuf/([a-z_0-9]+)/")
 
 # The layer dependency map: layer -> layers it may #include. This is the
 # contract, not a measurement — extending a layer's reach is an edit here
-# plus review. Invariants baked in: `xp` appears in no value set (the
-# experiment layer is a sink — sim/core/attack can never reach back into
-# it), `fi` depends only on `rng` (fault plans must stay injectable under
-# everything), and `obs` depends on nothing (so telemetry can be
-# instrumented into any layer without cycles — and never sees `attack`).
+# plus review. Invariants baked in: `xp` appears in no value set except
+# `fleet`'s (the experiment layer is a sink for everything below it —
+# sim/core/attack can never reach back into it; `fleet` sits *above* xp
+# and reuses its JSON/result-store plumbing), `fi` depends only on `rng`
+# (fault plans must stay injectable under everything), and `obs` depends
+# on nothing (so telemetry can be instrumented into any layer without
+# cycles — and never sees `attack`).
 # Known knot: rng <-> simd are mutually coupled (the vector kernels step
 # xoshiro state; the scalar RNG delegates bulk fills to the kernel table).
 ALLOWED_DEPS = {
@@ -127,6 +129,7 @@ ALLOWED_DEPS = {
     "distiller": {"sim"},
     "ecc": {"bits", "obs", "rng", "simd"},
     "fi": {"rng"},
+    "fleet": {"core", "fi", "obs", "rng", "sim", "xp"},
     "fuzzy": {"bits", "ecc", "hash", "helperdata"},
     "group": {"bits", "core", "distiller", "ecc", "helperdata", "sim", "stats"},
     "hardened": {"group", "helperdata", "pairing"},
@@ -144,11 +147,12 @@ ALLOWED_DEPS = {
 }
 
 # The JSONL record schema contract (src/ropuf/xp/result_store.cpp,
-# to_jsonl). Deterministic keys are compared byte-for-byte by
-# tools/diff_results.py and pinned by the golden files; side keys (the
-# IGNORED_KEYS tuple in diff_results.py, parsed at lint time) are
-# host-bound, and SIDE_FIELDS are the keys nested inside them. A newly
-# emitted key must land in exactly one of these registries.
+# to_jsonl, plus src/ropuf/fleet/campaign.cpp, shard_record_line).
+# Deterministic keys are compared byte-for-byte by tools/diff_results.py
+# and pinned by the golden files; side keys (the IGNORED_KEYS tuple in
+# diff_results.py, parsed at lint time) are host-bound, and SIDE_FIELDS
+# are the keys nested inside them. A newly emitted key must land in
+# exactly one of these registries.
 DETERMINISTIC_KEYS = {
     "v", "spec", "spec_hash", "job", "index", "scenario", "outcome",
     "point", "cols", "rows", "sigma_noise_mhz", "ambient_c",
@@ -158,17 +162,24 @@ DETERMINISTIC_KEYS = {
     "outcomes", "recovered", "gave_up", "budget_exhausted",
     "refused_by_defense", "locked_out", "total_measurements",
     "mean", "stddev", "min", "max", "p95",  # MetricSummary sub-objects
+    # fleet shard records (fleet/campaign.cpp)
+    "shard", "device_first", "device_count", "key_bits", "base_seed",
+    "devices_ok", "trials_ok", "bit_errors", "success_hist", "measurements",
 }
 SIDE_FIELDS = {
     # inside "timing"
     "workers", "wall_ms", "trial_wall_ms_sum", "measurements_per_s",
     "simd", "hardware_concurrency",
+    "stolen",  # fleet only: shard ran on a thief worker
     # inside "fault"
     "attempts", "class", "message",
     # inside "obs"
     "counters", "hist", "count", "p50", "p99",
 }
-JSONL_EMITTER = "src/ropuf/xp/result_store.cpp"
+JSONL_EMITTERS = (
+    "src/ropuf/xp/result_store.cpp",
+    "src/ropuf/fleet/campaign.cpp",
+)
 DIFF_RESULTS = "tools/diff_results.py"
 # Emitted keys appear in C++ source as \"key\": inside string literals.
 ESCAPED_KEY = re.compile(r'\\"([A-Za-z_][A-Za-z0-9_]*)\\":')
@@ -529,7 +540,7 @@ def check_layer_dag(path: str, stripped: str, findings: list):
 # Driver
 # ---------------------------------------------------------------------------
 
-def lint_file(path: str, diff_results_path: str, jsonl_emitter: str):
+def lint_file(path: str, diff_results_path: str, jsonl_emitters):
     findings: list = []
     rpath = rel(path)
     if rpath.endswith((".py",)):
@@ -543,9 +554,8 @@ def lint_file(path: str, diff_results_path: str, jsonl_emitter: str):
     check_unordered_iteration(path, stripped, findings)
     check_obs_macro_literal(path, stripped, findings)
     check_layer_dag(path, stripped, findings)
-    if rpath.endswith(jsonl_emitter) or os.path.basename(rpath) == os.path.basename(jsonl_emitter):
-        if rpath.endswith(jsonl_emitter):
-            check_jsonl_keys(path, stripped, findings, diff_results_path)
+    if any(rpath.endswith(emitter) for emitter in jsonl_emitters):
+        check_jsonl_keys(path, stripped, findings, diff_results_path)
     return findings
 
 
@@ -565,10 +575,10 @@ def collect_files(paths):
     return out
 
 
-def run_lint(paths, diff_results_path, jsonl_emitter=JSONL_EMITTER):
+def run_lint(paths, diff_results_path, jsonl_emitters=JSONL_EMITTERS):
     findings = []
     for path in collect_files(paths):
-        findings.extend(lint_file(path, diff_results_path, jsonl_emitter))
+        findings.extend(lint_file(path, diff_results_path, jsonl_emitters))
     return findings
 
 
@@ -607,7 +617,7 @@ def self_test(fixtures_dir: str) -> int:
                     expected_total += 1
             got = {}
             for finding in lint_file(path, diff_results,
-                                     jsonl_emitter="result_store_fixture.cpp"):
+                                     jsonl_emitters=("result_store_fixture.cpp",)):
                 got.setdefault(finding.line, []).append(finding.rule)
             for line_no, rules in sorted(expected.items()):
                 for rule in rules:
